@@ -1,0 +1,75 @@
+"""Extension bench: barrier *algorithm* shoot-out per mechanism.
+
+Compares the paper's centralized and combining-tree barriers against the
+extension algorithms (dissemination, sense-reversing) — the software
+design space AMOs are claimed to make unnecessary ("AMO-based barriers
+do not require extra spin variables or complicated tree structures").
+The headline assertion: flat AMO beats every software-clever algorithm
+running on conventional primitives.
+"""
+
+import pytest
+
+from benchmarks.conftest import EPISODES, once
+from repro.config.mechanism import Mechanism
+from repro.config.parameters import SystemConfig
+from repro.core.machine import Machine
+from repro.sync.barrier import CentralizedBarrier
+from repro.sync.dissemination import DisseminationBarrier
+from repro.sync.sense_barrier import SenseReversingBarrier
+from repro.sync.tree_barrier import CombiningTreeBarrier
+
+P = 32
+
+ALGORITHMS = {
+    "centralized": lambda m, mech: CentralizedBarrier(m, mech),
+    "sense-reversing": lambda m, mech: SenseReversingBarrier(m, mech),
+    "combining-tree": lambda m, mech: CombiningTreeBarrier(m, mech,
+                                                           branching=8),
+    "dissemination": lambda m, mech: DisseminationBarrier(m, mech),
+}
+
+
+def run_algorithm(name, mech, episodes=EPISODES):
+    machine = Machine(SystemConfig.table1(P))
+    barrier = ALGORITHMS[name](machine, mech)
+
+    def thread(proc):
+        for _ in range(episodes + 1):     # +1 warm-up
+            yield from barrier.wait(proc)
+
+    machine.run_threads(thread, max_events=10_000_000)
+    return machine.last_completion_time / (episodes + 1)
+
+
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+@pytest.mark.parametrize("mech", [Mechanism.LLSC, Mechanism.AMO],
+                         ids=["llsc", "amo"])
+def test_barrier_algorithm(benchmark, algorithm, mech, capsys):
+    cycles = once(benchmark, run_algorithm, algorithm, mech)
+    with capsys.disabled():
+        print(f"\n{algorithm:>16s} + {mech.label:<6s} at P={P}: "
+              f"{cycles:8.0f} cycles/episode")
+    benchmark.extra_info.update(algorithm=algorithm,
+                                mechanism=mech.label,
+                                cycles_per_episode=cycles)
+
+
+def test_flat_amo_beats_all_conventional_algorithms(benchmark, capsys):
+    """The paper's programming-model claim, quantified."""
+    def run_all():
+        amo_flat = run_algorithm("centralized", Mechanism.AMO, episodes=2)
+        best_name, best = None, float("inf")
+        for name in ALGORITHMS:
+            cycles = run_algorithm(name, Mechanism.LLSC, episodes=2)
+            if cycles < best:
+                best_name, best = name, cycles
+        return amo_flat, best_name, best
+
+    amo_flat, best_name, best = once(benchmark, run_all)
+    with capsys.disabled():
+        print(f"\nflat AMO {amo_flat:.0f} vs best conventional "
+              f"({best_name}) {best:.0f} at P={P}")
+    assert amo_flat < best
+    benchmark.extra_info["amo_flat"] = amo_flat
+    benchmark.extra_info["best_conventional"] = f"{best_name}:{best:.0f}"

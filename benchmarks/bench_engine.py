@@ -1,0 +1,57 @@
+"""Simulator-performance benchmarks (not paper artifacts).
+
+Tracks the raw cost of the event kernel and of a representative
+machine's simulation throughput, so regressions in the substrate show
+up in ``--benchmark-compare`` runs.
+"""
+
+from repro.config.mechanism import Mechanism
+from repro.config.parameters import SystemConfig
+from repro.core.machine import Machine
+from repro.sim.kernel import Simulator
+from repro.sim.primitives import Timeout
+
+
+def test_kernel_event_throughput(benchmark):
+    """Dispatch rate of bare scheduled callbacks."""
+    def run():
+        sim = Simulator()
+        for i in range(20_000):
+            sim.schedule(i % 997, lambda: None)
+        sim.run()
+        return sim.events_dispatched
+
+    assert benchmark(run) == 20_000
+
+
+def test_coroutine_switch_throughput(benchmark):
+    """Cost of process suspension/resumption."""
+    def run():
+        sim = Simulator()
+
+        def worker():
+            for _ in range(2_000):
+                yield Timeout(1)
+
+        for _ in range(5):
+            sim.spawn(worker())
+        return sim.run()
+
+    assert benchmark(run) == 2_000
+
+
+def test_machine_simulation_rate(benchmark):
+    """A 16-CPU AMO barrier episode: end-to-end machine throughput."""
+    def run():
+        machine = Machine(SystemConfig.table1(16))
+        bar = machine.alloc("b", home_node=0)
+
+        def thread(proc):
+            yield from proc.amo_inc(bar.addr, test=16, wait_reply=False)
+            yield from proc.spin_until(bar.addr, lambda v: v >= 16)
+
+        machine.run_threads(thread)
+        return machine.sim.events_dispatched
+
+    events = benchmark(run)
+    assert events > 0

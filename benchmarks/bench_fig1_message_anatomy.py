@@ -1,0 +1,13 @@
+"""E7 — Figure 1: message counts of a 3-processor increment round."""
+
+from benchmarks.conftest import once
+from repro.harness.experiments import experiment_fig1
+
+
+def test_fig1_message_anatomy(benchmark, capsys):
+    result = once(benchmark, experiment_fig1)
+    with capsys.disabled():
+        print()
+        print(result.format())
+    for check in result.checks:
+        assert check.passed, str(check)

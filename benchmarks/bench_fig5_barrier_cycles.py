@@ -1,0 +1,24 @@
+"""E2 — Figure 5 (cycles-per-processor) and E9 — the t_o + t_p*P fit."""
+
+from benchmarks.conftest import once
+from repro.harness.experiments import experiment_amo_model, experiment_fig5
+
+
+def test_fig5_cycles_per_processor(benchmark, barrier_results, capsys):
+    result = once(benchmark, experiment_fig5, barrier_results)
+    with capsys.disabled():
+        print()
+        print(result.format())
+    for check in result.checks:
+        assert check.passed, str(check)
+    benchmark.extra_info["rows"] = [
+        [str(c) for c in row] for row in result.table.rows]
+
+
+def test_amo_linear_cost_model(benchmark, barrier_results, capsys):
+    result = once(benchmark, experiment_amo_model, barrier_results)
+    with capsys.disabled():
+        print()
+        print(result.format())
+    for check in result.checks:
+        assert check.passed, str(check)

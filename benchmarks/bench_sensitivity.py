@@ -1,0 +1,33 @@
+"""Calibration-robustness benchmark: AMO's win across knob sweeps.
+
+If the headline conclusion (AMO barriers far faster than LL/SC) held
+only at the calibrated parameter point, the reproduction would be an
+artifact.  Each bench sweeps one free parameter across a wide range and
+asserts the AMO speedup never collapses.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.harness.sensitivity import KNOBS, sensitivity_report, sweep_amo_speedup
+
+
+@pytest.mark.parametrize("knob_key", sorted(KNOBS))
+def test_sensitivity_knob(benchmark, knob_key, capsys):
+    knob = KNOBS[knob_key]
+    points = once(benchmark, sweep_amo_speedup, knob, 16, 1)
+    with capsys.disabled():
+        print(f"\n{knob.name}:")
+        for value, speedup in points:
+            print(f"  {value:>6} -> AMO speedup {speedup:6.1f}x")
+    assert all(s > 2.0 for _v, s in points), points
+    benchmark.extra_info["points"] = [[str(v), s] for v, s in points]
+
+
+def test_sensitivity_full_report(benchmark, capsys):
+    table, robust = once(benchmark, sensitivity_report,
+                         tuple(sorted(KNOBS)), 16, 1)
+    with capsys.disabled():
+        print()
+        print(table.to_text())
+    assert robust, "AMO advantage collapsed somewhere in the sweeps"

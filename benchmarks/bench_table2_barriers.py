@@ -1,0 +1,43 @@
+"""E1 — Table 2: non-tree barrier performance per mechanism and size.
+
+Each benchmark point simulates one (mechanism, P) cell; ``extra_info``
+carries the simulated cycles per episode, so a ``--benchmark-json`` dump
+contains the full measured table.  The LL/SC-relative speedups (the
+paper's actual Table 2 numbers) are printed by
+``repro-experiments table2`` and asserted by the final shape benchmark.
+"""
+
+import pytest
+
+from benchmarks.conftest import BARRIER_CPUS, EPISODES, once
+from repro.config.mechanism import Mechanism
+from repro.harness.experiments import experiment_table2
+from repro.workloads.barrier import run_barrier_workload
+
+MECHS = [Mechanism.LLSC, Mechanism.ACTMSG, Mechanism.ATOMIC,
+         Mechanism.MAO, Mechanism.AMO]
+
+
+@pytest.mark.parametrize("n_cpus", BARRIER_CPUS)
+@pytest.mark.parametrize("mech", MECHS, ids=[m.value for m in MECHS])
+def test_barrier_cell(benchmark, mech, n_cpus):
+    result = once(benchmark, run_barrier_workload, n_cpus, mech,
+                  episodes=EPISODES)
+    benchmark.extra_info["mechanism"] = mech.label
+    benchmark.extra_info["n_cpus"] = n_cpus
+    benchmark.extra_info["cycles_per_episode"] = result.cycles_per_episode
+    benchmark.extra_info["messages_per_episode"] = \
+        result.messages_per_episode
+    assert result.cycles_per_episode > 0
+
+
+def test_table2_speedups(benchmark, barrier_results, capsys):
+    """The assembled Table 2 with the paper's shape checks."""
+    result = once(benchmark, experiment_table2, barrier_results)
+    with capsys.disabled():
+        print()
+        print(result.format())
+    for check in result.checks:
+        assert check.passed, str(check)
+    benchmark.extra_info["rows"] = [
+        [str(c) for c in row] for row in result.table.rows]

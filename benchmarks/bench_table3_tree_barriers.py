@@ -1,0 +1,59 @@
+"""E3 — Table 3 (tree-based barriers) and E4 — Figure 6.
+
+Tree barriers sweep branching factors per configuration ("we try all
+possible tree branching factors and use the one that delivers the best
+performance") — the suite runner keeps the best, and per-cell benchmarks
+expose each branching factor's cost for the ablation record.
+"""
+
+import pytest
+
+from benchmarks.conftest import EPISODES, TREE_CPUS, once
+from repro.config.mechanism import Mechanism
+from repro.harness.experiments import (
+    experiment_fig6, experiment_table3, run_barrier_suite, run_tree_suite,
+)
+from repro.workloads.barrier import run_barrier_workload
+
+MECHS = [Mechanism.LLSC, Mechanism.ACTMSG, Mechanism.ATOMIC,
+         Mechanism.MAO, Mechanism.AMO]
+
+
+@pytest.fixture(scope="module")
+def tree_results():
+    return run_tree_suite(TREE_CPUS, episodes=EPISODES)
+
+
+@pytest.fixture(scope="module")
+def flat_results():
+    return run_barrier_suite(TREE_CPUS, episodes=EPISODES)
+
+
+@pytest.mark.parametrize("branching", (4, 8))
+@pytest.mark.parametrize("mech", MECHS, ids=[m.value for m in MECHS])
+def test_tree_barrier_cell(benchmark, mech, branching):
+    n_cpus = TREE_CPUS[-1] if branching < TREE_CPUS[-1] else 16
+    result = once(benchmark, run_barrier_workload, n_cpus, mech,
+                  episodes=EPISODES, tree_branching=branching)
+    benchmark.extra_info.update(
+        mechanism=mech.label, n_cpus=n_cpus, branching=branching,
+        cycles_per_episode=result.cycles_per_episode)
+    assert result.cycles_per_episode > 0
+
+
+def test_table3_speedups(benchmark, tree_results, flat_results, capsys):
+    result = once(benchmark, experiment_table3, tree_results, flat_results)
+    with capsys.disabled():
+        print()
+        print(result.format())
+    for check in result.checks:
+        assert check.passed, str(check)
+
+
+def test_fig6_tree_cycles_per_processor(benchmark, tree_results, capsys):
+    result = once(benchmark, experiment_fig6, tree_results)
+    with capsys.disabled():
+        print()
+        print(result.format())
+    for check in result.checks:
+        assert check.passed, str(check)

@@ -1,0 +1,55 @@
+"""E5 — Table 4 (ticket/array locks) and E6 — Figure 7 (lock traffic)."""
+
+import pytest
+
+from benchmarks.conftest import ACQUISITIONS, FIG7_CPUS, LOCK_CPUS, once
+from repro.config.mechanism import Mechanism
+from repro.harness.experiments import (
+    experiment_fig7, experiment_table4, run_lock_suite,
+)
+from repro.workloads.locks import run_lock_workload
+
+MECHS = [Mechanism.LLSC, Mechanism.ACTMSG, Mechanism.ATOMIC,
+         Mechanism.MAO, Mechanism.AMO]
+
+
+@pytest.fixture(scope="module")
+def lock_results():
+    cpus = sorted(set(LOCK_CPUS) | set(FIG7_CPUS))
+    return run_lock_suite(cpus, acquisitions_per_cpu=ACQUISITIONS)
+
+
+@pytest.mark.parametrize("lock_type", ("ticket", "array"))
+@pytest.mark.parametrize("n_cpus", LOCK_CPUS)
+@pytest.mark.parametrize("mech", MECHS, ids=[m.value for m in MECHS])
+def test_lock_cell(benchmark, mech, n_cpus, lock_type):
+    result = once(benchmark, run_lock_workload, n_cpus, mech, lock_type,
+                  acquisitions_per_cpu=ACQUISITIONS)
+    benchmark.extra_info.update(
+        mechanism=mech.label, n_cpus=n_cpus, lock=lock_type,
+        cycles_per_acquisition=result.cycles_per_acquisition,
+        bytes_per_acquisition=result.bytes_per_acquisition)
+    assert result.cycles_per_acquisition > 0
+
+
+def test_table4_speedups(benchmark, lock_results, capsys):
+    result = once(benchmark, experiment_table4, lock_results)
+    with capsys.disabled():
+        print()
+        print(result.format())
+    for check in result.checks:
+        assert check.passed, str(check)
+
+
+def test_fig7_lock_traffic(benchmark, lock_results, capsys):
+    result = once(benchmark, experiment_fig7, lock_results,
+                  cpu_counts=FIG7_CPUS)
+    with capsys.disabled():
+        print()
+        print(result.format())
+    # AMO-lowest must hold at any size; the ActMsg-highest claim is a
+    # high-contention (128/256 CPU) effect — enforce it only there.
+    for check in result.checks:
+        if "ActMsg" in check.name and max(FIG7_CPUS) < 128:
+            continue
+        assert check.passed, str(check)

@@ -1,0 +1,38 @@
+"""Shared benchmark configuration.
+
+Each benchmark simulates one of the paper's experiment points.  The
+pytest-benchmark timing is the *wall-clock cost of the simulation*
+(useful for tracking simulator performance); the paper's quantities —
+simulated cycles, speedups, traffic — are attached as ``extra_info`` so
+``--benchmark-json`` output regenerates the tables.
+
+Sizes: the default grid stops at 64 CPUs so the whole suite runs in a
+few minutes (the repro band flags pure-Python 256-CPU runs as slow).
+Set ``REPRO_BENCH_FULL=1`` to run the paper's complete 4-256 sweep.
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+BARRIER_CPUS = (4, 8, 16, 32, 64, 128, 256) if FULL else (4, 8, 16, 32)
+TREE_CPUS = (16, 32, 64, 128, 256) if FULL else (16, 32)
+LOCK_CPUS = (4, 8, 16, 32, 64, 128, 256) if FULL else (4, 8, 16)
+FIG7_CPUS = (128, 256) if FULL else (16, 32)
+EPISODES = 3 if FULL else 2
+ACQUISITIONS = 3 if FULL else 2
+
+
+@pytest.fixture(scope="session")
+def barrier_results():
+    """Shared flat-barrier measurements (table2 + fig5 + amo-model)."""
+    from repro.harness.experiments import run_barrier_suite
+    return run_barrier_suite(BARRIER_CPUS, episodes=EPISODES)
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,30 @@
+"""repro — Active Memory Operations synchronization, reproduced.
+
+A transaction-level CC-NUMA multiprocessor simulator and synchronization
+library reproducing *Highly Efficient Synchronization Based on Active
+Memory Operations* (Zhang, Fang, Carter — IPDPS 2004).
+
+Quickstart
+----------
+>>> from repro import Machine, SystemConfig
+>>> m = Machine(SystemConfig.table1(n_processors=4))
+>>> bar = m.alloc("barrier", home_node=0)
+>>> def thread(proc):
+...     yield from proc.amo_inc(bar.addr, test=4)
+...     yield from proc.spin_until(bar.addr, lambda v: v >= 4)
+>>> _ = m.run_threads(thread)
+>>> m.peek(bar.addr)
+4
+
+See :mod:`repro.sync` for the barrier and lock algorithm library, and
+:mod:`repro.harness` for the paper's experiments (Tables 2-4, Figures
+5-7).
+"""
+
+from repro.config import Mechanism, SystemConfig
+from repro.core import Machine
+from repro.mem.address import Variable
+
+__version__ = "1.0.0"
+
+__all__ = ["Machine", "SystemConfig", "Mechanism", "Variable", "__version__"]

@@ -1,0 +1,14 @@
+"""Active messages (substrate S9, von Eicken et al. style).
+
+An active message names a user-level handler to run on the destination
+node's *main processor* with the message body as arguments.  Gains over
+pure shared-memory synchronization come from eliminating remote-memory
+round trips; losses come from handler invocation overhead, serialization
+on one processor, and timeout-driven retransmission under contention —
+the paper's Figure 7 shows ActMsg generating the *most* network traffic
+of all mechanisms at 128/256 processors for exactly this reason.
+"""
+
+from repro.activemsg.endpoint import ActiveMessageEndpoint, register_handler, HANDLERS
+
+__all__ = ["ActiveMessageEndpoint", "register_handler", "HANDLERS"]

@@ -1,0 +1,91 @@
+"""Built-in active-message handlers used by the synchronization library.
+
+Handlers run on the home node's primary processor and use that CPU's
+*coherent* cache controller — so a handler that releases waiters by
+storing to a spin variable generates the same invalidation + reload wave
+a processor-side release would (this is what keeps the ActMsg wake-up
+path honest in the comparison).
+
+Handlers are coroutine functions ``(machine, home_node, args)``.
+"""
+
+from __future__ import annotations
+
+from repro.activemsg.endpoint import register_handler
+
+
+def _home_controller(machine, home_node):
+    """The cache controller of the home node's primary (handler) CPU."""
+    cpu0 = home_node * machine.config.cpus_per_node
+    return machine.cpus[cpu0].controller
+
+
+@register_handler("fetchadd")
+def am_fetchadd(machine, home_node, args):
+    """Atomic fetch-and-add performed by the home processor.
+
+    args = (addr, delta).  Atomicity comes from handler serialization on
+    the home CPU — no LL/SC needed, the classic active-message trick.
+    """
+    addr, delta = args
+    ctrl = _home_controller(machine, home_node)
+    old = yield from ctrl.load(addr)
+    yield from ctrl.store(addr, old + delta)
+    return old
+
+
+@register_handler("fetchadd_notify")
+def am_fetchadd_notify(machine, home_node, args):
+    """Fetch-and-add; on reaching ``target``, store to a notify variable.
+
+    args = (addr, delta, target, notify_addr, notify_value).  The barrier
+    handler: the release store wakes all spinners via normal coherence.
+    """
+    addr, delta, target, notify_addr, notify_value = args
+    ctrl = _home_controller(machine, home_node)
+    old = yield from ctrl.load(addr)
+    new = old + delta
+    yield from ctrl.store(addr, new)
+    if new == target:
+        yield from ctrl.store(notify_addr, notify_value)
+    return old
+
+
+@register_handler("read")
+def am_read(machine, home_node, args):
+    """Coherent read of one word (diagnostic handler)."""
+    (addr,) = args
+    ctrl = _home_controller(machine, home_node)
+    value = yield from ctrl.load(addr)
+    return value
+
+
+@register_handler("write")
+def am_write(machine, home_node, args):
+    """Coherent write of one word. args = (addr, value)."""
+    addr, value = args
+    ctrl = _home_controller(machine, home_node)
+    yield from ctrl.store(addr, value)
+    return None
+
+
+@register_handler("swap")
+def am_swap(machine, home_node, args):
+    """Atomic exchange on the home processor. args = (addr, value)."""
+    addr, value = args
+    ctrl = _home_controller(machine, home_node)
+    old = yield from ctrl.load(addr)
+    yield from ctrl.store(addr, value)
+    return old
+
+
+@register_handler("cas")
+def am_cas(machine, home_node, args):
+    """Compare-and-swap on the home processor.
+    args = (addr, expected, new); returns the old value."""
+    addr, expected, new = args
+    ctrl = _home_controller(machine, home_node)
+    old = yield from ctrl.load(addr)
+    if old == expected:
+        yield from ctrl.store(addr, new)
+    return old

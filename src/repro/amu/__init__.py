@@ -1,0 +1,31 @@
+"""The Active Memory Unit (substrate S11) — the paper's contribution.
+
+An AMU sits in each node's hub next to the memory/directory controller.
+Processors ship it simple atomic operations (:mod:`repro.amu.ops`) on
+words homed at that node; a tiny fully-associative word cache
+(:mod:`repro.amu.cache`) coalesces repeated operations on hot
+synchronization variables so a cache-resident AMO completes in two hub
+cycles regardless of contention; the unit (:mod:`repro.amu.unit`) drains
+a FIFO request queue, replies with the pre-op value, and — when the
+result matches the request's *test value*, or for always-push ops like
+``amo.fetchadd`` — issues a fine-grained *put* that patches the word in
+every sharer's cache in place (the wake-up path that makes AMO barriers
+O(P) with a tiny constant).
+
+Conventional memory-side atomics (MAOs) share the same function unit and
+cache (as in the paper's evaluation) but never push updates and stay
+outside the coherent domain — see :mod:`repro.mao`.
+"""
+
+from repro.amu.ops import AmoOp, AmoCommand, OPS, register_op
+from repro.amu.cache import AmuCache
+from repro.amu.unit import ActiveMemoryUnit
+
+__all__ = [
+    "AmoOp",
+    "AmoCommand",
+    "OPS",
+    "register_op",
+    "AmuCache",
+    "ActiveMemoryUnit",
+]

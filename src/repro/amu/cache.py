@@ -1,0 +1,95 @@
+"""The tiny AMU word cache.
+
+"To further improve the performance of AMOs, we add a tiny cache to the
+AMU.  This cache effectively coalesces operations to synchronization
+variables [...] An N-word AMU cache allows N outstanding synchronization
+operations.  For this study, we assume an eight-word AMU cache." (§3.1)
+
+Fully associative over whole words, true LRU.  Entries are always
+considered dirty with respect to memory: the coherent value of a cached
+word lives *here* until a put or an eviction writes it back.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mem.address import line_base, word_base
+
+
+@dataclass
+class AmuCacheEntry:
+    word_addr: int
+    value: int
+    last_use: int = 0
+
+
+class AmuCache:
+    """N-word fully-associative LRU cache inside the AMU."""
+
+    def __init__(self, capacity_words: int = 8) -> None:
+        if capacity_words < 1:
+            raise ValueError("AMU cache needs at least one word")
+        self.capacity = capacity_words
+        self._entries: dict[int, AmuCacheEntry] = {}
+        self._stamp = itertools.count(1)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, addr: int) -> Optional[AmuCacheEntry]:
+        entry = self._entries.get(word_base(addr))
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        entry.last_use = next(self._stamp)
+        return entry
+
+    def peek(self, addr: int) -> Optional[int]:
+        """Non-statistical, non-LRU-touching value probe."""
+        entry = self._entries.get(word_base(addr))
+        return None if entry is None else entry.value
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def victim(self) -> AmuCacheEntry:
+        """The LRU entry (call only when full)."""
+        return min(self._entries.values(), key=lambda e: e.last_use)
+
+    def insert(self, addr: int, value: int) -> AmuCacheEntry:
+        """Install a word; caller must have made room (see :meth:`victim`)."""
+        word = word_base(addr)
+        if word in self._entries:
+            raise RuntimeError(f"word {word:#x} already cached")
+        if self.full:
+            raise RuntimeError("insert into full AMU cache; evict first")
+        entry = AmuCacheEntry(word_addr=word, value=value,
+                              last_use=next(self._stamp))
+        self._entries[word] = entry
+        return entry
+
+    def drop(self, addr: int) -> Optional[AmuCacheEntry]:
+        """Remove a word (eviction/flush); returns the entry if present."""
+        entry = self._entries.pop(word_base(addr), None)
+        if entry is not None:
+            self.evictions += 1
+        return entry
+
+    def words_in_line(self, line_addr: int, line_bytes: int = 128) -> list[AmuCacheEntry]:
+        """Entries whose word falls in the given line (flush support)."""
+        base = line_base(line_addr)
+        return [e for e in self._entries.values()
+                if base <= e.word_addr < base + line_bytes]
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

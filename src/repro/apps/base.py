@@ -1,0 +1,52 @@
+"""Shared result type and helpers for application kernels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config.mechanism import Mechanism
+from repro.network.stats import TrafficStats
+
+
+@dataclass
+class AppResult:
+    """Outcome of one application-kernel run."""
+
+    app: str
+    mechanism: Mechanism
+    n_processors: int
+    total_cycles: int
+    #: pure-compute cycles charged (identical across mechanisms), so
+    #: ``sync_overhead_cycles`` isolates the synchronization cost
+    work_cycles_per_cpu: int
+    traffic: TrafficStats
+    verified: bool
+    detail: Optional[dict] = None
+
+    @property
+    def sync_overhead_cycles(self) -> int:
+        """Everything beyond the fixed per-CPU compute time."""
+        return self.total_cycles - self.work_cycles_per_cpu
+
+    @property
+    def sync_fraction(self) -> float:
+        """Fraction of runtime not spent computing (the paper's concern)."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.sync_overhead_cycles / self.total_cycles
+
+    def speedup_over(self, baseline: "AppResult") -> float:
+        return baseline.total_cycles / self.total_cycles
+
+
+#: fixed-point scale for carrying fractional values in integer words
+FIXED_POINT = 1 << 16
+
+
+def to_fixed(x: float) -> int:
+    return int(round(x * FIXED_POINT))
+
+
+def from_fixed(v: int) -> float:
+    return v / FIXED_POINT

@@ -1,0 +1,18 @@
+"""Processor cache models (substrate S4).
+
+A two-level hierarchy per CPU: a small fast L1D in front of a large L2.
+Coherence is kept at L2/line granularity (128 B) — the directory talks to
+the L2 controller; the L1 is modelled as a latency filter that is kept
+inclusive and is invalidated/updated alongside the L2.
+
+The cache also plays the role of the paper's **remote access cache (RAC)**
+for fine-grained updates: a :data:`~repro.network.message.MessageKind.WORD_UPDATE`
+pushed by a home AMU patches the single word in place, leaving the line's
+shared state intact — no invalidation, no reload.
+"""
+
+from repro.cache.state import LineState
+from repro.cache.line import CacheLine
+from repro.cache.cache import SetAssociativeCache
+
+__all__ = ["LineState", "CacheLine", "SetAssociativeCache"]

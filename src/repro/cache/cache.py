@@ -1,0 +1,143 @@
+"""Set-associative cache with true-LRU replacement.
+
+Pure data structure — no timing, no simulator dependency.  The cache
+controller (:mod:`repro.coherence.client`) charges latencies and runs the
+protocol; this class answers "is it here, in what state, and what gets
+evicted if I bring this in".
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.cache.line import CacheLine
+from repro.cache.state import LineState
+from repro.config.parameters import CacheConfig
+
+
+class SetAssociativeCache:
+    """A ``ways``-way set-associative cache of ``n_sets`` sets.
+
+    Examples
+    --------
+    >>> from repro.config.parameters import CacheConfig
+    >>> c = SetAssociativeCache(CacheConfig(1024, 2, 128, 1))
+    >>> c.n_sets
+    4
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "") -> None:
+        self.config = config
+        self.name = name
+        self.n_sets = config.n_sets
+        self.line_bytes = config.line_bytes
+        # set index -> {line_addr: CacheLine}; per-set dicts keep lookups O(1)
+        self._sets: list[dict[int, CacheLine]] = [dict() for _ in range(self.n_sets)]
+        self._stamp = itertools.count(1)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.word_updates = 0
+
+    # ------------------------------------------------------------------
+    def _set_index(self, line_addr: int) -> int:
+        return (line_addr // self.line_bytes) % self.n_sets
+
+    def line_base(self, addr: int) -> int:
+        return (addr // self.line_bytes) * self.line_bytes
+
+    # ------------------------------------------------------------------
+    def lookup(self, addr: int, touch: bool = True) -> Optional[CacheLine]:
+        """The resident, valid line containing ``addr``, or None.
+
+        ``touch`` updates LRU; pass False for coherence probes so remote
+        traffic does not perturb the local replacement order.
+        """
+        base = self.line_base(addr)
+        line = self._sets[self._set_index(base)].get(base)
+        if line is None or line.state is LineState.INVALID:
+            return None
+        if touch:
+            line.last_use = next(self._stamp)
+        return line
+
+    def probe(self, addr: int) -> Optional[CacheLine]:
+        """Non-LRU-touching lookup (coherence requests)."""
+        return self.lookup(addr, touch=False)
+
+    def install(self, addr: int, state: LineState,
+                words: Optional[dict[int, int]] = None
+                ) -> tuple[CacheLine, Optional[CacheLine]]:
+        """Bring a line in (after a fill) and return ``(line, victim)``.
+
+        ``victim`` is the evicted line (possibly dirty — the caller must
+        write it back) or None when a way was free or the line was
+        already resident.
+        """
+        base = self.line_base(addr)
+        entry = self._sets[self._set_index(base)]
+        line = entry.get(base)
+        if line is not None:
+            line.state = state
+            if words is not None:
+                line.words.update(words)
+            line.last_use = next(self._stamp)
+            return line, None
+        victim = None
+        if len(entry) >= self.config.ways:
+            victim_addr = min(entry, key=lambda a: entry[a].last_use)
+            victim = entry.pop(victim_addr)
+            self.evictions += 1
+        line = CacheLine(line_addr=base, state=state,
+                         words=dict(words or {}), last_use=next(self._stamp))
+        entry[base] = line
+        return line, victim
+
+    def invalidate(self, addr: int) -> Optional[CacheLine]:
+        """Drop the line containing ``addr``; returns it if it was valid."""
+        base = self.line_base(addr)
+        entry = self._sets[self._set_index(base)]
+        line = entry.pop(base, None)
+        if line is not None and line.state is not LineState.INVALID:
+            self.invalidations += 1
+            return line
+        return None
+
+    def downgrade(self, addr: int) -> Optional[CacheLine]:
+        """EXCLUSIVE -> SHARED (intervention); returns the line if present."""
+        line = self.probe(addr)
+        if line is not None and line.state is LineState.EXCLUSIVE:
+            line.state = LineState.SHARED
+            line.dirty = False
+        return line
+
+    def apply_word_update(self, addr: int, value: int) -> bool:
+        """Patch one word pushed by a fine-grained put; True if applied."""
+        line = self.probe(addr)
+        if line is None:
+            return False
+        line.patch_word(addr, value)
+        self.word_updates += 1
+        return True
+
+    # ------------------------------------------------------------------
+    def resident_lines(self) -> list[CacheLine]:
+        """All valid lines (diagnostics / property tests)."""
+        return [ln for s in self._sets for ln in s.values()
+                if ln.state is not LineState.INVALID]
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def record_hit(self) -> None:
+        self.hits += 1
+
+    def record_miss(self) -> None:
+        self.misses += 1

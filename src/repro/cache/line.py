@@ -1,0 +1,51 @@
+"""A single cache line: state + word values + bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.state import LineState
+from repro.mem.address import WORD_BYTES, word_base
+
+
+@dataclass
+class CacheLine:
+    """One resident line.
+
+    ``words`` maps word byte-addresses to values; absent words are zero
+    (the backing store's default).  ``dirty`` marks lines modified since
+    fill — only meaningful in EXCLUSIVE state.
+    """
+
+    line_addr: int                       # base byte address of the line
+    state: LineState = LineState.INVALID
+    words: dict[int, int] = field(default_factory=dict)
+    dirty: bool = False
+    #: monotonically increasing LRU stamp, maintained by the cache
+    last_use: int = 0
+
+    def read_word(self, addr: int) -> int:
+        """Value of the word containing ``addr`` within this line."""
+        return self.words.get(word_base(addr), 0)
+
+    def write_word(self, addr: int, value: int) -> None:
+        self.words[word_base(addr)] = value
+
+    def patch_word(self, addr: int, value: int) -> None:
+        """Apply a fine-grained WORD_UPDATE push (does not dirty the line:
+        the home's copy is the source of the new value)."""
+        self.words[word_base(addr)] = value
+
+    def contains(self, addr: int, line_bytes: int = 128) -> bool:
+        return self.line_addr <= addr < self.line_addr + line_bytes
+
+    def snapshot_words(self) -> dict[int, int]:
+        """Copy of the word map (for writebacks and replies)."""
+        return dict(self.words)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        flag = "*" if self.dirty else ""
+        return f"<Line {self.line_addr:#x} {self.state}{flag}>"
+
+
+WORD = WORD_BYTES  # re-export convenience for tests

@@ -1,0 +1,26 @@
+"""Directory-based coherence protocol (substrates S5-S8).
+
+* :mod:`repro.coherence.directory` — per-line home directory state
+  (unowned / shared+sharer set / exclusive+owner), with the AMU tracked
+  as a special sharer for the fine-grained update extension.
+* :mod:`repro.coherence.protocol` — the home-side transaction engine:
+  services GET_S/GET_X/writebacks/uncached accesses, serializing per
+  line, talking to DRAM and fanning out invalidations.
+* :mod:`repro.coherence.client` — the processor-side cache controller:
+  loads, stores, LL/SC, processor-side atomics, uncached accesses, and
+  the event-driven ``spin_until`` that models spin loops.
+* :mod:`repro.coherence.update` — fine-grained get/put engine used by the
+  AMU (word-grained coherent reads, word-update pushes to sharers).
+"""
+
+from repro.coherence.directory import Directory, DirectoryEntry, DirState
+from repro.coherence.protocol import HomeEngine
+from repro.coherence.client import CacheController
+
+__all__ = [
+    "Directory",
+    "DirectoryEntry",
+    "DirState",
+    "HomeEngine",
+    "CacheController",
+]

@@ -1,0 +1,89 @@
+"""Home directory state.
+
+One :class:`DirectoryEntry` per line that has ever been cached.  The
+directory tracks sharers at CPU granularity (each CPU has a private cache
+hierarchy) plus an ``amu_sharer`` bit: the paper's fine-grained "get"
+inserts the AMU into the sharer list, and — unlike ordinary sharers — the
+AMU is allowed to modify the word without exclusive ownership (§3.2).
+
+Invariants (enforced by :meth:`DirectoryEntry.check` and the property
+test-suite):
+
+* EXCLUSIVE implies exactly one owner and no sharers;
+* SHARED implies a non-empty sharer set (or AMU sharer) and no owner;
+* UNOWNED implies neither.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.primitives import Resource
+
+
+class DirState(enum.Enum):
+    """Directory-visible state of one line."""
+
+    UNOWNED = "unowned"     # memory has the only copy
+    SHARED = "shared"       # >= 1 read-only copies; memory is clean
+    EXCLUSIVE = "exclusive"  # one writable copy; memory possibly stale
+
+
+@dataclass
+class DirectoryEntry:
+    """Directory record for a single line."""
+
+    line_addr: int
+    state: DirState = DirState.UNOWNED
+    sharers: set[int] = field(default_factory=set)   # CPU ids
+    owner: Optional[int] = None                      # CPU id
+    amu_sharer: bool = False
+    #: serializes transactions on this line (the directory "busy" bit)
+    busy: Resource = field(default_factory=Resource)
+    #: version bumps on every state-changing transaction (diagnostics)
+    version: int = 0
+
+    def check(self) -> None:
+        """Raise AssertionError when invariants are violated."""
+        if self.state is DirState.EXCLUSIVE:
+            assert self.owner is not None, f"{self}: EXCLUSIVE without owner"
+            assert not self.sharers, f"{self}: EXCLUSIVE with sharers"
+            assert not self.amu_sharer, f"{self}: EXCLUSIVE with AMU sharer"
+        elif self.state is DirState.SHARED:
+            assert self.owner is None, f"{self}: SHARED with owner"
+            assert self.sharers or self.amu_sharer, f"{self}: SHARED empty"
+        else:
+            assert self.owner is None and not self.sharers and not self.amu_sharer, \
+                f"{self}: UNOWNED with copies"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<DirEntry {self.line_addr:#x} {self.state.value} "
+                f"owner={self.owner} sharers={sorted(self.sharers)}"
+                f"{' +AMU' if self.amu_sharer else ''}>")
+
+
+class Directory:
+    """All directory entries homed at one node."""
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+        self._entries: dict[int, DirectoryEntry] = {}
+
+    def entry(self, line_addr: int) -> DirectoryEntry:
+        """Get-or-create the entry for ``line_addr``."""
+        ent = self._entries.get(line_addr)
+        if ent is None:
+            ent = DirectoryEntry(line_addr=line_addr)
+            ent.busy.name = f"dir[{self.node}]@{line_addr:#x}"
+            self._entries[line_addr] = ent
+        return ent
+
+    def known_entries(self) -> list[DirectoryEntry]:
+        """Every entry ever touched (for invariant sweeps in tests)."""
+        return list(self._entries.values())
+
+    def check_all(self) -> None:
+        for ent in self._entries.values():
+            ent.check()

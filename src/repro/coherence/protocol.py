@@ -1,0 +1,370 @@
+"""Home-side coherence transaction engine.
+
+One :class:`HomeEngine` per node services every coherence request whose
+address is homed there.  Transactions on the same line are serialized by
+the line's directory ``busy`` resource (the hardware busy bit); the DRAM
+access is performed *while the entry is busy* — matching Origin-style
+directory controllers, where a read request occupies the directory slot
+until the memory reply is injected.  This non-pipelined service is a
+first-order term in the paper's results: it is what makes the
+invalidate-then-reload wake-up storm of conventional barriers/locks cost
+O(P x full service time) at the home, while AMO word-update pushes cost
+only O(P x egress injection).
+
+Three-hop transactions (owner intervention) follow the SN2 style: the
+home forwards an intervention to the exclusive owner, the owner replies
+with data *directly to the requester* and sends a sharing writeback (or
+ownership-transfer ack) back to the home, which then retires the
+transaction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.coherence.directory import Directory, DirState
+from repro.mem.address import line_base, word_base
+from repro.network.message import Message, MessageKind
+from repro.sim.primitives import Signal, Timeout
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.machine import Hub
+
+
+class AckLatch:
+    """Counts acknowledgements; fires its signal when all have arrived."""
+
+    __slots__ = ("signal", "remaining")
+
+    def __init__(self, expected: int, name: str = "") -> None:
+        self.signal = Signal(name=name or "ack-latch")
+        self.remaining = expected
+
+    def ack(self, sim) -> None:
+        self.remaining -= 1
+        if self.remaining == 0:
+            self.signal.fire(sim, None)
+        elif self.remaining < 0:
+            raise RuntimeError("ack latch over-acked")
+
+
+class HomeEngine:
+    """Directory + memory controller protocol engine for one home node."""
+
+    def __init__(self, hub: "Hub") -> None:
+        self.hub = hub
+        self.sim = hub.sim
+        self.node = hub.node
+        self.config = hub.config
+        self.net = hub.net
+        self.dram = hub.dram
+        self.backing = hub.backing
+        self.directory = Directory(hub.node)
+        self.transactions = 0
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def handle(self, msg: Message) -> None:
+        """Entry point from the hub for a request homed at this node."""
+        self.transactions += 1
+        if msg.kind is MessageKind.GET_S:
+            self.sim.spawn(self._serve_get_s(msg), name=f"getS@{self.node}")
+        elif msg.kind is MessageKind.GET_X:
+            self.sim.spawn(self._serve_get_x(msg), name=f"getX@{self.node}")
+        elif msg.kind is MessageKind.WRITEBACK:
+            self.sim.spawn(self._serve_writeback(msg), name=f"wb@{self.node}")
+        elif msg.kind is MessageKind.UNCACHED_READ:
+            self.sim.spawn(self._serve_uncached_read(msg))
+        elif msg.kind is MessageKind.UNCACHED_WRITE:
+            self.sim.spawn(self._serve_uncached_write(msg))
+        else:
+            raise RuntimeError(f"home engine got unexpected {msg!r}")
+
+    def _dir_delay(self) -> int:
+        return self.config.hub.hub_to_cpu(
+            self.config.hub.directory_occupancy_hub_cycles)
+
+    # ------------------------------------------------------------------
+    # GET_S — read miss
+    # ------------------------------------------------------------------
+    def _serve_get_s(self, msg: Message):
+        line = line_base(msg.addr)
+        ent = self.directory.entry(line)
+        yield ent.busy.acquire()
+        try:
+            yield Timeout(self._dir_delay())
+            requester = msg.requester
+            if ent.state is DirState.EXCLUSIVE and ent.owner != requester:
+                # 3-hop: downgrade the owner; data flows owner->requester,
+                # sharing writeback flows owner->home.
+                words = yield from self._intervene(
+                    owner=ent.owner, requester_msg=msg, downgrade=True)
+                self.backing.write_line(line, words)
+                ent.sharers = {ent.owner, requester}
+                ent.owner = None
+                ent.state = DirState.SHARED
+            else:
+                if ent.state is DirState.EXCLUSIVE:
+                    # owner re-fetching after silent drop is impossible in
+                    # this model (clean evictions notify); treat as error.
+                    raise RuntimeError(f"owner {requester} re-requested {ent!r}")
+                # Clean read: memory supplies the data.  The directory
+                # slot is held only for the lookup/state update; the DRAM
+                # access and reply injection proceed after release, so a
+                # read *storm* serializes at (directory + channel
+                # occupancy), not at full access latency — Origin-style
+                # pipelined reads.  Racing invalidations/updates against
+                # the in-flight reply are handled by the requester's MSHR
+                # logic (see CacheController._fetch).
+                #
+                # Note: if the AMU caches a newer value for a word in this
+                # line, the reply is deliberately *stale* — the paper's
+                # release-consistency semantics (§3.2): AMU values become
+                # visible at the put (test match / eviction), not before.
+                words = self.backing.read_line(line, self.config.line_bytes)
+                ent.sharers.add(requester)
+                ent.state = DirState.SHARED
+                ent.version += 1
+                self.sim.spawn(self._finish_clean_read(msg, words),
+                               name=f"readfill@{self.node}")
+        finally:
+            ent.busy.release()
+
+    def _finish_clean_read(self, msg: Message, words):
+        """Coroutine: the pipelined tail of a clean GET_S (DRAM + reply)."""
+        yield from self.dram.access_line()
+        yield from self.hub.egress_send(Message(
+            kind=MessageKind.DATA_S, src_node=self.node,
+            dst_node=msg.src_node, addr=msg.addr, payload=words,
+            reply_to=msg.reply_to, requester=msg.requester))
+
+    # ------------------------------------------------------------------
+    # GET_X — store miss / upgrade / LL-SC upgrade / atomic fetch
+    # ------------------------------------------------------------------
+    def _serve_get_x(self, msg: Message):
+        line = line_base(msg.addr)
+        ent = self.directory.entry(line)
+        yield ent.busy.acquire()
+        try:
+            yield Timeout(self._dir_delay())
+            requester = msg.requester
+            if ent.state is DirState.EXCLUSIVE and ent.owner != requester:
+                words = yield from self._intervene(
+                    owner=ent.owner, requester_msg=msg, downgrade=False)
+                self.backing.write_line(line, words)
+                ent.owner = requester
+                ent.version += 1
+                # data went owner->requester directly; nothing more to send
+            elif ent.state is DirState.EXCLUSIVE:
+                # already the owner (racing duplicate); just re-acknowledge
+                yield from self._reply_data_x(msg, ent)
+            else:
+                if ent.amu_sharer:
+                    yield from self.hub.amu.flush_line(line)
+                    ent.amu_sharer = False
+                invalidees = sorted(ent.sharers - {requester})
+                if invalidees:
+                    latch = AckLatch(len(invalidees),
+                                     name=f"inv@{line:#x}")
+                    for cpu in invalidees:
+                        node = self.hub.machine.node_of_cpu(cpu)
+                        yield from self.hub.egress_send(Message(
+                            kind=MessageKind.INVALIDATE,
+                            src_node=self.node, dst_node=node,
+                            addr=msg.addr, dst_cpu=cpu, payload=latch))
+                    yield latch.signal.wait()
+                yield from self._reply_data_x(msg, ent)
+        finally:
+            ent.busy.release()
+
+    def _reply_data_x(self, msg: Message, ent) -> object:
+        line = ent.line_addr
+        yield from self.dram.access_line()
+        words = self.backing.read_line(line, self.config.line_bytes)
+        ent.sharers = set()
+        ent.owner = msg.requester
+        ent.state = DirState.EXCLUSIVE
+        ent.amu_sharer = False
+        ent.version += 1
+        yield from self.hub.egress_send(Message(
+            kind=MessageKind.DATA_X, src_node=self.node,
+            dst_node=msg.src_node, addr=msg.addr, payload=words,
+            reply_to=msg.reply_to, requester=msg.requester))
+
+    # ------------------------------------------------------------------
+    # 3-hop intervention helper
+    # ------------------------------------------------------------------
+    def _intervene(self, owner: int, requester_msg: Message, downgrade: bool):
+        """Forward an intervention to ``owner``; wait for its writeback.
+
+        Returns the owner's line words (the coherent data).  The owner
+        itself sends the data reply directly to the requester.
+        """
+        done = Signal(name=f"intervene@{requester_msg.addr:#x}")
+        node = self.hub.machine.node_of_cpu(owner)
+        yield from self.hub.egress_send(Message(
+            kind=MessageKind.INTERVENTION, src_node=self.node,
+            dst_node=node, addr=requester_msg.addr, dst_cpu=owner,
+            value="downgrade" if downgrade else "invalidate",
+            payload=(requester_msg, done)))
+        wb_msg = yield done.wait()
+        return wb_msg.payload  # words dict from the owner's cache
+
+    # ------------------------------------------------------------------
+    # writebacks (dirty eviction or clean-exclusive drop notification)
+    # ------------------------------------------------------------------
+    def _serve_writeback(self, msg: Message):
+        line = line_base(msg.addr)
+        ent = self.directory.entry(line)
+        yield ent.busy.acquire()
+        try:
+            yield Timeout(self._dir_delay())
+            if msg.payload is not None:
+                yield from self.dram.access_line()
+                self.backing.write_line(line, msg.payload)
+            if ent.owner == msg.requester:
+                ent.owner = None
+                ent.state = DirState.UNOWNED
+            elif msg.requester in ent.sharers:
+                ent.sharers.discard(msg.requester)
+                if not ent.sharers and not ent.amu_sharer:
+                    ent.state = DirState.UNOWNED
+            ent.version += 1
+            yield from self.hub.egress_send(Message(
+                kind=MessageKind.WRITEBACK_ACK, src_node=self.node,
+                dst_node=msg.src_node, addr=msg.addr,
+                reply_to=msg.reply_to, requester=msg.requester))
+        finally:
+            ent.busy.release()
+
+    # ------------------------------------------------------------------
+    # uncached accesses (MAO spin path, IO space)
+    # ------------------------------------------------------------------
+    def _serve_uncached_read(self, msg: Message):
+        # The freshest value of a MAO-operated word lives in the AMU
+        # cache (MAOs never write coherence state); serve from there.
+        cached = self.hub.amu.peek(msg.addr)
+        if cached is not None:
+            yield Timeout(self.config.hub.hub_to_cpu(
+                self.config.amu.op_latency_hub_cycles))
+            value = cached
+        else:
+            value = yield from self.read_coherent_word(msg.addr)
+        yield from self.hub.egress_send(Message(
+            kind=MessageKind.UNCACHED_READ_REPLY, src_node=self.node,
+            dst_node=msg.src_node, addr=msg.addr, value=value,
+            reply_to=msg.reply_to, requester=msg.requester))
+
+    def _serve_uncached_write(self, msg: Message):
+        yield from self.write_coherent_word(msg.addr, msg.value,
+                                            push_updates=False)
+        yield from self.hub.egress_send(Message(
+            kind=MessageKind.UNCACHED_WRITE_ACK, src_node=self.node,
+            dst_node=msg.src_node, addr=msg.addr,
+            reply_to=msg.reply_to, requester=msg.requester))
+
+    # ------------------------------------------------------------------
+    # coherent word access, used by the fine-grained engine / MAO path
+    # ------------------------------------------------------------------
+    def read_coherent_word(self, addr: int):
+        """Coroutine: coherent value of one word (home-local entry point).
+
+        If a processor cache holds the line exclusively, the owner is
+        downgraded (3-hop); otherwise memory (or the AMU cache, checked by
+        callers) supplies the value.
+        """
+        line = line_base(addr)
+        ent = self.directory.entry(line)
+        yield ent.busy.acquire()
+        try:
+            yield Timeout(self._dir_delay())
+            if ent.state is DirState.EXCLUSIVE:
+                fake_req = Message(
+                    kind=MessageKind.FG_GET, src_node=self.node,
+                    dst_node=self.node, addr=addr, requester=None,
+                    reply_to=None)
+                words = yield from self._intervene(
+                    owner=ent.owner, requester_msg=fake_req, downgrade=True)
+                self.backing.write_line(line, words)
+                ent.sharers = {ent.owner}
+                ent.owner = None
+                ent.state = DirState.SHARED
+                ent.version += 1
+            yield from self.dram.access_word()
+            return self.backing.read_word(addr)
+        finally:
+            ent.busy.release()
+
+    def write_coherent_word(self, addr: int, value: int,
+                            push_updates: bool) -> object:
+        """Coroutine: write one word at the home (fine-grained put).
+
+        With ``push_updates`` (the paper's put mechanism), a WORD_UPDATE
+        is pushed to every sharer's cache — the line stays SHARED, no
+        invalidations, no reloads.  Without it (MAO/uncached semantics),
+        sharers must be invalidated to keep caches coherent.
+        """
+        line = line_base(addr)
+        ent = self.directory.entry(line)
+        yield ent.busy.acquire()
+        try:
+            yield Timeout(self._dir_delay())
+            if ent.state is DirState.EXCLUSIVE:
+                # pull the line home first (rare: sync variables are not
+                # normally write-shared with exclusive owners)
+                fake_req = Message(
+                    kind=MessageKind.FG_PUT, src_node=self.node,
+                    dst_node=self.node, addr=addr, requester=None,
+                    reply_to=None)
+                words = yield from self._intervene(
+                    owner=ent.owner, requester_msg=fake_req, downgrade=True)
+                self.backing.write_line(line, words)
+                ent.sharers = {ent.owner}
+                ent.owner = None
+                ent.state = DirState.SHARED
+            yield from self.dram.access_word()
+            self.backing.write_word(addr, value)
+            ent.version += 1
+            if push_updates:
+                multicast = self.config.network.multicast_updates
+                for i, cpu in enumerate(sorted(ent.sharers)):
+                    node = self.hub.machine.node_of_cpu(cpu)
+                    update = Message(
+                        kind=MessageKind.WORD_UPDATE, src_node=self.node,
+                        dst_node=node, addr=word_base(addr), value=value,
+                        dst_cpu=cpu)
+                    if multicast and i > 0:
+                        # hardware multicast (footnote 2): the routers
+                        # replicate the packet — one injection slot total
+                        self.net.send(update)
+                    else:
+                        yield from self.hub.egress_send(update)
+            elif ent.sharers:
+                latch = AckLatch(len(ent.sharers), name=f"fginv@{line:#x}")
+                for cpu in sorted(ent.sharers):
+                    node = self.hub.machine.node_of_cpu(cpu)
+                    yield from self.hub.egress_send(Message(
+                        kind=MessageKind.INVALIDATE, src_node=self.node,
+                        dst_node=node, addr=addr, dst_cpu=cpu,
+                        payload=latch))
+                yield latch.signal.wait()
+                ent.sharers = set()
+                if not ent.amu_sharer:
+                    ent.state = DirState.UNOWNED
+        finally:
+            ent.busy.release()
+
+    # ------------------------------------------------------------------
+    def mark_amu_sharer(self, addr: int) -> None:
+        """Register the local AMU as a fine-grained sharer of the line."""
+        ent = self.directory.entry(line_base(addr))
+        ent.amu_sharer = True
+        if ent.state is DirState.UNOWNED:
+            ent.state = DirState.SHARED
+
+    def unmark_amu_sharer(self, addr: int) -> None:
+        ent = self.directory.entry(line_base(addr))
+        ent.amu_sharer = False
+        if ent.state is DirState.SHARED and not ent.sharers:
+            ent.state = DirState.UNOWNED

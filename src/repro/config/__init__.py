@@ -1,0 +1,25 @@
+"""System configuration (paper Table 1) and the mechanism taxonomy."""
+
+from repro.config.mechanism import Mechanism
+from repro.config.parameters import (
+    AmuConfig,
+    ActiveMessageConfig,
+    CacheConfig,
+    DramConfig,
+    HubConfig,
+    NetworkConfig,
+    ProcessorConfig,
+    SystemConfig,
+)
+
+__all__ = [
+    "Mechanism",
+    "SystemConfig",
+    "ProcessorConfig",
+    "CacheConfig",
+    "DramConfig",
+    "HubConfig",
+    "NetworkConfig",
+    "AmuConfig",
+    "ActiveMessageConfig",
+]

@@ -1,0 +1,82 @@
+"""The five synchronization mechanisms the paper compares.
+
+Each mechanism is a different way to execute an atomic read-modify-write
+on a shared synchronization variable (and, for AMO, a different wake-up
+path).  The sync algorithms in :mod:`repro.sync` are parameterized by a
+:class:`Mechanism` so the same barrier/lock source exercises all five
+hardware options — the controlled comparison of the paper's Section 4.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Mechanism(enum.Enum):
+    """Atomic-primitive implementation used by a synchronization algorithm.
+
+    =========  ===========================================================
+    member     paper's label / description
+    =========  ===========================================================
+    LLSC       "LL/SC" — load-linked/store-conditional retry loop
+               (MIPS/Alpha/PowerPC style); the evaluation baseline.
+    ATOMIC     "Atomic" — processor-centric atomic instruction; the
+               line is fetched exclusively, the op executes at the
+               requesting processor, no retry failures.
+    ACTMSG     "ActMsg" — active message to the home node; the home
+               node's *main processor* runs a software handler that
+               performs the op, with invocation overhead, serialization
+               and timeout/retransmission.
+    MAO        "MAO" — Origin 2000 / T3E style memory-side atomic op:
+               an uncached access to a special IO address; the home
+               memory controller performs the op; no coherence
+               integration (spin loads must bypass caches, so software
+               spins on a *separate* coherent variable).
+    AMO        "AMO" — the paper's Active Memory Operation: coherent
+               memory-side atomic with fine-grained get/put and a test
+               value that defers the update push until the result
+               matches (the release point of a barrier).
+    =========  ===========================================================
+    """
+
+    LLSC = "llsc"
+    ATOMIC = "atomic"
+    ACTMSG = "actmsg"
+    MAO = "mao"
+    AMO = "amo"
+
+    @property
+    def label(self) -> str:
+        """Paper-style display label."""
+        return _LABELS[self]
+
+    @classmethod
+    def from_name(cls, name: str) -> "Mechanism":
+        """Parse a mechanism from a user-facing string (case-insensitive).
+
+        Accepts both the enum value (``"llsc"``) and the paper label
+        (``"LL/SC"``).
+        """
+        norm = name.strip().lower().replace("/", "").replace("-", "")
+        for mech in cls:
+            if norm in (mech.value, mech.label.lower().replace("/", "")):
+                return mech
+        raise ValueError(f"unknown mechanism {name!r}")
+
+
+_LABELS = {
+    Mechanism.LLSC: "LL/SC",
+    Mechanism.ATOMIC: "Atomic",
+    Mechanism.ACTMSG: "ActMsg",
+    Mechanism.MAO: "MAO",
+    Mechanism.AMO: "AMO",
+}
+
+#: Evaluation order used in the paper's tables.
+TABLE_ORDER = [
+    Mechanism.LLSC,
+    Mechanism.ACTMSG,
+    Mechanism.ATOMIC,
+    Mechanism.MAO,
+    Mechanism.AMO,
+]

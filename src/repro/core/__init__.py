@@ -1,0 +1,12 @@
+"""Public façade: machine construction and the user programming model.
+
+:class:`~repro.core.machine.Machine` assembles the full CC-NUMA system
+from a :class:`~repro.config.parameters.SystemConfig` — simulator kernel,
+fat-tree network, per-node hubs (directory + DRAM + AMU + active-message
+endpoint), per-CPU processors — and provides the thread-spawning and
+variable-placement API workloads use.
+"""
+
+from repro.core.machine import Hub, Machine
+
+__all__ = ["Machine", "Hub"]

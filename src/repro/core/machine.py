@@ -1,0 +1,234 @@
+"""Machine assembly: nodes, hubs, processors, and run helpers.
+
+A :class:`Machine` is the root object of every simulation::
+
+    from repro import Machine, SystemConfig
+
+    m = Machine(SystemConfig.table1(n_processors=16))
+    counter = m.alloc("counter", home_node=0)
+
+    def thread(proc):
+        old = yield from proc.amo_inc(counter.addr, test=16)
+        yield from proc.spin_until(counter.addr, lambda v: v >= 16)
+
+    m.run_threads(thread)        # one thread per CPU, to completion
+
+Each node's :class:`Hub` models the paper's Figure 2 chip: processor
+interface, memory controller (DRAM + backing store), directory controller
+(home engine), network interface (egress port with injection
+serialization), active memory unit, and the active-message endpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.activemsg.endpoint import ActiveMessageEndpoint
+import repro.activemsg.handlers  # noqa: F401  (registers built-in handlers)
+from repro.amu.unit import ActiveMemoryUnit
+from repro.coherence.protocol import HomeEngine
+from repro.config.parameters import SystemConfig
+from repro.cpu.processor import Processor
+from repro.mem.address import AddressSpace, Variable
+from repro.mem.backing import BackingStore
+from repro.mem.dram import Dram
+from repro.network.fabric import Network
+from repro.network.message import Message, MessageKind
+from repro.sim.kernel import Simulator
+from repro.sim.primitives import Resource, Timeout, all_of
+
+
+class Hub:
+    """One node's hub chip (Figure 2): MC, directory, NI, AMU, AM endpoint."""
+
+    def __init__(self, machine: "Machine", node: int) -> None:
+        self.machine = machine
+        self.node = node
+        self.sim = machine.sim
+        self.config = machine.config
+        self.net = machine.net
+        self.backing = machine.backing
+        self.dram = Dram(self.sim, node, self.config.dram)
+        self._egress = Resource(name=f"egress[{node}]")
+        self.home_engine = HomeEngine(self)
+        self.amu = ActiveMemoryUnit(self)
+        self.actmsg = ActiveMessageEndpoint(self)
+        self.net.attach(node, self.receive)
+        #: controllers of the CPUs on this node, keyed by cpu id
+        self.controllers: dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    def egress_send(self, msg: Message):
+        """Coroutine: inject a message through this hub's egress port.
+
+        The port serializes injection — an N-target fan-out (invalidation
+        wave, word-update push) costs N injection slots.  Line-carrying
+        packets occupy the port twice as long as control/word packets.
+        """
+        hub_cfg = self.config.hub
+        if msg.kind is MessageKind.WORD_UPDATE:
+            cost = hub_cfg.hub_to_cpu(hub_cfg.update_egress_hub_cycles)
+        else:
+            slots = 2 if msg.kind.carries_line else 1
+            cost = hub_cfg.hub_to_cpu(
+                hub_cfg.egress_occupancy_hub_cycles * slots)
+        yield self._egress.acquire()
+        try:
+            yield Timeout(cost)
+        finally:
+            self._egress.release()
+        self.net.send(msg)
+
+    # ------------------------------------------------------------------
+    def receive(self, msg: Message) -> None:
+        """Delivery dispatch for messages addressed to this node."""
+        kind = msg.kind
+        if kind in (MessageKind.GET_S, MessageKind.GET_X,
+                    MessageKind.WRITEBACK, MessageKind.UNCACHED_READ,
+                    MessageKind.UNCACHED_WRITE):
+            self.home_engine.handle(msg)
+        elif kind is MessageKind.INVALIDATE:
+            self._controller_of(msg).on_invalidate(msg)
+        elif kind is MessageKind.INTERVENTION:
+            self._controller_of(msg).on_intervention(msg)
+        elif kind is MessageKind.WORD_UPDATE:
+            self._controller_of(msg).on_word_update(msg)
+        elif kind is MessageKind.INV_ACK:
+            msg.payload.ack(self.sim)
+        elif kind in (MessageKind.AMO_REQUEST, MessageKind.MAO_REQUEST):
+            self.amu.enqueue(msg)
+        elif kind is MessageKind.AM_REQUEST:
+            self.actmsg.handle(msg)
+        else:
+            raise RuntimeError(f"hub {self.node}: unroutable {msg!r}")
+
+    def _controller_of(self, msg: Message):
+        if msg.dst_cpu is None:
+            raise RuntimeError(f"{msg!r} has no dst_cpu")
+        ctrl = self.controllers.get(msg.dst_cpu)
+        if ctrl is None:
+            raise RuntimeError(
+                f"cpu{msg.dst_cpu} is not on node {self.node}")
+        return ctrl
+
+
+class Machine:
+    """A complete simulated CC-NUMA multiprocessor."""
+
+    def __init__(self, config: Optional[SystemConfig] = None) -> None:
+        self.config = config or SystemConfig()
+        self.sim = Simulator()
+        self.backing = BackingStore()
+        self.net = Network(self.sim, self.config.n_nodes, self.config.network)
+        self.address_space = AddressSpace(self.config.n_nodes)
+        self.hubs = [Hub(self, node) for node in range(self.config.n_nodes)]
+        self.cpus: list[Processor] = []
+        #: simulated time when the last thread of the most recent
+        #: :meth:`run_threads` finished (excludes stale timer events)
+        self.last_completion_time = 0
+        #: optional TraceRecorder (see repro.trace) — None = no tracing
+        self.tracer = None
+        for cpu_id in range(self.config.n_processors):
+            hub = self.hubs[self.node_of_cpu(cpu_id)]
+            proc = Processor(cpu_id, hub)
+            hub.controllers[cpu_id] = proc.controller
+            self.cpus.append(proc)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_processors(self) -> int:
+        return self.config.n_processors
+
+    def node_of_cpu(self, cpu_id: int) -> int:
+        return cpu_id // self.config.cpus_per_node
+
+    # ------------------------------------------------------------------
+    # memory placement & direct access
+    # ------------------------------------------------------------------
+    def alloc(self, name: str, home_node: int = 0, words: int = 1,
+              stride_lines: bool = False) -> Variable:
+        """Allocate a shared variable homed at ``home_node``."""
+        return self.address_space.alloc(name, home_node, words=words,
+                                        stride_lines=stride_lines)
+
+    def poke(self, addr: int, value: int) -> None:
+        """Zero-time direct write to memory (workload initialization).
+
+        Only safe before threads run or between episodes when the word is
+        known uncached; tests assert both usages.
+        """
+        self.backing.write_word(addr, value)
+
+    def peek(self, addr: int) -> int:
+        """Zero-time coherent-best-effort read: AMU cache, any exclusive
+        cache copy, else memory (end-of-run verification)."""
+        from repro.mem.address import home_of
+        amu_val = self.hubs[home_of(addr)].amu.peek(addr)
+        if amu_val is not None:
+            return amu_val
+        for proc in self.cpus:
+            line = proc.controller.l2.probe(addr)
+            if line is not None and line.dirty:
+                return line.read_word(addr)
+        return self.backing.read_word(addr)
+
+    # ------------------------------------------------------------------
+    # running workloads
+    # ------------------------------------------------------------------
+    def run_threads(self, thread_fn: Callable, cpus: Optional[list[int]] = None,
+                    max_events: Optional[int] = None) -> list:
+        """Spawn ``thread_fn(processor)`` on each CPU and run to completion.
+
+        Returns the per-thread results in CPU order.  Raises on deadlock
+        (event queue drained with threads still blocked).
+        """
+        targets = self.cpus if cpus is None else [self.cpus[i] for i in cpus]
+        def _main():
+            procs = [self.sim.spawn(thread_fn(p), name=f"thread-cpu{p.cpu_id}")
+                     for p in targets]
+            results = yield from all_of(self.sim, procs)
+            # Stale events (unexpired retransmission timers) may run the
+            # clock past this point; completion time is captured here.
+            self.last_completion_time = self.sim.now
+            return results
+        return self.sim.run_process(_main(), name="run_threads",
+                                    max_events=max_events)
+
+    def check_coherence_invariants(self) -> None:
+        """Directory/cache cross-checks; used liberally by the test suite."""
+        from repro.cache.state import LineState
+        from repro.coherence.directory import DirState
+        for hub in self.hubs:
+            for ent in hub.home_engine.directory.known_entries():
+                ent.check()
+                owners = [p.cpu_id for p in self.cpus
+                          if (ln := p.controller.l2.probe(ent.line_addr))
+                          is not None and ln.state is LineState.EXCLUSIVE]
+                if ent.state is DirState.EXCLUSIVE:
+                    assert owners == [ent.owner], (
+                        f"{ent!r}: cache owners {owners}")
+                else:
+                    assert not owners, (
+                        f"{ent!r}: unexpected exclusive copies {owners}")
+
+    def describe(self) -> str:
+        """Human-readable machine summary (CPUs, nodes, topology, key
+        latencies) — handy at the top of experiment logs."""
+        cfg = self.config
+        topo = self.net.topology
+        lines = [
+            f"{cfg.n_processors} CPUs on {cfg.n_nodes} nodes "
+            f"({cfg.cpus_per_node}/node), "
+            f"{topo.n_levels}-level radix-{topo.radix} fat tree "
+            f"(diameter {topo.diameter_hops} hops)",
+            f"L1 {cfg.l1.size_bytes // 1024}KB/{cfg.l1.ways}w/"
+            f"{cfg.l1.latency_cycles}cy, "
+            f"L2 {cfg.l2.size_bytes // (1024 * 1024)}MB/{cfg.l2.ways}w/"
+            f"{cfg.l2.latency_cycles}cy, "
+            f"DRAM {cfg.dram.latency_cycles}cy, "
+            f"hop {cfg.network.hop_latency_cycles}cy",
+            f"AMU: {cfg.amu.cache_words}-word cache, "
+            f"{cfg.amu.op_latency_hub_cycles} hub-cycle ops"
+            + ("" if cfg.amu.cache_enabled else " (cache DISABLED)"),
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,12 @@
+"""Processor model (part of substrate S3).
+
+The simulator is transaction-level: a :class:`~repro.cpu.processor.Processor`
+is the per-CPU façade that software threads (coroutines) use to issue
+memory and synchronization operations.  Pipeline details (4-issue width,
+48-entry active list) are folded into a fixed per-operation overhead as
+described in DESIGN.md §3.
+"""
+
+from repro.cpu.processor import Processor
+
+__all__ = ["Processor"]

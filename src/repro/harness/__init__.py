@@ -1,0 +1,51 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+==========  =========================================================
+experiment  contents
+==========  =========================================================
+table2      speedups of non-tree barriers over LL/SC (Table 2)
+fig5        cycles-per-processor of non-tree barriers (Figure 5)
+table3      speedups of tree-based barriers (Table 3)
+fig6        cycles-per-processor of tree-based barriers (Figure 6)
+table4      speedups of ticket/array locks over LL/SC ticket (Table 4)
+fig7        normalized network traffic of ticket locks (Figure 7)
+fig1        message anatomy of a 3-processor increment round (Figure 1)
+amo_model   t_o + t_p*P fit of AMO barrier latency (§4.2.1 claim)
+==========  =========================================================
+
+Each experiment returns an :class:`~repro.harness.experiments.ExperimentResult`
+holding the measured table, the paper's published numbers for
+side-by-side comparison, and shape-check verdicts.  The ``repro-experiments``
+CLI (:mod:`repro.harness.cli`) prints them and can regenerate
+EXPERIMENTS.md.
+"""
+
+from repro.harness.experiments import (
+    ExperimentResult,
+    run_barrier_suite,
+    run_lock_suite,
+    run_tree_suite,
+    experiment_table2,
+    experiment_fig5,
+    experiment_table3,
+    experiment_fig6,
+    experiment_table4,
+    experiment_fig7,
+    experiment_fig1,
+    experiment_amo_model,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "run_barrier_suite",
+    "run_lock_suite",
+    "run_tree_suite",
+    "experiment_table2",
+    "experiment_fig5",
+    "experiment_table3",
+    "experiment_fig6",
+    "experiment_table4",
+    "experiment_fig7",
+    "experiment_fig1",
+    "experiment_amo_model",
+]

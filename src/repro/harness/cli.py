@@ -1,0 +1,135 @@
+"""``repro-experiments`` — run the paper's experiments from the shell.
+
+Examples::
+
+    repro-experiments fig1
+    repro-experiments table2 --cpus 4 16 64 --episodes 3
+    repro-experiments all --quick
+    repro-experiments all --full --markdown > results.md
+
+``--quick`` runs reduced sizes (up to 64 CPUs, fewer episodes) so the
+whole suite completes in a couple of minutes; ``--full`` runs the paper's
+complete 4-256 sweep (tens of minutes in pure Python — the repro band
+for this paper flags 256-processor runs as the slow part).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness import experiments as ex
+from repro.harness.paper_data import TABLE2_CPUS, TABLE3_CPUS, TABLE4_CPUS
+
+QUICK_BARRIER_CPUS = (4, 8, 16, 32, 64)
+QUICK_TREE_CPUS = (16, 32, 64)
+QUICK_LOCK_CPUS = (4, 8, 16, 32, 64)
+QUICK_FIG7_CPUS = (32, 64)
+
+
+def _sizes(args, full_default, quick_default):
+    if args.cpus:
+        return tuple(args.cpus)
+    return tuple(full_default) if args.full else tuple(quick_default)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables/figures of the AMO "
+                    "synchronization paper (IPDPS 2004).")
+    parser.add_argument("experiment",
+                        choices=["table2", "fig5", "table3", "fig6",
+                                 "table4", "fig7", "fig1", "amo-model",
+                                 "amo-tree", "all"])
+    parser.add_argument("--cpus", type=int, nargs="+",
+                        help="processor counts to evaluate")
+    parser.add_argument("--episodes", type=int, default=3,
+                        help="measured barrier episodes per configuration")
+    parser.add_argument("--acquisitions", type=int, default=3,
+                        help="lock acquisitions per CPU")
+    parser.add_argument("--full", action="store_true",
+                        help="use the paper's full 4-256 sweep")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sizes (default)")
+    parser.add_argument("--markdown", action="store_true",
+                        help="emit Markdown tables")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write results as JSON to PATH")
+    args = parser.parse_args(argv)
+
+    want = args.experiment
+    results: list[ex.ExperimentResult] = []
+    t0 = time.time()
+
+    if want in ("table2", "fig5", "amo-model", "all"):
+        cpus = _sizes(args, TABLE2_CPUS, QUICK_BARRIER_CPUS)
+        print(f"# running flat-barrier suite on CPUs={cpus} ...",
+              file=sys.stderr)
+        flat = ex.run_barrier_suite(cpus, episodes=args.episodes)
+        if want in ("table2", "all"):
+            results.append(ex.experiment_table2(flat))
+        if want in ("fig5", "all"):
+            results.append(ex.experiment_fig5(flat))
+        if want in ("amo-model", "all"):
+            results.append(ex.experiment_amo_model(flat))
+    if want in ("table3", "fig6", "all"):
+        cpus = _sizes(args, TABLE3_CPUS, QUICK_TREE_CPUS)
+        print(f"# running tree-barrier suite on CPUs={cpus} ...",
+              file=sys.stderr)
+        tree = ex.run_tree_suite(cpus, episodes=args.episodes)
+        flat3 = ex.run_barrier_suite(cpus, episodes=args.episodes)
+        if want in ("table3", "all"):
+            results.append(ex.experiment_table3(tree, flat3))
+        if want in ("fig6", "all"):
+            results.append(ex.experiment_fig6(tree))
+    if want in ("table4", "fig7", "all"):
+        cpus = _sizes(args, TABLE4_CPUS, QUICK_LOCK_CPUS)
+        print(f"# running lock suite on CPUs={cpus} ...", file=sys.stderr)
+        locks = ex.run_lock_suite(cpus,
+                                  acquisitions_per_cpu=args.acquisitions)
+        if want in ("table4", "all"):
+            results.append(ex.experiment_table4(locks))
+        if want in ("fig7", "all"):
+            fig7_cpus = [p for p in (args.cpus or
+                                     ((128, 256) if args.full
+                                      else QUICK_FIG7_CPUS))
+                         if p in cpus]
+            results.append(ex.experiment_fig7(locks, cpu_counts=fig7_cpus))
+    if want == "amo-tree":
+        cpus = _sizes(args, (16, 32, 64, 128, 256), (16, 32, 64))
+        print(f"# running AMO tree-crossover search on CPUs={cpus} ...",
+              file=sys.stderr)
+        results.append(ex.experiment_amo_tree_crossover(
+            cpus, episodes=args.episodes))
+    if want in ("fig1", "all"):
+        results.append(ex.experiment_fig1())
+
+    for res in results:
+        print(res.format(markdown=args.markdown))
+        print()
+    if args.json:
+        import json
+        payload = [{
+            "experiment": r.exp_id,
+            "title": r.title,
+            "columns": r.table.columns,
+            "rows": r.table.rows,
+            "paper_rows": r.paper.rows if r.paper else None,
+            "checks": [{"name": c.name, "passed": c.passed,
+                        "detail": c.detail} for c in r.checks],
+            "notes": r.notes,
+        } for r in results]
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"# wrote {args.json}", file=sys.stderr)
+    failed = [c for r in results for c in r.checks if not c.passed]
+    print(f"# {len(results)} experiment(s), "
+          f"{sum(len(r.checks) for r in results)} shape checks, "
+          f"{len(failed)} failed, {time.time() - t0:.1f}s", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,87 @@
+"""The paper's published numbers, transcribed for side-by-side reports.
+
+Source: Zhang, Fang, Carter — *Highly Efficient Synchronization Based on
+Active Memory Operations*, IPDPS 2004, Tables 2-4.  Figures 5-7 publish
+no numeric axes in the text, so their comparisons are *shape* assertions
+(monotonicity/ordering), encoded in :mod:`repro.harness.experiments`.
+"""
+
+from __future__ import annotations
+
+from repro.config.mechanism import Mechanism
+
+#: Table 2 — speedup of each barrier implementation over the LL/SC
+#: baseline, per processor count.
+PAPER_TABLE2: dict[int, dict[Mechanism, float]] = {
+    4:   {Mechanism.ACTMSG: 0.95, Mechanism.ATOMIC: 1.15,
+          Mechanism.MAO: 1.21, Mechanism.AMO: 2.10},
+    8:   {Mechanism.ACTMSG: 1.70, Mechanism.ATOMIC: 1.06,
+          Mechanism.MAO: 2.70, Mechanism.AMO: 5.48},
+    16:  {Mechanism.ACTMSG: 2.00, Mechanism.ATOMIC: 1.20,
+          Mechanism.MAO: 3.61, Mechanism.AMO: 9.11},
+    32:  {Mechanism.ACTMSG: 2.38, Mechanism.ATOMIC: 1.36,
+          Mechanism.MAO: 4.20, Mechanism.AMO: 15.14},
+    64:  {Mechanism.ACTMSG: 2.78, Mechanism.ATOMIC: 1.37,
+          Mechanism.MAO: 5.14, Mechanism.AMO: 23.78},
+    128: {Mechanism.ACTMSG: 2.74, Mechanism.ATOMIC: 1.24,
+          Mechanism.MAO: 8.02, Mechanism.AMO: 34.74},
+    256: {Mechanism.ACTMSG: 2.82, Mechanism.ATOMIC: 1.23,
+          Mechanism.MAO: 14.70, Mechanism.AMO: 61.94},
+}
+
+#: Table 3 — speedups of tree-based barriers over the (non-tree) LL/SC
+#: baseline; the last column repeats flat AMO for comparison.
+PAPER_TABLE3: dict[int, dict[str, float]] = {
+    16:  {"LL/SC+tree": 1.70, "ActMsg+tree": 2.41, "Atomic+tree": 2.25,
+          "MAO+tree": 2.60, "AMO+tree": 2.59, "AMO": 9.11},
+    32:  {"LL/SC+tree": 2.24, "ActMsg+tree": 2.85, "Atomic+tree": 2.62,
+          "MAO+tree": 4.09, "AMO+tree": 4.27, "AMO": 15.14},
+    64:  {"LL/SC+tree": 4.22, "ActMsg+tree": 6.92, "Atomic+tree": 5.61,
+          "MAO+tree": 8.37, "AMO+tree": 8.61, "AMO": 23.78},
+    128: {"LL/SC+tree": 5.26, "ActMsg+tree": 9.02, "Atomic+tree": 6.13,
+          "MAO+tree": 12.69, "AMO+tree": 13.74, "AMO": 34.74},
+    256: {"LL/SC+tree": 8.38, "ActMsg+tree": 14.72, "Atomic+tree": 11.22,
+          "MAO+tree": 20.37, "AMO+tree": 22.62, "AMO": 61.94},
+}
+
+#: Table 4 — lock speedups over the LL/SC ticket lock.
+#: Keyed (processors, mechanism, lock_type).
+PAPER_TABLE4: dict[tuple[int, Mechanism, str], float] = {}
+_T4 = {
+    4:   {"LL/SC": (1.00, 0.48), "ActMsg": (1.08, 0.47),
+          "Atomic": (0.92, 0.53), "MAO": (1.01, 0.57), "AMO": (1.95, 1.31)},
+    8:   {"LL/SC": (1.00, 0.58), "ActMsg": (1.64, 0.56),
+          "Atomic": (0.94, 0.67), "MAO": (1.07, 0.59), "AMO": (2.34, 2.03)},
+    16:  {"LL/SC": (1.00, 0.60), "ActMsg": (2.18, 0.65),
+          "Atomic": (0.93, 0.67), "MAO": (1.07, 0.62), "AMO": (2.20, 2.41)},
+    32:  {"LL/SC": (1.00, 0.62), "ActMsg": (1.48, 0.64),
+          "Atomic": (0.94, 0.76), "MAO": (1.08, 0.65), "AMO": (2.29, 2.14)},
+    64:  {"LL/SC": (1.00, 1.42), "ActMsg": (0.60, 1.42),
+          "Atomic": (0.80, 1.60), "MAO": (0.64, 1.49), "AMO": (4.90, 5.45)},
+    128: {"LL/SC": (1.00, 2.40), "ActMsg": (0.91, 2.60),
+          "Atomic": (1.21, 2.78), "MAO": (1.00, 2.69), "AMO": (9.28, 9.49)},
+    256: {"LL/SC": (1.00, 2.71), "ActMsg": (0.97, 2.92),
+          "Atomic": (1.22, 3.25), "MAO": (0.90, 3.13), "AMO": (10.36, 10.05)},
+}
+for _p, _row in _T4.items():
+    for _label, (_ticket, _array) in _row.items():
+        _mech = Mechanism.from_name(_label)
+        PAPER_TABLE4[(_p, _mech, "ticket")] = _ticket
+        PAPER_TABLE4[(_p, _mech, "array")] = _array
+
+#: Figure 1 — one-way network messages for a three-processor increment
+#: round: 18 conventional vs 6 AMO.
+PAPER_FIG1 = {"conventional": 18, "amo": 6}
+
+#: Headline claims (abstract): speedup ranges.
+PAPER_HEADLINE = {
+    "barrier_speedup_4": 2.1,
+    "barrier_speedup_256": 61.9,
+    "lock_speedup_4": 2.0,
+    "lock_speedup_256": 10.4,
+}
+
+#: The processor counts each paper table evaluates.
+TABLE2_CPUS = sorted(PAPER_TABLE2)
+TABLE3_CPUS = sorted(PAPER_TABLE3)
+TABLE4_CPUS = sorted(_T4)

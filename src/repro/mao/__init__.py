@@ -1,0 +1,22 @@
+"""Conventional memory-side atomic operations (substrate S10).
+
+Origin 2000 / Cray T3E style: a processor triggers an atomic op by an
+uncached access to a special IO-space alias of the target address; the
+home memory controller performs the operation.  MAOs share the AMU's
+function unit and word cache (the paper's evaluation setup) but:
+
+* they do **not** participate in coherence — no sharer updates, no
+  invalidations; software must spin on a *separate* coherent variable
+  (or poll uncached, paying a remote round trip per poll);
+* there is no test value and no push — completion is invisible to
+  waiting processors.
+
+These two gaps are precisely what the paper's AMO design fixes, and the
+4x AMO-over-MAO barrier gap at 256 processors comes from the wake-up
+path: MAO releases invalidate-and-reload full lines through the home
+directory/DRAM, AMOs push word updates through the egress port.
+"""
+
+from repro.mao.unit import MaoPort
+
+__all__ = ["MaoPort"]

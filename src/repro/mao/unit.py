@@ -1,0 +1,58 @@
+"""Processor-side MAO port.
+
+Thin façade that encodes MAO requests for the home AMU (shared function
+unit, ``coherent=False``) and exposes the uncached polling loop that MAO
+software must use when it *does* spin on the MAO variable itself (the
+unoptimized variant the paper mentions before recommending the separate
+spin variable).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.amu.ops import AmoCommand
+from repro.mem.address import home_of
+from repro.network.message import Message, MessageKind
+from repro.sim.primitives import Signal, Timeout
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.machine import Hub
+
+
+class MaoPort:
+    """Issues memory-side atomic operations from one CPU."""
+
+    def __init__(self, cpu_id: int, hub: "Hub") -> None:
+        self.cpu_id = cpu_id
+        self.hub = hub
+        self.sim = hub.sim
+        self.ops_issued = 0
+
+    def rmw(self, addr: int, op: str, operand=1):
+        """Coroutine: uncached atomic RMW at the home MC; returns the old
+        value (a full network round trip, serialized at the home FU)."""
+        self.ops_issued += 1
+        sig = Signal(name=f"mao[{self.cpu_id}]@{addr:#x}")
+        yield from self.hub.egress_send(Message(
+            kind=MessageKind.MAO_REQUEST, src_node=self.hub.node,
+            dst_node=home_of(addr), addr=addr,
+            payload=AmoCommand(op=op, operand=operand, coherent=False),
+            reply_to=sig, requester=self.cpu_id))
+        reply = yield sig.wait()
+        return reply.value
+
+    def poll_until(self, controller, addr: int, predicate,
+                   backoff_cycles: int = 200):
+        """Coroutine: unoptimized MAO spin — uncached read per poll.
+
+        Every poll is a remote round trip ("each load request must bypass
+        the cache and load data directly from the home node", §2); a
+        fixed backoff separates polls.  The home-side read consults the
+        AMU cache first, since the MAO value lives there.
+        """
+        while True:
+            value = yield from controller.uncached_read(addr)
+            if predicate(value):
+                return value
+            yield Timeout(backoff_cycles)

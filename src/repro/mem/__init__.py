@@ -1,0 +1,21 @@
+"""Memory substrate (S12): address map, placement, backing store, DRAM.
+
+CC-NUMA address layout: each node owns a contiguous physical region and is
+the *home* (directory + DRAM) for every address in it.  Synchronization
+variables are allocated with explicit placement so workloads can pin them
+to a chosen home node, exactly as the paper's microbenchmarks do.
+"""
+
+from repro.mem.address import AddressSpace, Variable, home_of, line_of, word_of
+from repro.mem.backing import BackingStore
+from repro.mem.dram import Dram
+
+__all__ = [
+    "AddressSpace",
+    "Variable",
+    "home_of",
+    "line_of",
+    "word_of",
+    "BackingStore",
+    "Dram",
+]

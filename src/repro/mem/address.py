@@ -1,0 +1,199 @@
+"""Physical address map and placement-aware allocator.
+
+Layout
+------
+Node ``i`` owns the 4 GiB region ``[(i+1) << NODE_SHIFT, (i+2) << NODE_SHIFT)``
+(region 0 is left unmapped so a null address is always invalid).  The home
+node of an address is therefore a shift and a subtract — cheap enough to
+sit on every transaction's fast path.
+
+Granularities
+-------------
+* **word** — 8 bytes, the unit of AMO/MAO operations and fine-grained
+  get/put updates;
+* **line** — 128 bytes (the L2/coherence granularity), 16 words.
+
+:class:`AddressSpace` is the allocator workloads use to place variables:
+``alloc("barrier", home_node=0)`` returns a :class:`Variable` aligned to a
+line boundary (the paper's "optimized" conventional barrier requires the
+spin variable and barrier variable in *different* lines; tests verify the
+allocator guarantees this by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+WORD_BYTES = 8
+LINE_BYTES = 128
+WORDS_PER_LINE = LINE_BYTES // WORD_BYTES
+NODE_SHIFT = 32
+NODE_REGION_BYTES = 1 << NODE_SHIFT
+
+
+def home_of(addr: int) -> int:
+    """Home node of a physical address."""
+    node = (addr >> NODE_SHIFT) - 1
+    if node < 0:
+        raise ValueError(f"address {addr:#x} is in the unmapped null region")
+    return node
+
+
+def line_of(addr: int) -> int:
+    """Line number (global) containing ``addr``."""
+    return addr // LINE_BYTES
+
+
+def line_base(addr: int) -> int:
+    """First byte address of the line containing ``addr``."""
+    return (addr // LINE_BYTES) * LINE_BYTES
+
+
+def word_of(addr: int) -> int:
+    """Word number (global) containing ``addr``."""
+    return addr // WORD_BYTES
+
+
+def word_base(addr: int) -> int:
+    return (addr // WORD_BYTES) * WORD_BYTES
+
+
+def word_index_in_line(addr: int) -> int:
+    """0..15 position of the word within its line."""
+    return (addr % LINE_BYTES) // WORD_BYTES
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A named, placed shared variable (one or more words).
+
+    Attributes
+    ----------
+    addr:
+        Byte address of word 0.
+    home_node:
+        The node whose directory/DRAM/AMU own this address.
+    words:
+        Number of consecutive words (arrays allocate > 1).
+    """
+
+    name: str
+    addr: int
+    home_node: int
+    words: int = 1
+
+    def word_addr(self, index: int = 0) -> int:
+        """Byte address of the ``index``-th word."""
+        if not 0 <= index < self.words:
+            raise IndexError(f"{self.name}[{index}]: out of {self.words} words")
+        return self.addr + index * WORD_BYTES
+
+    def element_line_stride(self) -> bool:
+        """True when consecutive elements sit in distinct lines."""
+        return self.words <= 1 or WORD_BYTES >= LINE_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"Variable({self.name!r}, addr={self.addr:#x}, "
+                f"home={self.home_node}, words={self.words})")
+
+
+class AddressSpace:
+    """Placement-aware allocator over the node-interleaved address map.
+
+    Parameters
+    ----------
+    n_nodes:
+        Machine size; allocations validate their placement against it.
+
+    By default each allocation is aligned to (and padded to) a whole
+    number of lines, so two variables never share a line — false sharing
+    is then an *opt-in* (``pack_with=``) used by tests that demonstrate
+    the naive-barrier pathology the paper describes in §3.3.1.
+    """
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be positive")
+        self.n_nodes = n_nodes
+        self._next_free: dict[int, int] = {
+            node: (node + 1) * NODE_REGION_BYTES for node in range(n_nodes)
+        }
+        self.symbols: dict[str, Variable] = {}
+
+    def alloc(self, name: str, home_node: int, words: int = 1,
+              line_aligned: bool = True,
+              stride_lines: bool = False) -> Variable:
+        """Allocate ``words`` consecutive words homed at ``home_node``.
+
+        Parameters
+        ----------
+        line_aligned:
+            Start at a fresh line and pad to a line multiple (default).
+        stride_lines:
+            Place each word in its *own* line (for flag arrays: the
+            Anderson lock requires per-element lines to avoid false
+            sharing among spinners — paper §3.3.2).
+        """
+        if not 0 <= home_node < self.n_nodes:
+            raise ValueError(f"home_node {home_node} out of range")
+        if words < 1:
+            raise ValueError("words must be >= 1")
+        if name in self.symbols:
+            raise ValueError(f"symbol {name!r} already allocated")
+        base = self._next_free[home_node]
+        if line_aligned or stride_lines:
+            base = (base + LINE_BYTES - 1) // LINE_BYTES * LINE_BYTES
+        if stride_lines:
+            # reserve one line per word; the Variable reports the stride
+            size = words * LINE_BYTES
+            var = StridedVariable(name=name, addr=base, home_node=home_node,
+                                  words=words)
+        else:
+            size = words * WORD_BYTES
+            if line_aligned:
+                size = (size + LINE_BYTES - 1) // LINE_BYTES * LINE_BYTES
+            var = Variable(name=name, addr=base, home_node=home_node,
+                           words=words)
+        end = base + size
+        if end > (home_node + 2) * NODE_REGION_BYTES:
+            raise MemoryError(f"node {home_node} region exhausted")
+        self._next_free[home_node] = end
+        self.symbols[name] = var
+        return var
+
+    def alloc_packed(self, name: str, with_var: Variable) -> Variable:
+        """Allocate a single word in the *same line* as ``with_var``.
+
+        Used only to reproduce the false-sharing pathology of the naive
+        conventional barrier (§3.3.1).  Raises if the line is full.
+        """
+        if name in self.symbols:
+            raise ValueError(f"symbol {name!r} already allocated")
+        base_line = line_base(with_var.addr)
+        used = {word_index_in_line(with_var.word_addr(i))
+                for i in range(with_var.words)}
+        for slot in range(WORDS_PER_LINE):
+            candidate = base_line + slot * WORD_BYTES
+            if slot not in used and not any(
+                line_base(v.addr) == base_line
+                and any(v.word_addr(i) == candidate for i in range(v.words))
+                for v in self.symbols.values()
+            ):
+                var = Variable(name=name, addr=candidate,
+                               home_node=with_var.home_node, words=1)
+                self.symbols[name] = var
+                return var
+        raise MemoryError(f"line at {base_line:#x} has no free word")
+
+    def lookup(self, name: str) -> Variable:
+        return self.symbols[name]
+
+
+@dataclass(frozen=True, repr=False)
+class StridedVariable(Variable):
+    """Array variable with one line per element (anti-false-sharing)."""
+
+    def word_addr(self, index: int = 0) -> int:
+        if not 0 <= index < self.words:
+            raise IndexError(f"{self.name}[{index}]: out of {self.words} words")
+        return self.addr + index * LINE_BYTES

@@ -1,0 +1,65 @@
+"""DRAM timing model: per-home access latency and channel occupancy.
+
+The paper's backend is 16 DDR channels delivering an 80-bit burst every
+two hub cycles with a 60-CPU-cycle access latency.  We model each home's
+DRAM as a FIFO-served resource: an access holds the resource for its
+*occupancy* (serialization under storms — e.g. 255 reload requests hitting
+the home after a spin-variable invalidation) and then waits the remaining
+*latency*.  Word-grained accesses (AMU fills/writebacks) occupy the
+channels for far less time than line transfers, one of the asymmetries
+that makes AMO wake-up pushes cheaper than MAO reload storms.
+"""
+
+from __future__ import annotations
+
+from repro.config.parameters import DramConfig
+from repro.sim.kernel import Simulator
+from repro.sim.primitives import Resource, Timeout
+
+
+class Dram:
+    """One home node's DRAM backend."""
+
+    def __init__(self, sim: Simulator, node: int,
+                 config: DramConfig | None = None) -> None:
+        self.sim = sim
+        self.node = node
+        self.config = config or DramConfig()
+        self._channel = Resource(name=f"dram[{node}]")
+        self.line_accesses = 0
+        self.word_accesses = 0
+
+    # Each access method is a coroutine charging occupancy then latency.
+    def access_line(self):
+        """Coroutine: one line-sized (128 B) read or write."""
+        self.line_accesses += 1
+        yield self._channel.acquire()
+        try:
+            yield Timeout(self.config.occupancy_cycles)
+        finally:
+            self._channel.release()
+        residual = self.config.latency_cycles - self.config.occupancy_cycles
+        if residual > 0:
+            yield Timeout(residual)
+
+    def access_word(self):
+        """Coroutine: one word-sized (8 B) read or write."""
+        self.word_accesses += 1
+        yield self._channel.acquire()
+        try:
+            yield Timeout(self.config.word_occupancy_cycles)
+        finally:
+            self._channel.release()
+        residual = self.config.latency_cycles - self.config.word_occupancy_cycles
+        if residual > 0:
+            yield Timeout(residual)
+
+    @property
+    def busy_cycles(self) -> int:
+        """Total cycles the channel group was occupied."""
+        return self._channel.busy_cycles
+
+    def utilization(self) -> float:
+        """Fraction of elapsed time the DRAM was busy."""
+        now = self.sim.now
+        return self._channel.busy_cycles / now if now else 0.0

@@ -1,0 +1,159 @@
+"""The interconnect fabric: message transport with latency and accounting.
+
+:class:`Network` owns the topology, the traffic statistics, and the
+delivery machinery.  ``send`` is non-blocking: it computes the end-to-end
+latency (hops x hop latency, or the crossbar latency for node-local
+traffic), records the packet, and schedules delivery.  *Occupancy* at the
+endpoints (hub egress serialization when the home fans out N invalidations
+or updates) is charged by the sender holding its hub's egress resource —
+see :meth:`repro.core.machine.Hub.egress_send`.
+
+Delivery dispatch order:
+
+1. ``msg.reply_to`` set and the kind is a reply → fire the signal with
+   ``msg`` (resumes the coroutine blocked on the transaction);
+2. otherwise the destination handler registered via :meth:`attach` is
+   invoked with the message (request servicing path).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.config.parameters import NetworkConfig
+from repro.network.message import Message
+from repro.network.stats import TrafficStats
+from repro.network.topology import FatTreeTopology
+from repro.sim.kernel import Simulator
+
+
+class Network:
+    """Latency/statistics model of the fat-tree interconnect."""
+
+    def __init__(self, sim: Simulator, n_nodes: int,
+                 config: Optional[NetworkConfig] = None) -> None:
+        self.sim = sim
+        self.config = config or NetworkConfig()
+        self.topology = FatTreeTopology(n_nodes, radix=self.config.router_radix)
+        self.stats = TrafficStats()
+        self._handlers: dict[int, Callable[[Message], None]] = {}
+        #: optional hook observing every injected message (tests/tracing)
+        self.on_send: Optional[Callable[[Message, int], None]] = None
+        # per-node link reservations (timestamp model, contention mode)
+        self._uplink_free_at = [0] * n_nodes
+        self._downlink_free_at = [0] * n_nodes
+        self.link_busy_cycles = 0
+        # per-directed-link reservations (router-contention mode)
+        self._link_free_at: dict[tuple, int] = {}
+        #: optional DelayInjector (see repro.network.faults); perturbs
+        #: delivery times while preserving per-(src,dst) FIFO order
+        self.delay_injector = None
+        self._last_delivery: dict[tuple[int, int], int] = {}
+
+    @property
+    def n_nodes(self) -> int:
+        return self.topology.n_nodes
+
+    # ------------------------------------------------------------------
+    def attach(self, node: int, handler: Callable[[Message], None]) -> None:
+        """Register the request handler (the hub) for ``node``."""
+        self._handlers[node] = handler
+
+    def latency(self, src: int, dst: int) -> int:
+        """One-way latency in CPU cycles between two nodes."""
+        if src == dst:
+            return self.config.local_latency_cycles
+        return self.topology.hops(src, dst) * self.config.hop_latency_cycles
+
+    # ------------------------------------------------------------------
+    def send(self, msg: Message) -> None:
+        """Inject ``msg``; it will be delivered after the path latency.
+
+        In link-contention mode, the packet additionally reserves the
+        source node's uplink and the destination node's downlink for its
+        serialization time (size / link bandwidth), modelled with
+        timestamp reservations — deterministic and allocation-free.
+        The hot-spot effect this adds is convergence at a *home node's
+        downlink* under request storms.
+        """
+        hops = 0 if msg.src_node == msg.dst_node else self.topology.hops(
+            msg.src_node, msg.dst_node)
+        self.stats.record(self.sim.now, msg, hops)
+        if self.on_send is not None:
+            self.on_send(msg, hops)
+        base_latency = self.latency(msg.src_node, msg.dst_node)
+        if self.config.model_router_contention and hops > 0:
+            self._schedule_delivery(msg, self._reserve_path(msg))
+            return
+        if not self.config.model_link_contention or hops == 0:
+            self._schedule_delivery(msg, self.sim.now + base_latency)
+            return
+        now = self.sim.now
+        transfer = max(1, int(msg.size_bytes
+                              / self.config.link_bandwidth_bytes_per_cycle))
+        up_start = max(now, self._uplink_free_at[msg.src_node])
+        self._uplink_free_at[msg.src_node] = up_start + transfer
+        arrival = up_start + transfer + base_latency
+        down_start = max(arrival, self._downlink_free_at[msg.dst_node])
+        self._downlink_free_at[msg.dst_node] = down_start + transfer
+        self.link_busy_cycles += 2 * transfer
+        self._schedule_delivery(msg, down_start + transfer)
+
+    def _reserve_path(self, msg: Message) -> int:
+        """Store-and-forward reservation of every link on the path.
+
+        Each directed link is held for the packet's serialization time;
+        crossing it additionally costs the hop latency.  Returns the
+        delivery time.  Flows sharing a directed link (converging on a
+        hot home, funneling through the root) serialize exactly there.
+        """
+        transfer = max(1, int(msg.size_bytes
+                              / self.config.link_bandwidth_bytes_per_cycle))
+        t = self.sim.now
+        for link in self.topology.path_links(msg.src_node, msg.dst_node):
+            start = max(t, self._link_free_at.get(link, 0))
+            self._link_free_at[link] = start + transfer
+            self.link_busy_cycles += transfer
+            t = start + transfer + self.config.hop_latency_cycles
+        return t
+
+    def _schedule_delivery(self, msg: Message, when: int) -> None:
+        """Schedule delivery at ``when`` (+ any injected fault delay),
+        preserving per-(src,dst) FIFO order — the point-to-point ordering
+        the interconnect hardware guarantees and the protocol assumes."""
+        if self.delay_injector is not None:
+            when += self.delay_injector.extra_delay(msg)
+            pair = (msg.src_node, msg.dst_node)
+            floor = self._last_delivery.get(pair, -1)
+            when = max(when, floor + 1)
+            self._last_delivery[pair] = when
+        self.sim.schedule_at(when, self._deliver, msg)
+
+    def _deliver(self, msg: Message) -> None:
+        if msg.reply_to is not None and msg.kind.is_reply:
+            # try_fire: a reply racing its requester's retransmission
+            # timeout (active messages) is silently dropped — the
+            # retransmit path owns delivery then.
+            msg.reply_to.try_fire(self.sim, msg)
+            return
+        handler = self._handlers.get(msg.dst_node)
+        if handler is None:
+            raise RuntimeError(
+                f"no handler attached to node {msg.dst_node} for {msg!r}")
+        handler(msg)
+
+    # ------------------------------------------------------------------
+    def reply(self, request: Message, kind, value=None, payload=None,
+              src_node: Optional[int] = None) -> None:
+        """Convenience: send a reply for ``request`` back to its source,
+        carrying the request's ``reply_to`` signal."""
+        self.send(Message(
+            kind=kind,
+            src_node=request.dst_node if src_node is None else src_node,
+            dst_node=request.src_node,
+            addr=request.addr,
+            value=value,
+            payload=payload,
+            reply_to=request.reply_to,
+            requester=request.requester,
+        ))

@@ -1,0 +1,153 @@
+"""Network message taxonomy.
+
+Message kinds follow the SGI SN2-style protocol vocabulary the paper
+assumes plus the extensions it introduces (fine-grained get/put, AMO
+command/reply) and the mechanisms it compares against (MAO, active
+messages).  Sizes: control packets are the 32-byte minimum; word-carrying
+packets add one 8-byte word; line-carrying packets add a 128-byte line.
+
+The solid/dashed/dotted arrows of the paper's Figure 1 map to
+:attr:`MessageKind.is_request` / :attr:`is_intervention` /
+:attr:`is_reply` respectively.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.sim.primitives import Signal
+
+
+class MessageKind(enum.Enum):
+    """Every message type that can cross the interconnect."""
+
+    # -- block-grained coherence (substrate S5) -------------------------
+    GET_S = "get_s"                  # read request (load miss)
+    GET_X = "get_x"                  # exclusive request (store/upgrade/LL-SC)
+    DATA_S = "data_s"                # line reply, shared
+    DATA_X = "data_x"                # line reply, exclusive
+    INVALIDATE = "invalidate"        # directory -> sharer
+    INV_ACK = "inv_ack"              # sharer -> requester/home
+    INTERVENTION = "intervention"    # directory -> exclusive owner
+    INTERVENTION_REPLY = "intervention_reply"  # owner -> requester (data)
+    SHARING_WRITEBACK = "sharing_writeback"    # owner -> home (revision)
+    WRITEBACK = "writeback"          # eviction of a dirty line
+    WRITEBACK_ACK = "writeback_ack"
+    UNCACHED_READ = "uncached_read"    # cache-bypassing load (MAO spin)
+    UNCACHED_READ_REPLY = "uncached_read_reply"
+    UNCACHED_WRITE = "uncached_write"
+    UNCACHED_WRITE_ACK = "uncached_write_ack"
+
+    # -- fine-grained update extension (S6) ------------------------------
+    FG_GET = "fg_get"                # AMU word-grained coherent read
+    FG_GET_REPLY = "fg_get_reply"
+    FG_PUT = "fg_put"                # AMU word-grained coherent write
+    WORD_UPDATE = "word_update"      # directory -> sharer caches (push)
+
+    # -- active memory operations (S11) ----------------------------------
+    AMO_REQUEST = "amo_request"      # processor -> home AMU command
+    AMO_REPLY = "amo_reply"          # AMU -> processor (old value)
+
+    # -- conventional memory-side atomics (S10) --------------------------
+    MAO_REQUEST = "mao_request"      # uncached IO-space atomic trigger
+    MAO_REPLY = "mao_reply"
+
+    # -- active messages (S9) --------------------------------------------
+    AM_REQUEST = "am_request"        # message carrying handler + args
+    AM_REPLY = "am_reply"            # handler completion notification
+
+    @property
+    def is_request(self) -> bool:
+        return self in _REQUESTS
+
+    @property
+    def is_reply(self) -> bool:
+        return self in _REPLIES
+
+    @property
+    def is_intervention(self) -> bool:
+        return self in _INTERVENTIONS
+
+    @property
+    def carries_line(self) -> bool:
+        return self in _LINE_CARRIERS
+
+    @property
+    def carries_word(self) -> bool:
+        return self in _WORD_CARRIERS
+
+
+_REQUESTS = {
+    MessageKind.GET_S, MessageKind.GET_X, MessageKind.WRITEBACK,
+    MessageKind.UNCACHED_READ, MessageKind.UNCACHED_WRITE,
+    MessageKind.FG_GET, MessageKind.FG_PUT,
+    MessageKind.AMO_REQUEST, MessageKind.MAO_REQUEST,
+    MessageKind.AM_REQUEST,
+}
+_REPLIES = {
+    MessageKind.DATA_S, MessageKind.DATA_X, MessageKind.INV_ACK,
+    MessageKind.INTERVENTION_REPLY, MessageKind.SHARING_WRITEBACK,
+    MessageKind.WRITEBACK_ACK, MessageKind.UNCACHED_READ_REPLY,
+    MessageKind.UNCACHED_WRITE_ACK, MessageKind.FG_GET_REPLY,
+    MessageKind.WORD_UPDATE, MessageKind.AMO_REPLY, MessageKind.MAO_REPLY,
+    MessageKind.AM_REPLY,
+}
+_INTERVENTIONS = {MessageKind.INTERVENTION, MessageKind.INVALIDATE}
+_LINE_CARRIERS = {
+    MessageKind.DATA_S, MessageKind.DATA_X, MessageKind.INTERVENTION_REPLY,
+    MessageKind.SHARING_WRITEBACK, MessageKind.WRITEBACK,
+}
+_WORD_CARRIERS = {
+    MessageKind.WORD_UPDATE, MessageKind.FG_GET_REPLY, MessageKind.FG_PUT,
+    MessageKind.AMO_REQUEST, MessageKind.AMO_REPLY,
+    MessageKind.MAO_REQUEST, MessageKind.MAO_REPLY,
+    MessageKind.UNCACHED_READ_REPLY, MessageKind.UNCACHED_WRITE,
+    MessageKind.AM_REQUEST, MessageKind.AM_REPLY,
+}
+
+_msg_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """One interconnect packet.
+
+    ``reply_to`` carries the requester's one-shot :class:`Signal`; replies
+    copy it back so delivery can resume the waiting coroutine directly
+    (hardware analogue: transaction identifiers matching replies to MSHR
+    entries).  ``size_bytes`` is computed from the kind when omitted.
+    """
+
+    kind: MessageKind
+    src_node: int
+    dst_node: int
+    addr: Optional[int] = None
+    value: Any = None
+    payload: Any = None
+    reply_to: Optional[Signal] = None
+    requester: Optional[int] = None       # originating CPU id, if any
+    dst_cpu: Optional[int] = None         # target CPU for cache-directed msgs
+    is_retransmit: bool = False
+    size_bytes: int = 0
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+    MIN_PACKET = 32
+    WORD_BYTES = 8
+    LINE_BYTES = 128
+
+    def __post_init__(self) -> None:
+        if self.size_bytes == 0:
+            size = self.MIN_PACKET
+            if self.kind.carries_line:
+                size += self.LINE_BYTES
+            elif self.kind.carries_word:
+                size += self.WORD_BYTES
+            self.size_bytes = size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        addr = f" a={self.addr:#x}" if self.addr is not None else ""
+        return (f"<Msg#{self.msg_id} {self.kind.value} "
+                f"{self.src_node}->{self.dst_node}{addr}>")

@@ -1,0 +1,15 @@
+"""Sharing-pattern profiling: find the hot lines and diagnose them.
+
+:class:`~repro.profiler.sharing.SharingProfiler` watches coherence
+traffic per cache line and attributes it back to the named variables of
+the address space, producing the report a performance engineer wants
+from a CC-NUMA run: which synchronization variables caused the
+invalidation storms, which lines ping-pong between owners, and which
+lines look like *false sharing* (multiple CPUs writing distinct words of
+one line) — the §3.3.1 pathology the paper's "optimized" barrier coding
+exists to avoid.
+"""
+
+from repro.profiler.sharing import LineProfile, SharingProfiler
+
+__all__ = ["SharingProfiler", "LineProfile"]

@@ -1,0 +1,160 @@
+"""Per-line coherence-traffic profiles and the false-sharing heuristic.
+
+The profiler taps the network's ``on_send`` hook (chaining any hook that
+is already installed, so it composes with the tracer) and classifies
+every coherence packet by the line it targets.  Symbol attribution comes
+from the machine's address space: profiles report variable names, not
+raw addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from repro.mem.address import LINE_BYTES, line_base, word_base
+from repro.network.message import Message, MessageKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.machine import Machine
+
+#: packet kinds attributed to line-level sharing activity
+_TRACKED = {
+    MessageKind.GET_S, MessageKind.GET_X, MessageKind.INVALIDATE,
+    MessageKind.INTERVENTION, MessageKind.WORD_UPDATE,
+    MessageKind.AMO_REQUEST, MessageKind.MAO_REQUEST,
+}
+
+
+@dataclass
+class LineProfile:
+    """Accumulated sharing activity for one cache line."""
+
+    line_addr: int
+    symbols: list[str] = field(default_factory=list)
+    reads: int = 0               # GET_S
+    ownership_transfers: int = 0  # GET_X + interventions
+    invalidations: int = 0
+    word_updates: int = 0
+    memory_side_ops: int = 0     # AMO/MAO commands
+    requesters: set = field(default_factory=set)
+    words_touched: set = field(default_factory=set)
+
+    @property
+    def total_events(self) -> int:
+        return (self.reads + self.ownership_transfers + self.invalidations
+                + self.word_updates + self.memory_side_ops)
+
+    @property
+    def false_sharing_suspect(self) -> bool:
+        """Multiple CPUs, multiple distinct words, and coherence churn
+        (invalidations or ownership ping-pong): the classic false-sharing
+        signature."""
+        churn = self.invalidations + self.ownership_transfers
+        return (len(self.words_touched) >= 2
+                and len(self.requesters) >= 2
+                and churn >= 3 * len(self.requesters))
+
+    def describe(self) -> str:
+        name = "+".join(self.symbols) if self.symbols \
+            else f"{self.line_addr:#x}"
+        flags = " [FALSE-SHARING?]" if self.false_sharing_suspect else ""
+        return (f"{name}: {self.total_events} events "
+                f"(reads={self.reads} xfers={self.ownership_transfers} "
+                f"invals={self.invalidations} updates={self.word_updates} "
+                f"mem-ops={self.memory_side_ops}) "
+                f"{len(self.requesters)} CPUs, "
+                f"{len(self.words_touched)} words{flags}")
+
+
+class SharingProfiler:
+    """Line-granularity coherence-traffic profiler."""
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        self._profiles: dict[int, LineProfile] = {}
+        self._symbol_map = self._build_symbol_map(machine)
+
+    @staticmethod
+    def _build_symbol_map(machine: "Machine") -> dict[int, list[str]]:
+        out: dict[int, list[str]] = {}
+        for name, var in machine.address_space.symbols.items():
+            for i in range(var.words):
+                line = line_base(var.word_addr(i))
+                names = out.setdefault(line, [])
+                if name not in names:
+                    names.append(name)
+        return out
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, machine: "Machine") -> "SharingProfiler":
+        """Hook the profiler into ``machine`` (composes with a tracer)."""
+        profiler = cls(machine)
+        previous = machine.net.on_send
+
+        def on_send(msg: Message, hops: int) -> None:
+            if previous is not None:
+                previous(msg, hops)
+            profiler.observe(msg)
+
+        machine.net.on_send = on_send
+        return profiler
+
+    def observe(self, msg: Message) -> None:
+        if msg.kind not in _TRACKED or msg.addr is None:
+            return
+        line = line_base(msg.addr)
+        prof = self._profiles.get(line)
+        if prof is None:
+            prof = LineProfile(line_addr=line,
+                               symbols=self._symbol_map.get(line, []))
+            self._profiles[line] = prof
+        kind = msg.kind
+        if kind is MessageKind.GET_S:
+            prof.reads += 1
+        elif kind in (MessageKind.GET_X, MessageKind.INTERVENTION):
+            prof.ownership_transfers += 1
+        elif kind is MessageKind.INVALIDATE:
+            prof.invalidations += 1
+        elif kind is MessageKind.WORD_UPDATE:
+            prof.word_updates += 1
+        else:
+            prof.memory_side_ops += 1
+        if msg.requester is not None:
+            prof.requesters.add(msg.requester)
+        prof.words_touched.add(word_base(msg.addr))
+
+    # ------------------------------------------------------------------
+    def profile_of(self, addr: int) -> Optional[LineProfile]:
+        """Profile of the line containing ``addr`` (None = no traffic)."""
+        return self._profiles.get(line_base(addr))
+
+    def hottest(self, n: int = 10) -> list[LineProfile]:
+        """The ``n`` busiest lines, by total coherence events."""
+        return sorted(self._profiles.values(),
+                      key=lambda p: p.total_events, reverse=True)[:n]
+
+    def false_sharing_suspects(self) -> list[LineProfile]:
+        return [p for p in self._profiles.values()
+                if p.false_sharing_suspect]
+
+    def report(self, top: int = 10) -> str:
+        """Human-readable hot-line report."""
+        lines = [f"hot lines (top {top} of {len(self._profiles)}):"]
+        for prof in self.hottest(top):
+            lines.append(f"  {prof.describe()}")
+        suspects = self.false_sharing_suspects()
+        if suspects:
+            lines.append(f"false-sharing suspects: "
+                         f"{', '.join('+'.join(p.symbols) or hex(p.line_addr) for p in suspects)}")
+        return "\n".join(lines)
+
+    @property
+    def lines_profiled(self) -> int:
+        return len(self._profiles)
+
+    @staticmethod
+    def line_span() -> int:
+        """Line granularity used for attribution (bytes)."""
+        return LINE_BYTES

@@ -1,0 +1,47 @@
+"""Discrete-event simulation kernel (substrate S1).
+
+This subpackage provides the event-driven core that the whole simulator is
+built on: a :class:`~repro.sim.kernel.Simulator` event loop, generator-based
+:class:`~repro.sim.process.Process` coroutines, and the waitable primitives
+(:class:`~repro.sim.primitives.Timeout`, :class:`~repro.sim.primitives.Signal`,
+:class:`~repro.sim.primitives.Gate`, :class:`~repro.sim.primitives.Resource`,
+:class:`~repro.sim.primitives.FifoQueue`).
+
+The kernel is deliberately minimal and deterministic: events with equal
+timestamps fire in FIFO (insertion) order, so a given configuration always
+produces the same simulated timeline.  All times are integer CPU cycles at
+the processor clock (2 GHz for the paper's Table 1 configuration).
+
+Design notes
+------------
+UVSIM, the paper's simulator, is cycle-stepped and execution-driven.  A
+pure-Python cycle stepper cannot reach 256 processors in reasonable time
+(the calibration band for this reproduction explicitly flags that risk), so
+this kernel is *event-driven*: components schedule work only when something
+happens.  Spin loops — the classic event-count killer — are modelled by the
+memory system as subscriptions to cache-line-change events rather than
+per-iteration polls (see :mod:`repro.coherence.client`), which preserves the
+network/timing behaviour of a real spin at a tiny fraction of the events.
+"""
+
+from repro.sim.kernel import Simulator
+from repro.sim.primitives import (
+    Acquire,
+    FifoQueue,
+    Gate,
+    Resource,
+    Signal,
+    Timeout,
+)
+from repro.sim.process import Process
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Timeout",
+    "Signal",
+    "Gate",
+    "Resource",
+    "Acquire",
+    "FifoQueue",
+]

@@ -1,0 +1,186 @@
+"""The discrete-event simulator core.
+
+A :class:`Simulator` owns a binary-heap event queue of
+``(time, sequence, callback, args)`` entries.  The ``sequence`` tiebreaker
+guarantees FIFO ordering of same-cycle events, which makes every run fully
+deterministic — a property the test suite leans on heavily (identical
+configurations must produce identical cycle counts and message traces).
+
+Only two things ever enter the queue: plain callbacks scheduled with
+:meth:`Simulator.schedule`, and coroutine resumptions scheduled internally
+by the waitable primitives in :mod:`repro.sim.primitives`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.process import Process
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (negative delays, running twice...)."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulation kernel.
+
+    Parameters
+    ----------
+    trace:
+        When true, every event dispatch is appended to :attr:`trace_log`
+        as ``(time, description)``.  Only used by debugging tests; leaves
+        zero overhead when disabled.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> out = []
+    >>> sim.schedule(10, out.append, "a")
+    >>> sim.schedule(5, out.append, "b")
+    >>> sim.run()
+    >>> out
+    ['b', 'a']
+    >>> sim.now
+    10
+    """
+
+    def __init__(self, trace: bool = False) -> None:
+        self._queue: list[tuple[int, int, Callable[..., None], tuple]] = []
+        self._seq = 0
+        self._now = 0
+        self._running = False
+        self.trace = trace
+        self.trace_log: list[tuple[int, str]] = []
+        self.events_dispatched = 0
+        #: live (unfinished) processes, for leak diagnostics in tests
+        self.active_processes: set[Process] = set()
+
+    # ------------------------------------------------------------------
+    # time & scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulated time in CPU cycles."""
+        return self._now
+
+    def schedule(self, delay: int, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` to run ``delay`` cycles from now.
+
+        ``delay`` must be a non-negative integer; zero-delay events run
+        after all events already queued for the current cycle (FIFO).
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + int(delay), self._seq, fn, args))
+
+    def schedule_at(self, when: int, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at absolute time ``when`` (>= now)."""
+        if when < self._now:
+            raise SimulationError(f"cannot schedule in the past ({when} < {self._now})")
+        self._seq += 1
+        heapq.heappush(self._queue, (int(when), self._seq, fn, args))
+
+    # ------------------------------------------------------------------
+    # processes
+    # ------------------------------------------------------------------
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Create a :class:`Process` driving ``gen`` and start it this cycle.
+
+        The generator may ``yield`` any primitive from
+        :mod:`repro.sim.primitives` and may delegate to sub-coroutines with
+        ``yield from``.  Its ``return`` value becomes ``process.result``.
+        """
+        proc = Process(gen, name=name, sim=self)
+        self.active_processes.add(proc)
+        # Start after the current event finishes so spawn() is not reentrant.
+        self.schedule(0, self._resume, proc, None)
+        return proc
+
+    def _resume(self, proc: Process, value: Any, exc: Optional[BaseException] = None) -> None:
+        """Advance ``proc`` by one step, interpreting what it yields."""
+        if proc.done:
+            return
+        try:
+            if exc is not None:
+                cmd = proc.gen.throw(exc)
+            else:
+                cmd = proc.gen.send(value)
+        except StopIteration as stop:
+            proc._finish(getattr(stop, "value", None))
+            self.active_processes.discard(proc)
+            return
+        except BaseException as err:  # propagate with process context
+            proc._fail(err)
+            self.active_processes.discard(proc)
+            raise
+        try:
+            cmd._arm(self, proc)
+        except AttributeError:
+            raise SimulationError(
+                f"process {proc.name!r} yielded non-primitive {cmd!r}; "
+                "yield Timeout/Wait/Acquire/... or use 'yield from' for "
+                "sub-coroutines"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Dispatch events until the queue empties (or a bound is hit).
+
+        Parameters
+        ----------
+        until:
+            Stop once simulated time would pass this value; events at
+            exactly ``until`` still fire.
+        max_events:
+            Safety valve for runaway simulations; raises
+            :class:`SimulationError` when exceeded.
+
+        Returns the final simulated time.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            dispatched = 0
+            while self._queue:
+                when, _seq, fn, args = self._queue[0]
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                self._now = when
+                if self.trace:
+                    self.trace_log.append((when, getattr(fn, "__qualname__", repr(fn))))
+                fn(*args)
+                dispatched += 1
+                self.events_dispatched += 1
+                if max_events is not None and dispatched > max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+        finally:
+            self._running = False
+        return self._now
+
+    def run_process(self, gen: Generator, name: str = "main",
+                    max_events: Optional[int] = None) -> Any:
+        """Spawn ``gen``, run to completion, and return its result.
+
+        Convenience wrapper used by workloads: raises if the process is
+        still blocked when the event queue drains (deadlock detection).
+        """
+        proc = self.spawn(gen, name=name)
+        self.run(max_events=max_events)
+        if not proc.done:
+            raise SimulationError(
+                f"deadlock: process {name!r} still blocked at t={self._now} "
+                f"with {len(self.active_processes)} live processes"
+            )
+        return proc.result
+
+    def pending_events(self) -> int:
+        """Number of events currently queued (diagnostic)."""
+        return len(self._queue)

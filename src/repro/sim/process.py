@@ -1,0 +1,91 @@
+"""Generator-backed simulation processes.
+
+A :class:`Process` wraps a Python generator.  The generator yields waitable
+primitives (:mod:`repro.sim.primitives`) and the kernel resumes it when the
+primitive completes.  Sub-coroutines compose with plain ``yield from``, so
+hardware models read like straight-line code:
+
+.. code-block:: python
+
+    def cpu_thread(mem):
+        value = yield from mem.load(addr)        # nested coroutine
+        yield Timeout(COMPUTE_CYCLES)            # primitive
+        yield from mem.store(addr, value + 1)
+        return value
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Simulator
+    from repro.sim.primitives import Wait
+
+
+class Process:
+    """A running coroutine inside the simulator.
+
+    Not constructed directly — use :meth:`repro.sim.kernel.Simulator.spawn`.
+
+    Attributes
+    ----------
+    done:
+        True once the generator returned or raised.
+    result:
+        The generator's ``return`` value (None until :attr:`done`).
+    error:
+        The exception that killed the process, if any.
+    """
+
+    __slots__ = ("gen", "name", "sim", "done", "result", "error", "_waiters")
+
+    def __init__(self, gen: Generator, name: str, sim: "Simulator") -> None:
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.sim = sim
+        self.done = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._waiters: list[Process] = []
+
+    def _finish(self, result: Any) -> None:
+        self.done = True
+        self.result = result
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            self.sim.schedule(0, self.sim._resume, waiter, result)
+
+    def _fail(self, error: BaseException) -> None:
+        self.done = True
+        self.error = error
+        # Waiters are abandoned; the kernel re-raises the error at top level
+        # so a failing process always surfaces loudly in tests.
+        self._waiters = []
+
+    def join(self) -> "JoinCmd":
+        """Yieldable: block the caller until this process finishes.
+
+        Resumes with the process result.  Joining an already-finished
+        process resumes immediately (next zero-delay slot).
+        """
+        return JoinCmd(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done else "running"
+        return f"<Process {self.name} {state}>"
+
+
+class JoinCmd:
+    """Primitive implementing :meth:`Process.join`."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target: Process) -> None:
+        self.target = target
+
+    def _arm(self, sim: "Simulator", proc: Process) -> None:
+        if self.target.done:
+            sim.schedule(0, sim._resume, proc, self.target.result)
+        else:
+            self.target._waiters.append(proc)

@@ -1,0 +1,12 @@
+"""Measurement collection and report formatting."""
+
+from repro.stats.collector import LatencyStats, fairness_across_cpus, op_latency_stats
+from repro.stats.report import TableFormatter, fit_linear
+
+__all__ = [
+    "TableFormatter",
+    "fit_linear",
+    "LatencyStats",
+    "op_latency_stats",
+    "fairness_across_cpus",
+]

@@ -1,0 +1,43 @@
+"""Synchronization algorithms (substrate S13), mechanism-parameterized.
+
+Every algorithm takes a :class:`~repro.config.Mechanism` and issues its
+atomic read-modify-writes / releases through that mechanism, so one
+source implements all five columns of the paper's tables:
+
+* :class:`~repro.sync.barrier.CentralizedBarrier` — the flat barrier
+  (paper Figure 3: naive and spin-variable codings; AMO uses naive);
+* :class:`~repro.sync.tree_barrier.CombiningTreeBarrier` — the two-level
+  software combining tree of Yew et al. (§4.2.2);
+* :class:`~repro.sync.ticket_lock.TicketLock` — FIFO ticket lock
+  (paper Figure 4);
+* :class:`~repro.sync.array_lock.ArrayQueueLock` — Anderson's
+  array-based queueing lock with per-slot cache lines;
+* :class:`~repro.sync.mcs_lock.McsLock` — the MCS list-based queue lock
+  (extension: exercises ``amo.swap``/``amo.cas``);
+* :class:`~repro.sync.dissemination.DisseminationBarrier` — log2(P)-round
+  point-to-point barrier with no centralized variable (extension);
+* :class:`~repro.sync.sense_barrier.SenseReversingBarrier` — the textbook
+  sense-reversing centralized barrier (extension).
+"""
+
+from repro.sync.barrier import CentralizedBarrier
+from repro.sync.tree_barrier import CombiningTreeBarrier
+from repro.sync.ticket_lock import TicketLock
+from repro.sync.array_lock import ArrayQueueLock
+from repro.sync.mcs_lock import McsLock
+from repro.sync.dissemination import DisseminationBarrier
+from repro.sync.sense_barrier import SenseReversingBarrier
+from repro.sync.rmw import compare_and_swap, fetch_add, swap
+
+__all__ = [
+    "CentralizedBarrier",
+    "CombiningTreeBarrier",
+    "TicketLock",
+    "ArrayQueueLock",
+    "McsLock",
+    "DisseminationBarrier",
+    "SenseReversingBarrier",
+    "fetch_add",
+    "swap",
+    "compare_and_swap",
+]

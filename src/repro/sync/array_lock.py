@@ -1,0 +1,105 @@
+"""Anderson's array-based queueing lock (§3.3.2).
+
+A sequencer indexes into an array of per-slot boolean flags, one cache
+line per flag ("all global variables ... must be placed in different
+cache lines to achieve the best performance").  Every waiter spins on
+its own flag; a release touches exactly one remote line — the next
+winner's — instead of invalidating every spinner like the ticket lock
+does.  The sequencer remains a hot spot.
+
+This is the classic protocol: flag values are 0/1, and the winner
+*resets its own flag* before entering the critical section so the slot
+can be reused after the sequencer wraps.  The reset is a coherent store
+on the acquire path — one of the overheads that make the array lock
+*slower* than the ticket lock at small processor counts (paper Table 4:
+0.48-0.62x for P <= 32) while its O(1) release wins at large counts.
+
+Mechanism mapping mirrors :class:`~repro.sync.ticket_lock.TicketLock`;
+for AMO, the sequencer, the reset and the grant all go through
+``amo.fetchadd`` ("we also use amo_fetchadd() on the counter"), making
+the grant an update push into the single waiting spinner's cache.
+
+An alternative *round-counter* variant that needs no reset store is
+available as ``variant="rounds"`` (an optimization beyond the paper,
+used by the ablation benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.config.mechanism import Mechanism
+from repro.sync.rmw import coherent_release_store, fetch_add
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.machine import Machine
+    from repro.cpu.processor import Processor
+
+
+class ArrayQueueLock:
+    """Array-based queueing lock over ``n_slots`` per-line flags."""
+
+    _counter = 0
+
+    def __init__(self, machine: "Machine", mechanism: Mechanism,
+                 n_slots: int | None = None, home_node: int = 0,
+                 variant: str = "classic") -> None:
+        if variant not in ("classic", "rounds"):
+            raise ValueError(f"unknown variant {variant!r}")
+        self.machine = machine
+        self.mechanism = mechanism
+        self.home_node = home_node
+        self.variant = variant
+        self.n_slots = n_slots or machine.n_processors
+        if self.n_slots < 1:
+            raise ValueError("need at least one slot")
+        uid = ArrayQueueLock._counter
+        ArrayQueueLock._counter += 1
+        self.sequencer = machine.alloc(f"arraylock{uid}.seq", home_node)
+        self.flags = machine.alloc(f"arraylock{uid}.flags", home_node,
+                                   words=self.n_slots, stride_lines=True)
+        # Slot 0 starts granted: the lock begins free.
+        machine.poke(self.flags.word_addr(0), 1)
+        self._held_by: dict[int, int] = {}
+        self.acquisitions = 0
+
+    # ------------------------------------------------------------------
+    def _slot_round(self, ticket: int) -> tuple[int, int]:
+        return ticket % self.n_slots, ticket // self.n_slots + 1
+
+    def acquire(self, proc: "Processor"):
+        """Coroutine: enqueue, spin on our own slot, reset it (classic)."""
+        my = yield from fetch_add(proc, self.mechanism,
+                                  self.sequencer.addr, 1)
+        slot, rnd = self._slot_round(my)
+        flag_addr = self.flags.word_addr(slot)
+        if self.variant == "classic":
+            yield from proc.spin_until(flag_addr, lambda v: v >= 1)
+            # Reset our slot for reuse after the sequencer wraps — a
+            # coherent store on the acquire critical path.
+            yield from coherent_release_store(
+                proc, self.mechanism, flag_addr, 0, delta=-1)
+        else:
+            yield from proc.spin_until(flag_addr,
+                                       lambda v, rnd=rnd: v >= rnd)
+        self._held_by[proc.cpu_id] = my
+        self.acquisitions += 1
+        return my
+
+    def release(self, proc: "Processor"):
+        """Coroutine: grant the next slot (one remote line touched)."""
+        my = self._held_by.pop(proc.cpu_id, None)
+        if my is None:
+            raise RuntimeError(
+                f"cpu{proc.cpu_id} released array lock it does not hold")
+        nxt_slot, nxt_round = self._slot_round(my + 1)
+        value = 1 if self.variant == "classic" else nxt_round
+        yield from coherent_release_store(
+            proc, self.mechanism, self.flags.word_addr(nxt_slot),
+            value, delta=1)
+
+    def holder(self) -> int | None:
+        holders = list(self._held_by)
+        if len(holders) > 1:
+            raise AssertionError(f"mutual exclusion violated: {holders}")
+        return holders[0] if holders else None

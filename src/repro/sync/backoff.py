@@ -1,0 +1,39 @@
+"""Backoff helpers for spin loops.
+
+Mellor-Crummey & Scott showed proportional backoff helps ticket locks on
+machines where every spin read is a *remote* access; the paper (§3.3.2)
+argues it is far less effective on cache-coherent machines, where spin
+reads hit the local cache.  These helpers exist so the ablation
+benchmarks can quantify that claim in this simulator.
+"""
+
+from __future__ import annotations
+
+
+def exponential_schedule(base_cycles: int, attempt: int,
+                         cap_cycles: int = 1 << 16) -> int:
+    """Capped exponential backoff delay for the ``attempt``-th retry."""
+    if base_cycles <= 0:
+        return 0
+    return min(cap_cycles, base_cycles << min(attempt, 30))
+
+
+def spin_with_exponential_backoff(proc, addr: int, predicate,
+                                  base_cycles: int = 50,
+                                  cap_cycles: int = 1 << 14):
+    """Coroutine: poll ``addr`` with exponentially growing pauses.
+
+    Unlike :meth:`~repro.cpu.processor.Processor.spin_until`, every poll
+    is an explicit load (which may be a cache hit or, after an
+    invalidation, a remote reload) and polls are separated by growing
+    delays — the classic software pattern for machines without efficient
+    cached spinning.
+    """
+    attempt = 0
+    while True:
+        value = yield from proc.load(addr)
+        if predicate(value):
+            return value
+        yield from proc.delay(exponential_schedule(base_cycles, attempt,
+                                                   cap_cycles))
+        attempt += 1

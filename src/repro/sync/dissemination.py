@@ -1,0 +1,84 @@
+"""Dissemination barrier (Hensgen/Finkel/Manber; popularized by MCS).
+
+An extension beyond the paper's evaluated barriers: ceil(log2 P) rounds
+of point-to-point signalling with **no centralized variable at all**.
+In round ``k``, participant ``i`` signals participant
+``(i + 2**k) mod P`` and waits for the signal from
+``(i - 2**k) mod P``.  Every flag has exactly one writer and one waiter
+per episode, and is homed on the *waiter's* node, so all spinning is
+node-local and each round costs one remote write per participant.
+
+Episode reuse uses per-flag round counters (the signal for episode ``e``
+sets the flag to ``e + 1``), avoiding sense flags and reset writes.
+
+Interesting comparison points this enables (see the ablation bench):
+
+* vs the combining tree: dissemination has no serialization points but
+  sends P*log2(P) messages per episode;
+* vs flat AMO: even an O(P log P) fully-distributed software barrier
+  loses to the AMU's O(P) update push for the machine sizes evaluated.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.config.mechanism import Mechanism
+from repro.sync.rmw import coherent_release_store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.machine import Machine
+    from repro.cpu.processor import Processor
+
+
+class DisseminationBarrier:
+    """log2(P)-round point-to-point barrier over ``n_participants``."""
+
+    _counter = 0
+
+    def __init__(self, machine: "Machine", mechanism: Mechanism,
+                 n_participants: int | None = None) -> None:
+        self.machine = machine
+        self.mechanism = mechanism
+        self.n = n_participants or machine.n_processors
+        if self.n < 2:
+            raise ValueError("need at least two participants")
+        self.rounds = math.ceil(math.log2(self.n))
+        uid = DisseminationBarrier._counter
+        DisseminationBarrier._counter += 1
+        # flags[waiter][round], homed at the waiter's node, one line each
+        self._flags: list[list] = []
+        for cpu in range(self.n):
+            node = machine.node_of_cpu(cpu)
+            self._flags.append([
+                machine.alloc(f"dissem{uid}.f{cpu}.r{r}", node)
+                for r in range(self.rounds)
+            ])
+        self._episode: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def partner_out(self, cpu: int, rnd: int) -> int:
+        """Who ``cpu`` signals in round ``rnd``."""
+        return (cpu + (1 << rnd)) % self.n
+
+    def partner_in(self, cpu: int, rnd: int) -> int:
+        """Whose signal ``cpu`` waits for in round ``rnd``."""
+        return (cpu - (1 << rnd)) % self.n
+
+    def wait(self, proc: "Processor"):
+        """Coroutine: dissemination barrier arrival."""
+        me = proc.cpu_id
+        episode = self._episode.get(me, 0)
+        self._episode[me] = episode + 1
+        for rnd in range(self.rounds):
+            out = self.partner_out(me, rnd)
+            yield from coherent_release_store(
+                proc, self.mechanism,
+                self._flags[out][rnd].addr, episode + 1, delta=1)
+            yield from proc.spin_until(
+                self._flags[me][rnd].addr,
+                lambda v, e=episode: v >= e + 1)
+
+    def episodes_completed(self, cpu_id: int) -> int:
+        return self._episode.get(cpu_id, 0)

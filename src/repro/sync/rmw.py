@@ -1,0 +1,103 @@
+"""Mechanism-dispatched atomic fetch-and-add.
+
+The single point where "which hardware primitive implements my atomic
+op?" is decided, used by every synchronization algorithm:
+
+===========  =========================================================
+mechanism    implementation of ``fetch_add``
+===========  =========================================================
+LLSC         load-linked / store-conditional retry loop
+ATOMIC       processor-side atomic instruction (exclusive fetch)
+ACTMSG       active message running ``fetchadd`` on the home processor
+MAO          uncached memory-side atomic at the home MC
+AMO          ``amo.fetchadd`` at the home AMU (update push included)
+===========  =========================================================
+"""
+
+from __future__ import annotations
+
+from repro.config.mechanism import Mechanism
+from repro.mem.address import home_of
+
+
+def fetch_add(proc, mechanism: Mechanism, addr: int, delta: int = 1):
+    """Coroutine: atomically add ``delta`` to ``addr``; returns old value."""
+    if mechanism is Mechanism.LLSC:
+        old = yield from proc.llsc_rmw(addr, lambda v: v + delta)
+    elif mechanism is Mechanism.ATOMIC:
+        old = yield from proc.atomic_rmw(addr, lambda v: v + delta)
+    elif mechanism is Mechanism.ACTMSG:
+        old = yield from proc.am_call(home_of(addr), "fetchadd", (addr, delta))
+    elif mechanism is Mechanism.MAO:
+        old = yield from proc.mao_rmw(addr, "fetchadd", delta)
+    elif mechanism is Mechanism.AMO:
+        old = yield from proc.amo_fetchadd(addr, delta)
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown mechanism {mechanism!r}")
+    return old
+
+
+def coherent_release_store(proc, mechanism: Mechanism, addr: int, value: int,
+                           delta: int = 1):
+    """Coroutine: lock/barrier release write of ``value`` to ``addr``.
+
+    Conventional mechanisms (LL/SC, Atomic, MAO) release with a plain
+    coherent store — only the releaser writes, so no atomicity is needed,
+    but the store invalidates every spinner.  ActMsg releases through a
+    handler (the home processor performs the coherent store).  AMO
+    releases with ``amo.fetchadd`` whose put pushes the new value into
+    spinner caches in place (``delta`` must take the old value to
+    ``value``; callers pass both for self-documentation).
+    """
+    if mechanism is Mechanism.AMO:
+        # Fire-and-forget: the release's fetchadd result is never read,
+        # so the core does not stall on the reply.
+        yield from proc.amo_fetchadd(addr, delta, wait_reply=False)
+    elif mechanism is Mechanism.ACTMSG:
+        yield from proc.am_call(home_of(addr), "fetchadd", (addr, delta))
+    else:
+        yield from proc.store(addr, value)
+
+
+def swap(proc, mechanism: Mechanism, addr: int, value: int):
+    """Coroutine: atomic exchange; returns the old value.
+
+    The MCS lock's enqueue primitive.  LL/SC and processor-side atomics
+    synthesize it locally; MAO/AMO ship the ``swap`` opcode to the home;
+    ActMsg runs the ``swap`` handler on the home processor.
+    """
+    if mechanism is Mechanism.LLSC:
+        old = yield from proc.llsc_rmw(addr, lambda _v: value)
+    elif mechanism is Mechanism.ATOMIC:
+        old = yield from proc.atomic_rmw(addr, lambda _v: value)
+    elif mechanism is Mechanism.ACTMSG:
+        old = yield from proc.am_call(home_of(addr), "swap", (addr, value))
+    elif mechanism is Mechanism.MAO:
+        old = yield from proc.mao_rmw(addr, "swap", value)
+    elif mechanism is Mechanism.AMO:
+        old = yield from proc.amo("swap", addr, operand=value)
+    else:  # pragma: no cover
+        raise ValueError(f"unknown mechanism {mechanism!r}")
+    return old
+
+
+def compare_and_swap(proc, mechanism: Mechanism, addr: int,
+                     expected: int, new: int):
+    """Coroutine: CAS; returns the old value (success iff == expected)."""
+    def _cas_fn(old, expected=expected, new=new):
+        return new if old == expected else old
+
+    if mechanism is Mechanism.LLSC:
+        old = yield from proc.llsc_rmw(addr, _cas_fn)
+    elif mechanism is Mechanism.ATOMIC:
+        old = yield from proc.atomic_rmw(addr, _cas_fn)
+    elif mechanism is Mechanism.ACTMSG:
+        old = yield from proc.am_call(home_of(addr), "cas",
+                                      (addr, expected, new))
+    elif mechanism is Mechanism.MAO:
+        old = yield from proc.mao_rmw(addr, "cas", (expected, new))
+    elif mechanism is Mechanism.AMO:
+        old = yield from proc.amo("cas", addr, operand=(expected, new))
+    else:  # pragma: no cover
+        raise ValueError(f"unknown mechanism {mechanism!r}")
+    return old

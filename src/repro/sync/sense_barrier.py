@@ -1,0 +1,71 @@
+"""Sense-reversing centralized barrier.
+
+The textbook alternative to the monotone-target coding used by
+:class:`~repro.sync.barrier.CentralizedBarrier`: a count that resets and
+a global *sense* flag that flips each episode, with each participant
+keeping a private local sense.  Included for completeness (it is what
+many runtime libraries actually ship) and because its *reset write* to
+the count adds a coherence transaction per episode that the monotone
+coding avoids — a nice little ablation, exercised by the test suite.
+
+The arrival RMW and the sense-flag release are mechanism-dispatched like
+every other algorithm in this package.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.config.mechanism import Mechanism
+from repro.sync.rmw import coherent_release_store, fetch_add, swap
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.machine import Machine
+    from repro.cpu.processor import Processor
+
+
+class SenseReversingBarrier:
+    """Classic sense-reversing centralized barrier."""
+
+    _counter = 0
+
+    def __init__(self, machine: "Machine", mechanism: Mechanism,
+                 n_participants: int | None = None,
+                 home_node: int = 0) -> None:
+        self.machine = machine
+        self.mechanism = mechanism
+        self.n = n_participants or machine.n_processors
+        self.home_node = home_node
+        uid = SenseReversingBarrier._counter
+        SenseReversingBarrier._counter += 1
+        self.count_var = machine.alloc(f"sense{uid}.count", home_node)
+        self.sense_var = machine.alloc(f"sense{uid}.sense", home_node)
+        #: private per-CPU sense (thread-local state, no memory traffic)
+        self._local_sense: dict[int, int] = {}
+
+    def wait(self, proc: "Processor"):
+        """Coroutine: arrive and wait for the sense flip."""
+        me = proc.cpu_id
+        sense = 1 - self._local_sense.get(me, 0)
+        self._local_sense[me] = sense
+        old = yield from fetch_add(proc, self.mechanism,
+                                   self.count_var.addr, 1)
+        if old == self.n - 1:
+            # Last arriver: reset the count, then flip the global sense.
+            # The reset must go through the *same mechanism* as the
+            # increments — with MAOs the fresh count lives only in the
+            # (non-coherent) AMU cache, and a plain coherent store would
+            # silently diverge from it: the software-maintained-coherence
+            # trap of §2.
+            yield from swap(proc, self.mechanism, self.count_var.addr, 0)
+            yield from coherent_release_store(
+                proc, self.mechanism, self.sense_var.addr, sense,
+                delta=1 if sense else -1)
+        else:
+            yield from proc.spin_until(self.sense_var.addr,
+                                       lambda v, s=sense: v == s)
+
+    def episodes_completed(self, cpu_id: int) -> int:
+        """Episodes this CPU has passed (from its private sense)."""
+        # not tracked beyond parity; provided for interface parity
+        return -1 if cpu_id not in self._local_sense else 0

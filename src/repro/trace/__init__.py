@@ -1,0 +1,21 @@
+"""Execution tracing: per-CPU operation timelines and message events.
+
+Attach a :class:`~repro.trace.recorder.TraceRecorder` to a machine and
+every processor-issued operation (loads, stores, LL/SC loops, AMOs,
+active-message calls, spins) is recorded as a timed span, and every
+network packet as an instant event.  Export to the Chrome trace format
+(``chrome://tracing`` / Perfetto) to *see* the paper's mechanisms: the
+LL/SC retry storms, the ActMsg handler serialization, the AMO barrier's
+flat wake-up.
+
+>>> from repro import Machine
+>>> from repro.trace import TraceRecorder
+>>> m = Machine()
+>>> tracer = TraceRecorder.attach(m)
+>>> # ... run a workload ...
+>>> _ = tracer.to_chrome_trace()     # dict; tracer.save(path) writes JSON
+"""
+
+from repro.trace.recorder import Span, TraceRecorder
+
+__all__ = ["TraceRecorder", "Span"]

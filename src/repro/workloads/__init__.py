@@ -1,0 +1,22 @@
+"""Microbenchmark workloads (substrate S14): the paper's measurements.
+
+* :mod:`repro.workloads.barrier` — repeated barrier episodes over all
+  CPUs (Tables 2-3, Figures 5-6);
+* :mod:`repro.workloads.locks` — contended acquire/release streams over
+  ticket and array locks (Table 4, Figure 7).
+
+Each driver builds a fresh :class:`~repro.core.machine.Machine`, runs an
+unmeasured warm-up pass (cold-miss epoch, as an execution-driven
+simulator's measured region would exclude), then measures steady-state
+cycles and traffic.
+"""
+
+from repro.workloads.barrier import BarrierResult, run_barrier_workload
+from repro.workloads.locks import LockResult, run_lock_workload
+
+__all__ = [
+    "BarrierResult",
+    "run_barrier_workload",
+    "LockResult",
+    "run_lock_workload",
+]

@@ -1,0 +1,94 @@
+"""Barrier microbenchmark driver.
+
+Runs ``episodes`` back-to-back barrier episodes on every CPU after a
+warm-up episode, and reports steady-state cycles per episode, cycles per
+processor (the paper's Figure 5/6 metric: episode latency divided by the
+processor count), and per-episode network traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config.mechanism import Mechanism
+from repro.config.parameters import SystemConfig
+from repro.core.machine import Machine
+from repro.network.stats import TrafficStats
+from repro.sync.barrier import CentralizedBarrier
+from repro.sync.tree_barrier import CombiningTreeBarrier
+
+
+@dataclass
+class BarrierResult:
+    """Steady-state measurements of one barrier configuration."""
+
+    mechanism: Mechanism
+    n_processors: int
+    episodes: int
+    tree_branching: Optional[int]
+    total_cycles: int
+    traffic: TrafficStats
+
+    @property
+    def cycles_per_episode(self) -> float:
+        return self.total_cycles / self.episodes
+
+    @property
+    def cycles_per_processor(self) -> float:
+        """The paper's Figures 5/6 metric."""
+        return self.cycles_per_episode / self.n_processors
+
+    @property
+    def messages_per_episode(self) -> float:
+        return self.traffic.total_messages / self.episodes
+
+    @property
+    def bytes_per_episode(self) -> float:
+        return self.traffic.total_bytes / self.episodes
+
+    def speedup_over(self, baseline: "BarrierResult") -> float:
+        """Paper-style speedup: baseline time / this time."""
+        return baseline.cycles_per_episode / self.cycles_per_episode
+
+
+def run_barrier_workload(n_processors: int, mechanism: Mechanism,
+                         episodes: int = 4, warmup_episodes: int = 1,
+                         tree_branching: Optional[int] = None,
+                         naive: bool = False,
+                         config: Optional[SystemConfig] = None,
+                         home_node: int = 0) -> BarrierResult:
+    """Measure one (mechanism, P[, branching]) barrier configuration.
+
+    ``tree_branching`` selects the two-level combining tree;
+    ``naive`` forces the Figure 3(a) coding for conventional mechanisms.
+    """
+    cfg = config or SystemConfig.table1(n_processors)
+    if cfg.n_processors != n_processors:
+        cfg = cfg.replace(n_processors=n_processors)
+    machine = Machine(cfg)
+    if tree_branching is not None:
+        barrier = CombiningTreeBarrier(machine, mechanism,
+                                       branching=tree_branching,
+                                       root_home=home_node)
+    else:
+        barrier = CentralizedBarrier(machine, mechanism, naive=naive,
+                                     home_node=home_node)
+
+    def make_thread(count: int):
+        def thread(proc):
+            for _ in range(count):
+                yield from barrier.wait(proc)
+        return thread
+
+    if warmup_episodes:
+        machine.run_threads(make_thread(warmup_episodes))
+    start = machine.last_completion_time
+    before = machine.net.stats.snapshot()
+    machine.run_threads(make_thread(episodes))
+    total = machine.last_completion_time - start
+    traffic = machine.net.stats.delta_since(before)
+    machine.check_coherence_invariants()
+    return BarrierResult(
+        mechanism=mechanism, n_processors=n_processors, episodes=episodes,
+        tree_branching=tree_branching, total_cycles=total, traffic=traffic)

@@ -1,0 +1,117 @@
+"""Lock microbenchmark driver.
+
+Every CPU performs ``acquisitions_per_cpu`` acquire/critical-section/
+release/think iterations against one shared lock.  Mutual exclusion is
+asserted live (a Python-level occupancy check costing zero simulated
+time).  Reported metrics: cycles per lock acquisition in steady state
+and network traffic (Figure 7's quantity, normalized by the harness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config.mechanism import Mechanism
+from repro.config.parameters import SystemConfig
+from repro.core.machine import Machine
+from repro.network.stats import TrafficStats
+from repro.stats.collector import LatencyStats
+from repro.sync.array_lock import ArrayQueueLock
+from repro.sync.mcs_lock import McsLock
+from repro.sync.ticket_lock import TicketLock
+
+#: critical-section and think-time defaults (CPU cycles) — short critical
+#: sections maximize lock-passing pressure, the regime the paper studies
+DEFAULT_CS_CYCLES = 100
+DEFAULT_THINK_CYCLES = 200
+
+
+@dataclass
+class LockResult:
+    """Steady-state measurements of one lock configuration."""
+
+    mechanism: Mechanism
+    lock_type: str
+    n_processors: int
+    acquisitions: int
+    total_cycles: int
+    traffic: TrafficStats
+    cs_cycles: int
+    think_cycles: int
+    #: distribution of individual acquire() latencies (steady state)
+    acquire_latency: Optional[LatencyStats] = None
+
+    @property
+    def cycles_per_acquisition(self) -> float:
+        return self.total_cycles / self.acquisitions
+
+    @property
+    def bytes_per_acquisition(self) -> float:
+        return self.traffic.total_bytes / self.acquisitions
+
+    def speedup_over(self, baseline: "LockResult") -> float:
+        """Paper-style speedup on the per-acquisition rate."""
+        return (baseline.cycles_per_acquisition /
+                self.cycles_per_acquisition)
+
+    def traffic_relative_to(self, baseline: "LockResult") -> float:
+        """Figure 7's quantity: network traffic normalized to baseline."""
+        return self.bytes_per_acquisition / baseline.bytes_per_acquisition
+
+
+def run_lock_workload(n_processors: int, mechanism: Mechanism,
+                      lock_type: str = "ticket",
+                      acquisitions_per_cpu: int = 4,
+                      warmup_per_cpu: int = 1,
+                      cs_cycles: int = DEFAULT_CS_CYCLES,
+                      think_cycles: int = DEFAULT_THINK_CYCLES,
+                      config: Optional[SystemConfig] = None,
+                      home_node: int = 0) -> LockResult:
+    """Measure one (mechanism, P, lock algorithm) configuration."""
+    cfg = config or SystemConfig.table1(n_processors)
+    if cfg.n_processors != n_processors:
+        cfg = cfg.replace(n_processors=n_processors)
+    machine = Machine(cfg)
+    if lock_type == "ticket":
+        lock = TicketLock(machine, mechanism, home_node=home_node)
+    elif lock_type == "array":
+        lock = ArrayQueueLock(machine, mechanism, home_node=home_node)
+    elif lock_type == "mcs":
+        lock = McsLock(machine, mechanism, home_node=home_node)
+    else:
+        raise ValueError(f"unknown lock type {lock_type!r}")
+
+    occupancy = {"n": 0}
+    acquire_latency = LatencyStats(name=f"{lock_type}-acquire")
+
+    def make_thread(count: int, measured: bool):
+        def thread(proc):
+            for _ in range(count):
+                t0 = proc.sim.now
+                yield from lock.acquire(proc)
+                if measured:
+                    acquire_latency.record(proc.sim.now - t0)
+                occupancy["n"] += 1
+                assert occupancy["n"] == 1, "mutual exclusion violated"
+                yield from proc.delay(cs_cycles)
+                occupancy["n"] -= 1
+                yield from lock.release(proc)
+                yield from proc.delay(think_cycles)
+        return thread
+
+    if warmup_per_cpu:
+        machine.run_threads(make_thread(warmup_per_cpu, False))
+    start = machine.last_completion_time
+    before = machine.net.stats.snapshot()
+    machine.run_threads(make_thread(acquisitions_per_cpu, True))
+    total = machine.last_completion_time - start
+    traffic = machine.net.stats.delta_since(before)
+    machine.check_coherence_invariants()
+    return LockResult(
+        mechanism=mechanism, lock_type=lock_type,
+        n_processors=n_processors,
+        acquisitions=acquisitions_per_cpu * n_processors,
+        total_cycles=total, traffic=traffic,
+        cs_cycles=cs_cycles, think_cycles=think_cycles,
+        acquire_latency=acquire_latency)

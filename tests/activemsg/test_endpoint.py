@@ -1,0 +1,136 @@
+"""Tests for the active-message layer: handlers, serialization, retries."""
+
+import pytest
+
+from repro.activemsg.endpoint import HANDLERS, register_handler
+from repro.config.parameters import ActiveMessageConfig, SystemConfig
+from repro.core.machine import Machine
+from repro.network.message import MessageKind
+
+
+def run(machine, thread, cpus=None):
+    return machine.run_threads(thread, cpus=cpus, max_events=2_000_000)
+
+
+def test_fetchadd_handler_returns_old(machine4):
+    var = machine4.alloc("ctr", home_node=0)
+
+    def thread(proc):
+        old = yield from proc.am_call(0, "fetchadd", (var.addr, 1))
+        return old
+
+    olds = run(machine4, thread)
+    assert sorted(olds) == [0, 1, 2, 3]
+    assert machine4.peek(var.addr) == 4
+
+
+def test_handlers_serialize_on_home_processor(machine4):
+    var = machine4.alloc("ctr", home_node=0)
+
+    def thread(proc):
+        yield from proc.am_call(0, "fetchadd", (var.addr, 1))
+
+    run(machine4, thread)
+    ep = machine4.hubs[0].actmsg
+    assert ep.invocations == 4
+    # serialized: total busy >= 4 invocation overheads
+    assert ep.handler_cpu.busy_cycles >= \
+        4 * machine4.config.actmsg.invocation_overhead_cycles
+
+
+def test_fetchadd_notify_releases_spinners(machine8):
+    count = machine8.alloc("count", home_node=0)
+    flag = machine8.alloc("flag", home_node=0)
+
+    def thread(proc):
+        yield from proc.am_call(0, "fetchadd_notify",
+                                (count.addr, 1, 8, flag.addr, 1))
+        value = yield from proc.spin_until(flag.addr, lambda v: v >= 1)
+        return value
+
+    assert run(machine8, thread) == [1] * 8
+    assert machine8.peek(count.addr) == 8
+
+
+def test_read_write_handlers(machine4):
+    var = machine4.alloc("v", home_node=1)
+
+    def thread(proc):
+        yield from proc.am_call(1, "write", (var.addr, 31))
+        value = yield from proc.am_call(1, "read", (var.addr,))
+        return value
+
+    assert run(machine4, thread, cpus=[0]) == [31]
+
+
+def test_unknown_handler_raises(machine4):
+    def thread(proc):
+        yield from proc.am_call(0, "definitely_not_registered", ())
+
+    with pytest.raises(ValueError, match="unknown active-message handler"):
+        run(machine4, thread, cpus=[0])
+
+
+def test_register_handler_decorator_and_duplicate():
+    @register_handler("test_custom_handler")
+    def handler(machine, node, args):
+        yield from ()
+        return args
+
+    assert HANDLERS["test_custom_handler"] is handler
+    with pytest.raises(ValueError, match="already"):
+        @register_handler("test_custom_handler")
+        def other(machine, node, args):
+            yield from ()
+
+
+def test_timeout_causes_retransmission_not_double_execution():
+    # Timeout far below the handler invocation cost => guaranteed
+    # retransmissions; dedupe must keep the count exact.
+    cfg = SystemConfig.table1(4, actmsg=ActiveMessageConfig(
+        invocation_overhead_cycles=2_000, handler_body_cycles=40,
+        timeout_cycles=600, max_retransmits=16))
+    machine = Machine(cfg)
+    var = machine.alloc("ctr", home_node=0)
+
+    def thread(proc):
+        old = yield from proc.am_call(0, "fetchadd", (var.addr, 1))
+        return old
+
+    olds = run(machine, thread)
+    assert sorted(olds) == [0, 1, 2, 3]
+    assert machine.peek(var.addr) == 4          # executed exactly once each
+    assert machine.net.stats.retransmits > 0
+    ep = machine.hubs[0].actmsg
+    assert ep.duplicates_dropped + ep.replies_resent > 0
+
+
+def test_retransmission_traffic_is_counted():
+    cfg = SystemConfig.table1(4, actmsg=ActiveMessageConfig(
+        invocation_overhead_cycles=3_000, timeout_cycles=500,
+        max_retransmits=16))
+    machine = Machine(cfg)
+    var = machine.alloc("ctr", home_node=0)
+
+    def thread(proc):
+        yield from proc.am_call(0, "fetchadd", (var.addr, 1))
+
+    run(machine, thread)
+    st = machine.net.stats
+    am_requests = (st.messages[MessageKind.AM_REQUEST]
+                   + st.local_messages[MessageKind.AM_REQUEST])
+    assert am_requests > 4     # more requests than logical calls
+
+
+def test_exhausted_retransmits_raise():
+    cfg = SystemConfig.table1(4, actmsg=ActiveMessageConfig(
+        invocation_overhead_cycles=10_000_000, timeout_cycles=100,
+        max_retransmits=2))
+    machine = Machine(cfg)
+    var = machine.alloc("ctr", home_node=0)
+
+    def thread(proc):
+        yield from proc.am_call(0, "fetchadd", (var.addr, 1))
+
+    with pytest.raises(RuntimeError, match="unanswered"):
+        run(machine, thread, cpus=[2])

@@ -1,0 +1,84 @@
+"""Unit tests for the 8-word AMU cache."""
+
+import pytest
+
+from repro.amu.cache import AmuCache
+
+
+def test_insert_lookup():
+    c = AmuCache(8)
+    c.insert(0x100000000, 5)
+    entry = c.lookup(0x100000000)
+    assert entry.value == 5
+    assert c.hits == 1 and c.misses == 0
+
+
+def test_subword_addresses_alias():
+    c = AmuCache(8)
+    c.insert(0x100000000, 5)
+    assert c.lookup(0x100000003).value == 5
+
+
+def test_miss_counted():
+    c = AmuCache(8)
+    assert c.lookup(0x100000000) is None
+    assert c.misses == 1
+
+
+def test_peek_does_not_disturb():
+    c = AmuCache(8)
+    c.insert(0x100000000, 5)
+    hits = c.hits
+    assert c.peek(0x100000000) == 5
+    assert c.peek(0x100000008) is None
+    assert c.hits == hits
+
+
+def test_capacity_and_victim_is_lru():
+    c = AmuCache(3)
+    for i in range(3):
+        c.insert(0x100000000 + 8 * i, i)
+    assert c.full
+    c.lookup(0x100000000)       # word 0 becomes MRU
+    victim = c.victim()
+    assert victim.word_addr == 0x100000008   # word 1 is LRU
+    c.drop(victim.word_addr)
+    assert not c.full
+    c.insert(0x100000100, 9)
+    assert c.peek(0x100000008) is None
+
+
+def test_insert_full_raises():
+    c = AmuCache(1)
+    c.insert(0x100000000, 1)
+    with pytest.raises(RuntimeError, match="full"):
+        c.insert(0x100000008, 2)
+
+
+def test_double_insert_raises():
+    c = AmuCache(2)
+    c.insert(0x100000000, 1)
+    with pytest.raises(RuntimeError, match="already"):
+        c.insert(0x100000000, 2)
+
+
+def test_words_in_line_selection():
+    c = AmuCache(8)
+    c.insert(0x100000000, 1)       # line 0
+    c.insert(0x100000078, 2)       # line 0, last word
+    c.insert(0x100000080, 3)       # line 1
+    in_line0 = {e.word_addr for e in c.words_in_line(0x100000000)}
+    assert in_line0 == {0x100000000, 0x100000078}
+
+
+def test_hit_rate():
+    c = AmuCache(2)
+    c.insert(0x100000000, 1)
+    c.lookup(0x100000000)
+    c.lookup(0x100000008)
+    assert c.hit_rate == 0.5
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        AmuCache(0)

@@ -1,0 +1,70 @@
+"""Unit tests for AMO opcode semantics."""
+
+import pytest
+
+from repro.amu.ops import OPS, AmoCommand, AmoOp, WORD_MASK, register_op
+
+
+def test_paper_ops_present():
+    assert "inc" in OPS and "fetchadd" in OPS
+
+
+def test_inc_semantics():
+    assert OPS["inc"].apply(41, None) == 42
+
+
+def test_fetchadd_semantics_and_wraparound():
+    assert OPS["fetchadd"].apply(10, 5) == 15
+    assert OPS["fetchadd"].apply(WORD_MASK, 1) == 0     # 64-bit wrap
+
+
+def test_swap_and_cas():
+    assert OPS["swap"].apply(1, 99) == 99
+    assert OPS["cas"].apply(5, (5, 10)) == 10    # match: swapped
+    assert OPS["cas"].apply(6, (5, 10)) == 6     # mismatch: unchanged
+
+
+def test_minmax_bitwise():
+    assert OPS["min"].apply(7, 3) == 3
+    assert OPS["max"].apply(7, 3) == 7
+    assert OPS["and"].apply(0b1100, 0b1010) == 0b1000
+    assert OPS["or"].apply(0b1100, 0b1010) == 0b1110
+    assert OPS["xor"].apply(0b1100, 0b1010) == 0b0110
+
+
+def test_register_rejects_duplicates():
+    with pytest.raises(ValueError, match="already"):
+        register_op(AmoOp("inc", lambda o, x: o))
+
+
+def test_register_custom_op():
+    name = "test_double"
+    if name not in OPS:
+        register_op(AmoOp(name, lambda old, _x: old * 2))
+    assert OPS[name].apply(21, None) == 42
+
+
+def test_command_push_rules():
+    # amo.inc pushes only on test match
+    inc = AmoCommand(op="inc", test=4)
+    assert inc.should_push(3) is False
+    assert inc.should_push(4) is True
+    # amo.fetchadd always pushes
+    fad = AmoCommand(op="fetchadd", operand=2)
+    assert fad.should_push(123) is True
+    # explicit override wins
+    quiet = AmoCommand(op="fetchadd", push=False)
+    assert quiet.should_push(123) is False
+    # test value composes with override
+    forced = AmoCommand(op="inc", push=True)
+    assert forced.should_push(1) is True
+
+
+def test_mao_commands_never_push():
+    cmd = AmoCommand(op="fetchadd", coherent=False, test=1)
+    assert cmd.should_push(1) is False
+
+
+def test_unknown_op_rejected():
+    with pytest.raises(ValueError, match="unknown"):
+        AmoCommand(op="no_such_op").resolve_op()

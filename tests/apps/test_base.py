@@ -1,0 +1,44 @@
+"""Tests for application-result accounting and fixed-point helpers."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.base import FIXED_POINT, AppResult, from_fixed, to_fixed
+from repro.config.mechanism import Mechanism
+from repro.network.stats import TrafficStats
+
+
+def make_result(total=1000, work=400):
+    return AppResult(app="t", mechanism=Mechanism.AMO, n_processors=4,
+                     total_cycles=total, work_cycles_per_cpu=work,
+                     traffic=TrafficStats(), verified=True)
+
+
+def test_sync_overhead_accounting():
+    r = make_result(total=1000, work=400)
+    assert r.sync_overhead_cycles == 600
+    assert r.sync_fraction == 0.6
+
+
+def test_zero_cycles_sync_fraction():
+    r = make_result(total=0, work=0)
+    assert r.sync_fraction == 0.0
+
+
+def test_speedup_direction():
+    fast = make_result(total=500)
+    slow = make_result(total=2000)
+    assert fast.speedup_over(slow) == 4.0
+    assert slow.speedup_over(fast) == 0.25
+
+
+@given(st.floats(min_value=0.0, max_value=1000.0,
+                 allow_nan=False, allow_infinity=False))
+@settings(max_examples=200, deadline=None)
+def test_fixed_point_round_trip_error_bounded(x):
+    assert abs(from_fixed(to_fixed(x)) - x) <= 0.5 / FIXED_POINT + 1e-12
+
+
+@given(st.integers(min_value=0, max_value=10**9))
+@settings(max_examples=100, deadline=None)
+def test_fixed_point_integers_exact(v):
+    assert from_fixed(to_fixed(float(v))) == float(v) or v > 2**40

@@ -1,0 +1,57 @@
+"""Tests for the histogram application kernel."""
+
+import pytest
+
+from repro.apps.histogram import run_histogram
+from repro.config.mechanism import Mechanism
+
+ALL = list(Mechanism)
+
+
+@pytest.mark.parametrize("mech", ALL, ids=[m.value for m in ALL])
+def test_atomic_strategy_exact_counts(mech):
+    result = run_histogram(4, mech, samples_per_cpu=16)
+    assert result.verified
+    assert result.detail["total_samples"] == 64
+
+
+@pytest.mark.parametrize("mech", [Mechanism.LLSC, Mechanism.AMO],
+                         ids=["llsc", "amo"])
+def test_lock_strategy_exact_counts(mech):
+    result = run_histogram(4, mech, samples_per_cpu=12, strategy="lock")
+    assert result.verified
+
+
+def test_atomic_beats_lock_strategy():
+    """Direct atomics dodge the whole lock protocol."""
+    atomic = run_histogram(8, Mechanism.AMO, samples_per_cpu=16)
+    locked = run_histogram(8, Mechanism.AMO, samples_per_cpu=16,
+                           strategy="lock")
+    assert atomic.verified and locked.verified
+    assert atomic.total_cycles < locked.total_cycles
+
+
+def test_amo_histogram_traffic_least():
+    """Memory-side mechanisms (AMO/MAO/ActMsg) all ship two packets per
+    sample; AMO must tie them and clearly beat the cache-line-bouncing
+    mechanisms."""
+    results = {m: run_histogram(8, m, samples_per_cpu=16) for m in ALL}
+    amo_bytes = results[Mechanism.AMO].traffic.total_bytes
+    for mech in ALL:
+        assert amo_bytes <= results[mech].traffic.total_bytes, mech
+    for mech in (Mechanism.LLSC, Mechanism.ATOMIC):
+        assert amo_bytes < 0.5 * results[mech].traffic.total_bytes, mech
+
+
+def test_buckets_distributed_across_homes():
+    from repro.config.parameters import SystemConfig
+    from repro.core.machine import Machine
+    # indirectly: more buckets than AMU words still verifies
+    result = run_histogram(4, Mechanism.AMO, samples_per_cpu=8,
+                           n_buckets=20)
+    assert result.verified
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(ValueError):
+        run_histogram(4, Mechanism.AMO, strategy="quantum")

@@ -1,0 +1,44 @@
+"""Tests for the Jacobi application kernel."""
+
+import pytest
+
+from repro.apps.jacobi import run_jacobi
+from repro.config.mechanism import Mechanism
+
+ALL = list(Mechanism)
+
+
+@pytest.mark.parametrize("mech", ALL, ids=[m.value for m in ALL])
+def test_jacobi_verifies_under_every_mechanism(mech):
+    result = run_jacobi(4, mech, n_points=32, sweeps=3)
+    assert result.verified, result.detail
+    assert result.total_cycles > 0
+    assert result.sync_overhead_cycles > 0
+
+
+def test_jacobi_more_sweeps_more_cycles():
+    short = run_jacobi(4, Mechanism.AMO, n_points=32, sweeps=2)
+    long = run_jacobi(4, Mechanism.AMO, n_points=32, sweeps=6)
+    assert long.verified and short.verified
+    assert long.total_cycles > short.total_cycles
+
+
+def test_jacobi_amo_sync_overhead_smallest():
+    results = {m: run_jacobi(8, m, n_points=64, sweeps=3) for m in ALL}
+    amo = results[Mechanism.AMO]
+    assert all(r.verified for r in results.values())
+    for mech, r in results.items():
+        if mech is not Mechanism.AMO:
+            assert amo.sync_overhead_cycles < r.sync_overhead_cycles, mech
+
+
+def test_jacobi_input_validation():
+    with pytest.raises(ValueError, match="divide"):
+        run_jacobi(4, Mechanism.AMO, n_points=30)
+    with pytest.raises(ValueError, match="two points"):
+        run_jacobi(8, Mechanism.AMO, n_points=8)
+
+
+def test_jacobi_sync_fraction_reported():
+    r = run_jacobi(4, Mechanism.LLSC, n_points=32, sweeps=2)
+    assert 0.0 < r.sync_fraction < 1.0

@@ -1,0 +1,48 @@
+"""Tests for the task-farm application kernel."""
+
+import pytest
+
+from repro.apps.task_farm import run_task_farm, task_cost
+from repro.config.mechanism import Mechanism
+
+ALL = list(Mechanism)
+
+
+@pytest.mark.parametrize("mech", ALL, ids=[m.value for m in ALL])
+def test_every_task_runs_exactly_once(mech):
+    result = run_task_farm(4, mech, n_tasks=32)
+    assert result.verified
+    # the claim counter overshoots by at most one chunk per CPU
+    assert 32 <= result.detail["claims"] <= 32 + 4 * result.detail["chunk"]
+
+
+def test_task_costs_deterministic_and_heterogeneous():
+    costs = [task_cost(i) for i in range(64)]
+    assert min(costs) >= 40
+    assert len(set(costs)) > 32       # genuinely varied
+
+
+def test_dynamic_scheduling_balances_load():
+    """Self-scheduling keeps the finish-time spread small despite
+    heterogeneous tasks."""
+    result = run_task_farm(8, Mechanism.AMO, n_tasks=64, chunk=1)
+    assert result.verified
+    assert result.detail["imbalance"] < 0.35
+
+
+def test_bigger_chunks_fewer_claims():
+    fine = run_task_farm(4, Mechanism.AMO, n_tasks=32, chunk=1)
+    coarse = run_task_farm(4, Mechanism.AMO, n_tasks=32, chunk=8)
+    assert fine.verified and coarse.verified
+    assert coarse.traffic.total_messages < fine.traffic.total_messages
+
+
+def test_chunk_validation():
+    with pytest.raises(ValueError):
+        run_task_farm(4, Mechanism.AMO, chunk=0)
+
+
+def test_speedup_helper():
+    a = run_task_farm(4, Mechanism.AMO, n_tasks=32)
+    b = run_task_farm(4, Mechanism.LLSC, n_tasks=32)
+    assert a.speedup_over(b) > 0

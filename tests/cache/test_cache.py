@@ -1,0 +1,137 @@
+"""Unit tests for the set-associative cache."""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.state import LineState
+from repro.config.parameters import CacheConfig
+
+
+def small_cache(ways=2, sets=4, line=128):
+    return SetAssociativeCache(CacheConfig(size_bytes=ways * sets * line,
+                                           ways=ways, line_bytes=line,
+                                           latency_cycles=1))
+
+
+def addr_for(set_index, tag, cache):
+    return (tag * cache.n_sets + set_index) * cache.line_bytes
+
+
+def test_lookup_miss_then_install_hit():
+    c = small_cache()
+    assert c.lookup(0x80) is None
+    c.install(0x80, LineState.SHARED, {0x80: 7})
+    line = c.lookup(0x80)
+    assert line is not None
+    assert line.read_word(0x80) == 7
+    assert line.state is LineState.SHARED
+
+
+def test_words_within_line_share_entry():
+    c = small_cache()
+    c.install(0x0, LineState.EXCLUSIVE, {0x0: 1, 0x8: 2})
+    assert c.lookup(0x78) is c.lookup(0x0)     # last word of the line
+    assert c.lookup(0x80) is None              # next line
+
+
+def test_lru_eviction_order():
+    c = small_cache(ways=2)
+    a = addr_for(0, 0, c)
+    b = addr_for(0, 1, c)
+    d = addr_for(0, 2, c)
+    c.install(a, LineState.SHARED)
+    c.install(b, LineState.SHARED)
+    c.lookup(a)                       # a is now MRU
+    _line, victim = c.install(d, LineState.SHARED)
+    assert victim is not None
+    assert victim.line_addr == b      # b was LRU
+    assert c.lookup(a) is not None
+    assert c.lookup(b) is None
+    assert c.evictions == 1
+
+
+def test_probe_does_not_touch_lru():
+    c = small_cache(ways=2)
+    a, b, d = (addr_for(0, t, c) for t in range(3))
+    c.install(a, LineState.SHARED)
+    c.install(b, LineState.SHARED)
+    c.probe(a)                        # non-touching: a stays LRU
+    _line, victim = c.install(d, LineState.SHARED)
+    assert victim.line_addr == a
+
+
+def test_install_existing_line_updates_state():
+    c = small_cache()
+    c.install(0x0, LineState.SHARED, {0x0: 1})
+    line, victim = c.install(0x0, LineState.EXCLUSIVE, {0x8: 2})
+    assert victim is None
+    assert line.state is LineState.EXCLUSIVE
+    assert line.read_word(0x0) == 1 and line.read_word(0x8) == 2
+
+
+def test_invalidate_removes_line():
+    c = small_cache()
+    c.install(0x0, LineState.SHARED)
+    assert c.invalidate(0x0) is not None
+    assert c.lookup(0x0) is None
+    assert c.invalidate(0x0) is None      # second time is a no-op
+    assert c.invalidations == 1
+
+
+def test_downgrade_exclusive_to_shared():
+    c = small_cache()
+    line, _ = c.install(0x0, LineState.EXCLUSIVE)
+    line.dirty = True
+    out = c.downgrade(0x0)
+    assert out.state is LineState.SHARED
+    assert not out.dirty
+    # downgrading a shared line is harmless
+    assert c.downgrade(0x0).state is LineState.SHARED
+
+
+def test_word_update_patches_in_place():
+    c = small_cache()
+    c.install(0x0, LineState.SHARED, {0x0: 1})
+    assert c.apply_word_update(0x8, 99) is True
+    line = c.lookup(0x0)
+    assert line.read_word(0x8) == 99
+    assert line.state is LineState.SHARED     # no state change
+    assert c.word_updates == 1
+    assert c.apply_word_update(0x800, 5) is False   # absent line
+
+
+def test_sets_isolate_addresses():
+    c = small_cache(ways=1, sets=4)
+    for s in range(4):
+        c.install(addr_for(s, 0, c), LineState.SHARED)
+    assert c.occupancy() == 4
+    assert c.evictions == 0
+
+
+def test_resident_lines_listing():
+    c = small_cache()
+    c.install(0x0, LineState.SHARED)
+    c.install(0x80, LineState.EXCLUSIVE)
+    assert {ln.line_addr for ln in c.resident_lines()} == {0x0, 0x80}
+
+
+def test_hit_rate_tracking():
+    c = small_cache()
+    c.record_miss()
+    c.record_hit()
+    c.record_hit()
+    assert c.hit_rate == pytest.approx(2 / 3)
+
+
+def test_state_properties():
+    assert LineState.SHARED.readable
+    assert not LineState.SHARED.writable
+    assert LineState.EXCLUSIVE.writable
+    assert not LineState.INVALID.readable
+
+
+def test_cache_config_validation():
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=1000, ways=3, line_bytes=128,
+                    latency_cycles=1)
+    assert CacheConfig.l2_default().n_sets == 2 * 1024 * 1024 // (4 * 128)

@@ -1,0 +1,70 @@
+"""Unit tests for directory state and invariants."""
+
+import pytest
+
+from repro.coherence.directory import Directory, DirectoryEntry, DirState
+
+
+def test_entry_created_unowned():
+    d = Directory(node=0)
+    ent = d.entry(0x100)
+    assert ent.state is DirState.UNOWNED
+    assert ent.sharers == set()
+    assert ent.owner is None
+    ent.check()
+
+
+def test_entry_is_memoized():
+    d = Directory(node=0)
+    assert d.entry(0x100) is d.entry(0x100)
+    assert d.entry(0x100) is not d.entry(0x200)
+
+
+def test_exclusive_invariants():
+    ent = DirectoryEntry(line_addr=0x100)
+    ent.state = DirState.EXCLUSIVE
+    with pytest.raises(AssertionError):
+        ent.check()                         # no owner
+    ent.owner = 3
+    ent.check()
+    ent.sharers.add(1)
+    with pytest.raises(AssertionError):
+        ent.check()                         # sharers under EXCLUSIVE
+
+
+def test_shared_invariants():
+    ent = DirectoryEntry(line_addr=0x100)
+    ent.state = DirState.SHARED
+    with pytest.raises(AssertionError):
+        ent.check()                         # empty sharer set
+    ent.sharers.add(0)
+    ent.check()
+    ent.owner = 1
+    with pytest.raises(AssertionError):
+        ent.check()                         # owner under SHARED
+
+
+def test_amu_sharer_satisfies_shared():
+    ent = DirectoryEntry(line_addr=0x100)
+    ent.state = DirState.SHARED
+    ent.amu_sharer = True
+    ent.check()
+
+
+def test_unowned_with_copies_rejected():
+    ent = DirectoryEntry(line_addr=0x100)
+    ent.sharers.add(2)
+    with pytest.raises(AssertionError):
+        ent.check()
+
+
+def test_check_all_sweeps_entries():
+    d = Directory(node=0)
+    good = d.entry(0x100)
+    good.state = DirState.SHARED
+    good.sharers.add(0)
+    bad = d.entry(0x200)
+    bad.state = DirState.EXCLUSIVE            # no owner: invalid
+    with pytest.raises(AssertionError):
+        d.check_all()
+    assert len(d.known_entries()) == 2

@@ -1,0 +1,212 @@
+"""Integration tests of the coherence protocol through small machines.
+
+Each test builds a 4- or 8-CPU machine and drives loads/stores/atomics
+from thread coroutines, then checks both functional results and the
+directory/cache cross-invariants.
+"""
+
+import pytest
+
+from repro.cache.state import LineState
+from repro.coherence.directory import DirState
+from repro.config.parameters import CacheConfig, SystemConfig
+from repro.core.machine import Machine
+from repro.network.message import MessageKind
+
+
+def run(machine, thread, cpus=None):
+    return machine.run_threads(thread, cpus=cpus, max_events=2_000_000)
+
+
+def dir_entry(machine, var):
+    hub = machine.hubs[var.home_node]
+    from repro.mem.address import line_base
+    return hub.home_engine.directory.entry(line_base(var.addr))
+
+
+# ---------------------------------------------------------------------------
+# loads
+# ---------------------------------------------------------------------------
+
+def test_load_returns_initialized_value(machine4):
+    var = machine4.alloc("v", home_node=1)
+    machine4.poke(var.addr, 1234)
+
+    def thread(proc):
+        value = yield from proc.load(var.addr)
+        return value
+
+    assert run(machine4, thread) == [1234] * 4
+    ent = dir_entry(machine4, var)
+    assert ent.state is DirState.SHARED
+    assert ent.sharers == {0, 1, 2, 3}
+    machine4.check_coherence_invariants()
+
+
+def test_second_load_hits_cache_no_traffic(machine4):
+    var = machine4.alloc("v", home_node=0)
+
+    def thread(proc):
+        yield from proc.load(var.addr)
+        before = machine4.net.stats.total_messages
+        yield from proc.load(var.addr)
+        return machine4.net.stats.total_messages - before
+
+    deltas = run(machine4, thread, cpus=[2])
+    assert deltas == [0]
+
+
+# ---------------------------------------------------------------------------
+# stores & ownership movement
+# ---------------------------------------------------------------------------
+
+def test_store_gains_exclusive_ownership(machine4):
+    var = machine4.alloc("v", home_node=0)
+
+    def thread(proc):
+        yield from proc.store(var.addr, 77)
+
+    run(machine4, thread, cpus=[3])
+    ent = dir_entry(machine4, var)
+    assert ent.state is DirState.EXCLUSIVE
+    assert ent.owner == 3
+    line = machine4.cpus[3].controller.l2.probe(var.addr)
+    assert line.state is LineState.EXCLUSIVE
+    assert line.dirty
+    assert machine4.peek(var.addr) == 77
+    machine4.check_coherence_invariants()
+
+
+def test_store_invalidates_sharers(machine4):
+    var = machine4.alloc("v", home_node=0)
+
+    def reader(proc):
+        yield from proc.load(var.addr)
+
+    run(machine4, reader, cpus=[0, 1, 2])
+
+    def writer(proc):
+        yield from proc.store(var.addr, 5)
+
+    run(machine4, writer, cpus=[3])
+    for cpu in (0, 1, 2):
+        assert machine4.cpus[cpu].controller.l2.probe(var.addr) is None
+    assert machine4.net.stats.messages[MessageKind.INVALIDATE] >= 1
+    machine4.check_coherence_invariants()
+
+
+def test_read_after_remote_dirty_write_is_coherent(machine4):
+    """3-hop intervention: reader gets the dirty owner's data."""
+    var = machine4.alloc("v", home_node=0)
+
+    def writer(proc):
+        yield from proc.store(var.addr, 991)
+
+    run(machine4, writer, cpus=[2])        # cpu2 (node 1) owns dirty line
+
+    def reader(proc):
+        value = yield from proc.load(var.addr)
+        return value
+
+    assert run(machine4, reader, cpus=[0]) == [991]
+    ent = dir_entry(machine4, var)
+    assert ent.state is DirState.SHARED
+    assert ent.sharers == {0, 2}
+    # memory was refreshed by the sharing writeback
+    assert machine4.backing.read_word(var.addr) == 991
+    assert machine4.net.stats.messages[MessageKind.INTERVENTION] == 1
+    machine4.check_coherence_invariants()
+
+
+def test_write_after_remote_write_transfers_ownership(machine4):
+    var = machine4.alloc("v", home_node=0)
+    order = []
+
+    def writer(tag, value):
+        def thread(proc):
+            yield from proc.store(var.addr, value)
+            order.append(tag)
+        return thread
+
+    run(machine4, writer("a", 1), cpus=[0])
+    run(machine4, writer("b", 2), cpus=[2])
+    ent = dir_entry(machine4, var)
+    assert ent.owner == 2
+    assert machine4.cpus[0].controller.l2.probe(var.addr) is None
+    assert machine4.peek(var.addr) == 2
+    machine4.check_coherence_invariants()
+
+
+# ---------------------------------------------------------------------------
+# evictions / writebacks
+# ---------------------------------------------------------------------------
+
+def test_dirty_eviction_writes_back():
+    # Tiny L2 (2 sets x 2 ways) forces conflict evictions quickly.
+    cfg = SystemConfig.table1(4).replace(
+        l2=CacheConfig(size_bytes=4 * 128, ways=2, line_bytes=128,
+                       latency_cycles=10))
+    machine = Machine(cfg)
+    hot = machine.alloc("hot", home_node=0)
+    fillers = [machine.alloc(f"f{i}", home_node=0) for i in range(8)]
+
+    def thread(proc):
+        yield from proc.store(hot.addr, 321)
+        for f in fillers:          # conflict-evict the dirty line
+            yield from proc.load(f.addr)
+
+    run(machine, thread, cpus=[1])
+    assert machine.cpus[1].controller.l2.probe(hot.addr) is None
+    assert machine.backing.read_word(hot.addr) == 321
+    ent = dir_entry(machine, hot)
+    assert ent.state is DirState.UNOWNED
+    machine.check_coherence_invariants()
+
+
+# ---------------------------------------------------------------------------
+# uncached accesses
+# ---------------------------------------------------------------------------
+
+def test_uncached_read_write(machine4):
+    var = machine4.alloc("v", home_node=1)
+
+    def thread(proc):
+        yield from proc.uncached_write(var.addr, 55)
+        value = yield from proc.uncached_read(var.addr)
+        return value
+
+    assert run(machine4, thread, cpus=[0]) == [55]
+    # nothing was cached
+    assert machine4.cpus[0].controller.l2.probe(var.addr) is None
+
+
+def test_uncached_read_sees_dirty_cache_copy(machine4):
+    var = machine4.alloc("v", home_node=0)
+
+    def writer(proc):
+        yield from proc.store(var.addr, 808)
+
+    run(machine4, writer, cpus=[2])
+
+    def reader(proc):
+        value = yield from proc.uncached_read(var.addr)
+        return value
+
+    assert run(machine4, reader, cpus=[0]) == [808]
+
+
+# ---------------------------------------------------------------------------
+# atomic instructions
+# ---------------------------------------------------------------------------
+
+def test_atomic_rmw_serializes_correctly(machine8):
+    var = machine8.alloc("ctr", home_node=0)
+
+    def thread(proc):
+        old = yield from proc.atomic_rmw(var.addr, lambda v: v + 1)
+        return old
+
+    olds = run(machine8, thread)
+    assert sorted(olds) == list(range(8))
+    assert machine8.peek(var.addr) == 8
+    machine8.check_coherence_invariants()

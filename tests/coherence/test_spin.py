@@ -1,0 +1,137 @@
+"""Tests of the event-driven spin model: wake-ups, traffic, races."""
+
+from repro.network.message import MessageKind
+
+
+def run(machine, thread, cpus=None):
+    return machine.run_threads(thread, cpus=cpus, max_events=2_000_000)
+
+
+def test_spin_satisfied_immediately_costs_one_load(machine4):
+    var = machine4.alloc("v", home_node=0)
+    machine4.poke(var.addr, 7)
+
+    def thread(proc):
+        value = yield from proc.spin_until(var.addr, lambda v: v == 7)
+        return value
+
+    assert run(machine4, thread, cpus=[0]) == [7]
+
+
+def test_spin_woken_by_remote_store(machine4):
+    var = machine4.alloc("flag", home_node=0)
+    wake_time = {}
+
+    def spinner(proc):
+        value = yield from proc.spin_until(var.addr, lambda v: v == 1)
+        wake_time["t"] = proc.sim.now
+        return value
+
+    def writer(proc):
+        yield from proc.delay(3_000)
+        yield from proc.store(var.addr, 1)
+
+    def thread(proc):
+        if proc.cpu_id == 0:
+            r = yield from spinner(proc)
+        else:
+            r = yield from writer(proc)
+        return r
+
+    results = run(machine4, thread, cpus=[0, 2])
+    assert results[0] == 1
+    assert wake_time["t"] > 3_000
+
+
+def test_spin_woken_by_word_update_without_reload(machine4):
+    """The AMO wake-up path: update patches the cache in place — the
+    spinner must NOT issue a reload (GET_S) after waking."""
+    # home on node 1 so the spinner's (cpu0, node 0) loads are remote
+    # and therefore visible in the network counters
+    var = machine4.alloc("flag", home_node=1)
+
+    def spinner(proc):
+        yield from proc.spin_until(var.addr, lambda v: v >= 1)
+        return machine4.net.stats.messages[MessageKind.GET_S]
+
+    def amo_writer(proc):
+        yield from proc.delay(2_000)
+        yield from proc.amo_fetchadd(var.addr, 1)
+
+    def thread(proc):
+        if proc.cpu_id == 0:
+            r = yield from spinner(proc)
+        else:
+            r = yield from amo_writer(proc)
+        return r
+
+    results = run(machine4, thread, cpus=[0, 2])
+    gets_at_wake = results[0]
+    # exactly one GET_S: the spinner's initial load; the wake-up was
+    # an in-place patch
+    assert gets_at_wake == 1
+    assert machine4.cpus[0].controller.l2.probe(var.addr) is not None
+
+
+def test_spin_after_invalidation_reloads(machine4):
+    """The conventional wake-up path: invalidate + reload."""
+    var = machine4.alloc("flag", home_node=1)
+
+    def spinner(proc):
+        yield from proc.spin_until(var.addr, lambda v: v >= 1)
+        return None
+
+    def writer(proc):
+        yield from proc.delay(2_000)
+        yield from proc.store(var.addr, 1)
+
+    def thread(proc):
+        if proc.cpu_id == 0:
+            yield from spinner(proc)
+        else:
+            yield from writer(proc)
+
+    run(machine4, thread, cpus=[0, 2])
+    # spinner loaded twice: initial + post-invalidation reload
+    assert machine4.net.stats.messages[MessageKind.GET_S] >= 2
+    assert machine4.net.stats.messages[MessageKind.INVALIDATE] >= 1
+    assert machine4.cpus[0].controller.spin_wakeups >= 1
+
+
+def test_no_lost_wakeup_with_many_spinners(machine8):
+    var = machine8.alloc("flag", home_node=0)
+
+    def thread(proc):
+        if proc.cpu_id == 7:
+            yield from proc.delay(1_000)
+            yield from proc.store(var.addr, 1)
+            return 1
+        value = yield from proc.spin_until(var.addr, lambda v: v == 1)
+        return value
+
+    assert run(machine8, thread) == [1] * 8
+
+
+def test_interleaved_updates_all_observed_eventually(machine4):
+    """Spin on a threshold while the value is bumped repeatedly."""
+    var = machine4.alloc("ctr", home_node=0)
+
+    def bumper(proc):
+        for _ in range(5):
+            yield from proc.amo_fetchadd(var.addr, 1)
+            yield from proc.delay(300)
+
+    def waiter(proc):
+        value = yield from proc.spin_until(var.addr, lambda v: v >= 10)
+        return value
+
+    def thread(proc):
+        if proc.cpu_id in (1, 2):
+            yield from bumper(proc)
+            return None
+        r = yield from waiter(proc)
+        return r
+
+    results = run(machine4, thread, cpus=[0, 1, 2])
+    assert results[0] >= 10
+    assert machine4.peek(var.addr) == 10

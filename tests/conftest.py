@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.config.parameters import SystemConfig
+from repro.core.machine import Machine
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def machine4():
+    """Smallest paper configuration: 4 CPUs on 2 nodes."""
+    return Machine(SystemConfig.table1(4))
+
+
+@pytest.fixture
+def machine8():
+    return Machine(SystemConfig.table1(8))
+
+
+def run_to_completion(machine, thread_fn, cpus=None, max_events=2_000_000):
+    """Run a thread on every CPU and assert clean completion."""
+    return machine.run_threads(thread_fn, cpus=cpus, max_events=max_events)

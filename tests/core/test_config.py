@@ -1,0 +1,99 @@
+"""E8: the configuration matches the paper's Table 1, plus validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.config.mechanism import Mechanism
+from repro.config.parameters import (
+    ActiveMessageConfig, AmuConfig, CacheConfig, DramConfig, HubConfig,
+    NetworkConfig, ProcessorConfig, SystemConfig,
+)
+
+
+def test_table1_processor():
+    cfg = SystemConfig.table1(4)
+    assert cfg.processor.clock_ghz == 2.0          # 2 GHz
+    assert cfg.processor.issue_width == 4          # 4-issue
+    assert cfg.processor.active_list_entries == 48  # 48-entry active list
+
+
+def test_table1_caches():
+    cfg = SystemConfig.table1(4)
+    assert cfg.l1.size_bytes == 32 * 1024          # 32 KB L1D
+    assert cfg.l1.ways == 2                        # 2-way
+    assert cfg.l1.line_bytes == 32                 # 32 B lines
+    assert cfg.l1.latency_cycles == 2              # 2-cycle latency
+    assert cfg.l2.size_bytes == 2 * 1024 * 1024    # 2 MB L2
+    assert cfg.l2.ways == 4                        # 4-way
+    assert cfg.l2.line_bytes == 128                # 128 B lines
+    assert cfg.l2.latency_cycles == 10             # 10-cycle latency
+
+
+def test_table1_memory_system():
+    cfg = SystemConfig.table1(4)
+    assert cfg.dram.latency_cycles == 60           # 60 processor cycles
+    assert cfg.dram.channels == 16                 # 16 DDR channels
+    assert cfg.hub.clock_mhz == 500                # 500 MHz hub
+    assert cfg.hub.cpu_cycles_per_hub_cycle == 4
+    assert cfg.hub.hub_to_cpu(2) == 8
+
+
+def test_table1_network():
+    cfg = SystemConfig.table1(4)
+    assert cfg.network.hop_latency_cycles == 100   # 100 cycles/hop
+    assert cfg.network.router_radix == 8           # radix-8 fat tree
+    assert cfg.network.min_packet_bytes == 32      # 32 B minimum packet
+
+
+def test_amu_paper_parameters():
+    cfg = SystemConfig.table1(4)
+    assert cfg.amu.cache_words == 8                # eight-word AMU cache
+    assert cfg.amu.op_latency_hub_cycles == 2      # two-cycle op (§3.1)
+    assert cfg.amu.cache_enabled
+
+
+def test_node_structure():
+    cfg = SystemConfig.table1(256)
+    assert cfg.cpus_per_node == 2                  # two CPUs per node
+    assert cfg.n_nodes == 128
+    assert cfg.words_per_line == 16
+
+
+def test_invalid_processor_counts():
+    with pytest.raises(ValueError):
+        SystemConfig(n_processors=0)
+    with pytest.raises(ValueError):
+        SystemConfig(n_processors=5)               # not a node multiple
+
+
+def test_replace_functional_update():
+    cfg = SystemConfig.table1(4)
+    cfg2 = cfg.replace(n_processors=16)
+    assert cfg2.n_processors == 16
+    assert cfg.n_processors == 4                   # original untouched
+    assert cfg2.l2 == cfg.l2
+
+
+def test_configs_frozen():
+    cfg = SystemConfig.table1(4)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        cfg.n_processors = 8
+
+
+def test_mechanism_labels_and_parsing():
+    assert Mechanism.LLSC.label == "LL/SC"
+    assert Mechanism.from_name("LL/SC") is Mechanism.LLSC
+    assert Mechanism.from_name("amo") is Mechanism.AMO
+    assert Mechanism.from_name("ActMsg") is Mechanism.ACTMSG
+    with pytest.raises(ValueError):
+        Mechanism.from_name("quantum")
+
+
+def test_default_subconfigs_constructible():
+    # every sub-config must stand alone with sane defaults
+    for cls in (ProcessorConfig, DramConfig, HubConfig, NetworkConfig,
+                AmuConfig, ActiveMessageConfig):
+        cls()
+    CacheConfig.l1d_default()
+    CacheConfig.l2_default()

@@ -1,0 +1,89 @@
+"""Tests for the per-CPU programming interface."""
+
+import pytest
+
+
+def run(machine, thread, cpus=None):
+    return machine.run_threads(thread, cpus=cpus, max_events=2_000_000)
+
+
+def test_every_op_charges_issue_overhead(machine4):
+    var = machine4.alloc("v", home_node=0)
+    overhead = machine4.config.processor.op_overhead_cycles
+
+    def thread(proc):
+        t0 = proc.sim.now
+        yield from proc.load(var.addr)
+        return proc.sim.now - t0
+
+    elapsed = run(machine4, thread, cpus=[0])[0]
+    assert elapsed >= overhead + machine4.config.l1.latency_cycles
+
+
+def test_delay_costs_exactly(machine4):
+    def thread(proc):
+        t0 = proc.sim.now
+        yield from proc.delay(123)
+        return proc.sim.now - t0
+
+    assert run(machine4, thread, cpus=[0]) == [123]
+
+
+def test_amo_without_wait_returns_none(machine4):
+    var = machine4.alloc("v", home_node=1)
+
+    def thread(proc):
+        result = yield from proc.amo_fetchadd(var.addr, 5,
+                                              wait_reply=False)
+        return result
+
+    assert run(machine4, thread, cpus=[0]) == [None]
+    assert machine4.peek(var.addr) == 5
+
+
+def test_fire_and_forget_is_faster_than_blocking(machine4):
+    var = machine4.alloc("v", home_node=1)
+
+    def timed(wait_reply):
+        def thread(proc):
+            t0 = proc.sim.now
+            yield from proc.amo_inc(var.addr, wait_reply=wait_reply)
+            return proc.sim.now - t0
+        return thread
+
+    blocking = run(machine4, timed(True), cpus=[0])[0]
+    fire = run(machine4, timed(False), cpus=[0])[0]
+    assert fire < blocking
+
+
+def test_am_sequence_numbers_advance(machine4):
+    var = machine4.alloc("v", home_node=0)
+
+    def thread(proc):
+        yield from proc.am_call(0, "fetchadd", (var.addr, 1))
+        yield from proc.am_call(0, "fetchadd", (var.addr, 1))
+        return proc._am_seq
+
+    assert run(machine4, thread, cpus=[2]) == [2]
+    assert machine4.peek(var.addr) == 2
+
+
+def test_amo_ops_counter(machine4):
+    var = machine4.alloc("v", home_node=0)
+
+    def thread(proc):
+        yield from proc.amo_inc(var.addr)
+        yield from proc.amo_fetchadd(var.addr, 2)
+
+    run(machine4, thread, cpus=[1])
+    assert machine4.cpus[1].amo_ops == 2
+
+
+def test_unknown_amo_op_fails_loudly(machine4):
+    var = machine4.alloc("v", home_node=0)
+
+    def thread(proc):
+        yield from proc.amo("not_an_op", var.addr)
+
+    with pytest.raises(ValueError, match="unknown AMO op"):
+        run(machine4, thread, cpus=[0])

@@ -1,0 +1,56 @@
+"""Tests for the repro-experiments CLI."""
+
+import pytest
+
+from repro.harness.cli import main
+
+
+def test_fig1_exits_zero(capsys):
+    assert main(["fig1"]) == 0
+    out = capsys.readouterr().out
+    assert "E7/fig1" in out
+    assert "PASS" in out
+
+
+def test_table2_with_custom_sizes(capsys):
+    rc = main(["table2", "--cpus", "4", "8", "--episodes", "1"])
+    out = capsys.readouterr().out
+    assert "E1/table2" in out
+    assert "Paper Table 2" in out
+    assert rc in (0, 1)      # shape checks at tiny sizes may be partial
+
+
+def test_markdown_flag(capsys):
+    main(["fig1", "--markdown"])
+    out = capsys.readouterr().out
+    assert "|" in out and "---:" in out
+
+
+def test_amo_model_experiment(capsys):
+    rc = main(["amo-model", "--cpus", "4", "8", "16", "--episodes", "1"])
+    out = capsys.readouterr().out
+    assert "t_o" in out
+    assert rc == 0
+
+
+def test_bad_experiment_name_rejected():
+    with pytest.raises(SystemExit):
+        main(["tablezilla"])
+
+
+def test_json_export(tmp_path, capsys):
+    import json
+    out = tmp_path / "results.json"
+    main(["fig1", "--json", str(out)])
+    capsys.readouterr()
+    payload = json.loads(out.read_text())
+    assert payload[0]["experiment"] == "E7/fig1"
+    assert payload[0]["checks"][0]["passed"] is True
+    assert payload[0]["rows"][1][1] == 6       # AMO: six messages
+
+
+def test_amo_tree_experiment_via_cli(capsys):
+    rc = main(["amo-tree", "--cpus", "16", "--episodes", "1"])
+    out = capsys.readouterr().out
+    assert "amo-tree" in out.lower() or "AMO combining-tree" in out
+    assert rc == 0

@@ -1,0 +1,102 @@
+"""End-to-end integration: mixed synchronization patterns on one machine."""
+
+from repro.config.mechanism import Mechanism
+from repro.config.parameters import SystemConfig
+from repro.core.machine import Machine
+from repro.sync.barrier import CentralizedBarrier
+from repro.sync.ticket_lock import TicketLock
+
+
+def test_pipeline_of_barriers_and_locks():
+    """Phases: locked accumulation -> barrier -> verification read."""
+    n = 8
+    machine = Machine(SystemConfig.table1(n))
+    total = machine.alloc("total", home_node=1)
+    lock = TicketLock(machine, Mechanism.AMO, home_node=1)
+    barrier = CentralizedBarrier(machine, Mechanism.AMO, home_node=0)
+
+    def thread(proc):
+        for _ in range(2):
+            yield from lock.acquire(proc)
+            v = yield from proc.load(total.addr)
+            yield from proc.store(total.addr, v + proc.cpu_id + 1)
+            yield from lock.release(proc)
+        yield from barrier.wait(proc)
+        final = yield from proc.load(total.addr)
+        return final
+
+    results = machine.run_threads(thread, max_events=4_000_000)
+    expected = 2 * sum(range(1, n + 1))
+    assert results == [expected] * n
+    machine.check_coherence_invariants()
+
+
+def test_mixed_mechanisms_coexist():
+    """AMO and LL/SC primitives on *different* variables in one run."""
+    machine = Machine(SystemConfig.table1(4))
+    amo_ctr = machine.alloc("amo_ctr", home_node=0)
+    llsc_ctr = machine.alloc("llsc_ctr", home_node=1)
+
+    def thread(proc):
+        yield from proc.amo_inc(amo_ctr.addr)
+        yield from proc.llsc_rmw(llsc_ctr.addr, lambda v: v + 1)
+
+    machine.run_threads(thread, max_events=2_000_000)
+    assert machine.peek(amo_ctr.addr) == 4
+    assert machine.peek(llsc_ctr.addr) == 4
+    machine.check_coherence_invariants()
+
+
+def test_multiple_barriers_independent():
+    machine = Machine(SystemConfig.table1(8))
+    b_even = CentralizedBarrier(machine, Mechanism.AMO, n_participants=4,
+                                home_node=0)
+    b_odd = CentralizedBarrier(machine, Mechanism.MAO, n_participants=4,
+                               home_node=1)
+
+    def thread(proc):
+        barrier = b_even if proc.cpu_id % 2 == 0 else b_odd
+        for _ in range(3):
+            yield from barrier.wait(proc)
+        return True
+
+    assert machine.run_threads(thread, max_events=4_000_000) == [True] * 8
+
+
+def test_many_amo_variables_exceeding_amu_cache():
+    """More hot words than the 8-word AMU cache: eviction traffic, but
+    values stay exact."""
+    machine = Machine(SystemConfig.table1(8))
+    counters = [machine.alloc(f"c{i}", home_node=0) for i in range(12)]
+
+    def thread(proc):
+        for var in counters:
+            yield from proc.amo_inc(var.addr)
+
+    machine.run_threads(thread, max_events=4_000_000)
+    for var in counters:
+        assert machine.peek(var.addr) == 8
+    assert machine.hubs[0].amu.cache.evictions > 0
+
+
+def test_barrier_then_everyone_sees_all_updates():
+    """Full-system release consistency: after an AMO barrier, every CPU
+    reads every other CPU's pre-barrier write."""
+    n = 8
+    machine = Machine(SystemConfig.table1(n))
+    slots = machine.alloc("slots", home_node=2, words=n, stride_lines=True)
+    barrier = CentralizedBarrier(machine, Mechanism.AMO)
+
+    def thread(proc):
+        yield from proc.store(slots.word_addr(proc.cpu_id),
+                              proc.cpu_id + 100)
+        yield from barrier.wait(proc)
+        seen = []
+        for i in range(n):
+            v = yield from proc.load(slots.word_addr(i))
+            seen.append(v)
+        return seen
+
+    results = machine.run_threads(thread, max_events=4_000_000)
+    expected = [i + 100 for i in range(n)]
+    assert all(r == expected for r in results)

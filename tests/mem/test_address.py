@@ -1,0 +1,118 @@
+"""Unit tests for the address map and allocator."""
+
+import pytest
+
+from repro.mem.address import (
+    LINE_BYTES, WORD_BYTES, AddressSpace, home_of, line_base, line_of,
+    word_base, word_index_in_line,
+)
+
+
+def test_home_of_round_trip():
+    space = AddressSpace(8)
+    for node in range(8):
+        var = space.alloc(f"v{node}", home_node=node)
+        assert home_of(var.addr) == node
+
+
+def test_null_region_unmapped():
+    with pytest.raises(ValueError):
+        home_of(0x100)
+
+
+def test_line_and_word_math():
+    addr = 3 * LINE_BYTES + 2 * WORD_BYTES + 3
+    assert line_of(addr) == 3
+    assert line_base(addr) == 3 * LINE_BYTES
+    assert word_base(addr) == 3 * LINE_BYTES + 2 * WORD_BYTES
+    assert word_index_in_line(addr) == 2
+
+
+def test_allocations_never_share_lines_by_default():
+    space = AddressSpace(2)
+    a = space.alloc("a", 0)
+    b = space.alloc("b", 0)
+    c = space.alloc("c", 0, words=5)
+    d = space.alloc("d", 0)
+    lines = {line_of(a.addr), line_of(b.addr), line_of(c.addr),
+             line_of(d.addr)}
+    assert len(lines) == 4
+
+
+def test_multi_word_variable_contiguous():
+    space = AddressSpace(1)
+    arr = space.alloc("arr", 0, words=4)
+    addrs = [arr.word_addr(i) for i in range(4)]
+    assert addrs == [arr.addr + i * WORD_BYTES for i in range(4)]
+    with pytest.raises(IndexError):
+        arr.word_addr(4)
+
+
+def test_strided_variable_one_line_per_word():
+    space = AddressSpace(1)
+    flags = space.alloc("flags", 0, words=6, stride_lines=True)
+    lines = {line_of(flags.word_addr(i)) for i in range(6)}
+    assert len(lines) == 6
+
+
+def test_packed_allocation_shares_line():
+    space = AddressSpace(1)
+    a = space.alloc("a", 0)
+    b = space.alloc_packed("b", a)
+    assert line_of(a.addr) == line_of(b.addr)
+    assert a.addr != b.addr
+
+
+def test_packed_line_exhaustion():
+    space = AddressSpace(1)
+    a = space.alloc("a", 0)
+    for i in range(LINE_BYTES // WORD_BYTES - 1):
+        space.alloc_packed(f"p{i}", a)
+    with pytest.raises(MemoryError):
+        space.alloc_packed("overflow", a)
+
+
+def test_duplicate_symbol_rejected():
+    space = AddressSpace(1)
+    space.alloc("x", 0)
+    with pytest.raises(ValueError, match="already"):
+        space.alloc("x", 0)
+
+
+def test_lookup_by_name():
+    space = AddressSpace(2)
+    v = space.alloc("flag", 1)
+    assert space.lookup("flag") is v
+
+
+def test_bad_home_node_rejected():
+    space = AddressSpace(2)
+    with pytest.raises(ValueError):
+        space.alloc("v", 2)
+    with pytest.raises(ValueError):
+        space.alloc("w", -1)
+
+
+def test_zero_words_rejected():
+    space = AddressSpace(1)
+    with pytest.raises(ValueError):
+        space.alloc("v", 0, words=0)
+
+
+def test_unaligned_allocation_packs_words():
+    space = AddressSpace(1)
+    a = space.alloc("a", 0, line_aligned=False)
+    b = space.alloc("b", 0, line_aligned=False)
+    # without alignment, consecutive single words pack tightly
+    assert b.addr == a.addr + WORD_BYTES
+
+
+def test_element_line_stride_reporting():
+    space = AddressSpace(1)
+    single = space.alloc("s", 0)
+    multi = space.alloc("m", 0, words=4)
+    strided = space.alloc("t", 0, words=4, stride_lines=True)
+    assert single.element_line_stride()
+    assert not multi.element_line_stride()
+    # strided variables place each word in its own line
+    assert line_of(strided.word_addr(0)) != line_of(strided.word_addr(1))

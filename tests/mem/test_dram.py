@@ -1,0 +1,62 @@
+"""Unit tests for the DRAM timing model."""
+
+from repro.config.parameters import DramConfig
+from repro.mem.dram import Dram
+from repro.sim.kernel import Simulator
+
+
+def test_single_line_access_costs_latency():
+    sim = Simulator()
+    dram = Dram(sim, node=0, config=DramConfig(latency_cycles=60,
+                                               occupancy_cycles=40))
+    def proc():
+        yield from dram.access_line()
+        return sim.now
+    assert sim.run_process(proc()) == 60
+    assert dram.line_accesses == 1
+
+
+def test_line_storm_serializes_at_occupancy():
+    cfg = DramConfig(latency_cycles=60, occupancy_cycles=40)
+    sim = Simulator()
+    dram = Dram(sim, node=0, config=cfg)
+    done = []
+
+    def reader(tag):
+        yield from dram.access_line()
+        done.append((tag, sim.now))
+
+    for i in range(4):
+        sim.spawn(reader(i))
+    sim.run()
+    # request k occupies [40k, 40k+40), completes at 40k + 60
+    assert done == [(0, 60), (1, 100), (2, 140), (3, 180)]
+
+
+def test_word_access_cheaper_than_line():
+    cfg = DramConfig(latency_cycles=60, occupancy_cycles=40,
+                     word_occupancy_cycles=4)
+    sim = Simulator()
+    dram = Dram(sim, node=0, config=cfg)
+    done = []
+
+    def reader(tag):
+        yield from dram.access_word()
+        done.append(sim.now)
+
+    for i in range(3):
+        sim.spawn(reader(i))
+    sim.run()
+    assert done == [60, 64, 68]
+    assert dram.word_accesses == 3
+
+
+def test_utilization_reflects_busy_fraction():
+    sim = Simulator()
+    dram = Dram(sim, node=0, config=DramConfig(latency_cycles=60,
+                                               occupancy_cycles=40))
+    def proc():
+        yield from dram.access_line()
+    sim.run_process(proc())
+    assert 0 < dram.utilization() <= 1.0
+    assert dram.busy_cycles == 40

@@ -1,0 +1,107 @@
+"""Tests for the sharing-pattern profiler."""
+
+import pytest
+
+from repro.config.mechanism import Mechanism
+from repro.config.parameters import SystemConfig
+from repro.core.machine import Machine
+from repro.profiler import SharingProfiler
+from repro.sync.barrier import CentralizedBarrier
+
+
+def test_symbol_attribution():
+    machine = Machine(SystemConfig.table1(4))
+    var = machine.alloc("my_hot_counter", home_node=1)
+    profiler = SharingProfiler.attach(machine)
+
+    def thread(proc):
+        yield from proc.atomic_rmw(var.addr, lambda v: v + 1)
+
+    machine.run_threads(thread)
+    prof = profiler.profile_of(var.addr)
+    assert prof is not None
+    assert "my_hot_counter" in prof.symbols
+    assert prof.ownership_transfers >= 4
+    assert len(prof.requesters) == 4
+
+
+def test_amo_traffic_classified_as_memory_side():
+    machine = Machine(SystemConfig.table1(4))
+    var = machine.alloc("v", home_node=1)
+    profiler = SharingProfiler.attach(machine)
+
+    def thread(proc):
+        yield from proc.amo_inc(var.addr)
+
+    machine.run_threads(thread)
+    prof = profiler.profile_of(var.addr)
+    assert prof.memory_side_ops == 4
+    assert prof.ownership_transfers == 0
+
+
+def test_barrier_hot_lines_show_up():
+    machine = Machine(SystemConfig.table1(8))
+    barrier = CentralizedBarrier(machine, Mechanism.LLSC)
+    profiler = SharingProfiler.attach(machine)
+
+    def thread(proc):
+        for _ in range(2):
+            yield from barrier.wait(proc)
+
+    machine.run_threads(thread, max_events=4_000_000)
+    hottest = profiler.hottest(2)
+    hot_symbols = {s for p in hottest for s in p.symbols}
+    assert any("barrier" in s for s in hot_symbols)
+    report = profiler.report()
+    assert "hot lines" in report
+
+
+def test_false_sharing_detected_on_packed_line():
+    """Two CPUs hammering distinct words of one line -> suspect."""
+    machine = Machine(SystemConfig.table1(4))
+    a = machine.address_space.alloc("packed_a", 0)
+    b = machine.address_space.alloc_packed("packed_b", a)
+    profiler = SharingProfiler.attach(machine)
+
+    def thread(proc):
+        target = a if proc.cpu_id == 0 else b
+        for i in range(6):
+            yield from proc.store(target.addr, i)
+            yield from proc.delay(400)
+
+    machine.run_threads(thread, cpus=[0, 2], max_events=4_000_000)
+    prof = profiler.profile_of(a.addr)
+    assert prof.false_sharing_suspect
+    assert prof in profiler.false_sharing_suspects()
+    assert "FALSE-SHARING" in prof.describe()
+
+
+def test_well_separated_lines_not_suspect():
+    machine = Machine(SystemConfig.table1(4))
+    a = machine.alloc("sep_a", 0)
+    b = machine.alloc("sep_b", 0)
+    profiler = SharingProfiler.attach(machine)
+
+    def thread(proc):
+        target = a if proc.cpu_id == 0 else b
+        for i in range(6):
+            yield from proc.store(target.addr, i)
+            yield from proc.delay(400)
+
+    machine.run_threads(thread, cpus=[0, 2], max_events=4_000_000)
+    assert profiler.false_sharing_suspects() == []
+
+
+def test_composes_with_tracer():
+    from repro.trace import TraceRecorder
+    machine = Machine(SystemConfig.table1(4))
+    tracer = TraceRecorder.attach(machine)
+    profiler = SharingProfiler.attach(machine)    # chains tracer's hook
+    var = machine.alloc("v", home_node=1)
+
+    def thread(proc):
+        yield from proc.load(var.addr)
+
+    machine.run_threads(thread, cpus=[0])
+    assert profiler.profile_of(var.addr) is not None
+    assert any(i.name == "get_s" for i in tracer.instants)

@@ -1,0 +1,92 @@
+"""Property-based tests for AMU ops and the AMU cache."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.amu.cache import AmuCache
+from repro.amu.ops import OPS, AmoCommand, WORD_MASK
+
+words = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+@given(words, words)
+@settings(max_examples=200, deadline=None)
+def test_ops_stay_in_word_range(old, operand):
+    for name in ("inc", "fetchadd", "swap", "min", "max", "and", "or",
+                 "xor"):
+        result = OPS[name].apply(old, operand)
+        assert 0 <= result <= WORD_MASK
+
+
+@given(words, words, words)
+@settings(max_examples=200, deadline=None)
+def test_cas_semantics(old, expected, new):
+    result = OPS["cas"].apply(old, (expected, new))
+    if old == expected:
+        assert result == new & WORD_MASK
+    else:
+        assert result == old
+
+
+@given(words, words)
+@settings(max_examples=200, deadline=None)
+def test_minmax_bound_by_arguments(old, operand):
+    assert OPS["min"].apply(old, operand) == min(old, operand)
+    assert OPS["max"].apply(old, operand) == max(old, operand)
+
+
+@given(st.integers(0, 2**63), st.integers(0, 100), st.booleans())
+@settings(max_examples=100, deadline=None)
+def test_inc_push_exactly_at_test_value(start, test_offset, use_push):
+    cmd = AmoCommand(op="inc", test=start + test_offset,
+                     push=True if use_push else None)
+    new = OPS["inc"].apply(start, None)
+    pushed = cmd.should_push(new)
+    if use_push:
+        assert pushed
+    else:
+        assert pushed == (new == start + test_offset)
+
+
+# ---------------------------------------------------------------------------
+# AMU cache vs an OrderedDict LRU reference
+# ---------------------------------------------------------------------------
+
+cache_ops = st.lists(
+    st.tuples(st.sampled_from(["lookup", "op", "drop"]),
+              st.integers(0, 15)), max_size=60)
+
+
+@given(cache_ops, st.integers(1, 8))
+@settings(max_examples=150, deadline=None)
+def test_amu_cache_matches_lru_reference(sequence, capacity):
+    cache = AmuCache(capacity)
+    ref: OrderedDict = OrderedDict()
+    base = 0x100000000
+    for op, word_no in sequence:
+        addr = base + word_no * 8
+        if op == "lookup":
+            entry = cache.lookup(addr)
+            assert (entry is not None) == (addr in ref)
+            if addr in ref:
+                ref.move_to_end(addr)
+        elif op == "drop":
+            cache.drop(addr)
+            ref.pop(addr, None)
+        else:  # "op": fill if absent (evicting LRU), then touch
+            if cache.peek(addr) is None:
+                if cache.full:
+                    victim = cache.victim()
+                    ref_victim = next(iter(ref))
+                    assert victim.word_addr == ref_victim
+                    cache.drop(victim.word_addr)
+                    ref.popitem(last=False)
+                cache.insert(addr, word_no)
+                ref[addr] = word_no
+            else:
+                cache.lookup(addr)
+                ref.move_to_end(addr)
+        assert len(cache) == len(ref) <= capacity
+    assert {e for e in ref} == \
+        {e.word_addr for e in cache._entries.values()}

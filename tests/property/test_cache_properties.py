@@ -1,0 +1,124 @@
+"""Property-based tests: the set-associative cache vs. a reference model.
+
+The reference is a per-set LRU list of bounded length; the cache under
+test must agree on residency and victim choice for every operation
+sequence hypothesis can dream up.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.state import LineState
+from repro.config.parameters import CacheConfig
+
+WAYS, SETS, LINE = 2, 4, 128
+N_LINES = 16     # address universe: 16 distinct lines -> collisions
+
+
+def make_cache():
+    return SetAssociativeCache(CacheConfig(
+        size_bytes=WAYS * SETS * LINE, ways=WAYS, line_bytes=LINE,
+        latency_cycles=1))
+
+
+class RefModel:
+    """Per-set LRU reference."""
+
+    def __init__(self):
+        self.sets = [OrderedDict() for _ in range(SETS)]
+
+    def _set(self, line_addr):
+        return (line_addr // LINE) % SETS
+
+    def lookup(self, line_addr):
+        s = self.sets[self._set(line_addr)]
+        if line_addr in s:
+            s.move_to_end(line_addr)
+            return True
+        return False
+
+    def install(self, line_addr):
+        s = self.sets[self._set(line_addr)]
+        victim = None
+        if line_addr in s:
+            s.move_to_end(line_addr)
+            return victim
+        if len(s) >= WAYS:
+            victim, _ = s.popitem(last=False)
+        s[line_addr] = True
+        return victim
+
+    def invalidate(self, line_addr):
+        self.sets[self._set(line_addr)].pop(line_addr, None)
+
+    def resident(self):
+        return {a for s in self.sets for a in s}
+
+
+ops = st.lists(
+    st.tuples(st.sampled_from(["lookup", "install", "invalidate"]),
+              st.integers(min_value=0, max_value=N_LINES - 1)),
+    max_size=60)
+
+
+@given(ops)
+@settings(max_examples=200, deadline=None)
+def test_cache_agrees_with_lru_reference(sequence):
+    cache = make_cache()
+    ref = RefModel()
+    for op, line_no in sequence:
+        addr = line_no * LINE
+        if op == "lookup":
+            got = cache.lookup(addr) is not None
+            assert got == ref.lookup(addr)
+        elif op == "install":
+            _line, victim = cache.install(addr, LineState.SHARED)
+            ref_victim = ref.install(addr)
+            got_victim = victim.line_addr if victim else None
+            assert got_victim == ref_victim
+        else:
+            cache.invalidate(addr)
+            ref.invalidate(addr)
+    assert {ln.line_addr for ln in cache.resident_lines()} == ref.resident()
+
+
+@given(ops)
+@settings(max_examples=100, deadline=None)
+def test_occupancy_never_exceeds_capacity(sequence):
+    cache = make_cache()
+    for op, line_no in sequence:
+        addr = line_no * LINE
+        if op == "install":
+            cache.install(addr, LineState.EXCLUSIVE)
+        elif op == "invalidate":
+            cache.invalidate(addr)
+        else:
+            cache.lookup(addr)
+        assert cache.occupancy() <= WAYS * SETS
+        for s in cache._sets:
+            assert len(s) <= WAYS
+
+
+@given(st.lists(st.tuples(st.integers(0, N_LINES - 1),
+                          st.integers(0, 15),
+                          st.integers(0, 2**64 - 1)), max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_word_values_preserved_while_resident(writes):
+    """The most recent write to each resident word is what reads back."""
+    cache = make_cache()
+    expected = {}
+    for line_no, word_idx, value in writes:
+        addr = line_no * LINE + word_idx * 8
+        line, victim = cache.install(addr, LineState.EXCLUSIVE)
+        if victim is not None:
+            for w in list(expected):
+                if victim.line_addr <= w < victim.line_addr + LINE:
+                    del expected[w]
+        line.write_word(addr, value)
+        expected[addr - addr % 8] = value
+    for word_addr, value in expected.items():
+        line = cache.lookup(word_addr)
+        assert line is not None
+        assert line.read_word(word_addr) == value

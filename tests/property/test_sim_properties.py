@@ -1,0 +1,71 @@
+"""Property-based tests for the event kernel primitives."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.kernel import Simulator
+from repro.sim.primitives import Resource, Timeout
+
+
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=50))
+@settings(max_examples=150, deadline=None)
+def test_callbacks_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda d=d: fired.append((sim.now, d)))
+    sim.run()
+    times = [t for t, _ in fired]
+    assert times == sorted(times)
+    assert all(t == d for t, d in fired)
+    assert len(fired) == len(delays)
+
+
+@given(st.lists(st.integers(0, 100), min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_equal_time_callbacks_fifo(offsets):
+    sim = Simulator()
+    fired = []
+    for i, _ in enumerate(offsets):
+        sim.schedule(5, fired.append, i)
+    sim.run()
+    assert fired == list(range(len(offsets)))
+
+
+@given(st.lists(st.tuples(st.integers(0, 50), st.integers(1, 40)),
+                min_size=1, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_resource_holds_are_disjoint_and_complete(jobs):
+    """No two holders overlap; busy time equals the sum of hold times."""
+    sim = Simulator()
+    res = Resource("r")
+    intervals = []
+
+    def worker(arrive, hold):
+        yield Timeout(arrive)
+        yield res.acquire()
+        start = sim.now
+        yield Timeout(hold)
+        intervals.append((start, sim.now))
+        res.release()
+
+    for arrive, hold in jobs:
+        sim.spawn(worker(arrive, hold))
+    sim.run()
+    assert len(intervals) == len(jobs)
+    intervals.sort()
+    for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+        assert e1 <= s2, "overlapping resource holds"
+    assert res.busy_cycles == sum(hold for _, hold in jobs)
+
+
+@given(st.lists(st.integers(1, 60), min_size=1, max_size=25))
+@settings(max_examples=100, deadline=None)
+def test_nested_timeouts_accumulate_exactly(segments):
+    sim = Simulator()
+
+    def runner():
+        for seg in segments:
+            yield Timeout(seg)
+        return sim.now
+
+    assert sim.run_process(runner()) == sum(segments)

@@ -1,0 +1,71 @@
+"""Property-based tests for the fat-tree topology."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.network.topology import FatTreeTopology
+
+sizes = st.integers(min_value=1, max_value=200)
+radixes = st.integers(min_value=2, max_value=16)
+
+
+@given(sizes, radixes)
+@settings(max_examples=80, deadline=None)
+def test_distance_is_a_metric(n, radix):
+    t = FatTreeTopology(n, radix=radix)
+    probe = range(0, n, max(1, n // 6))
+    for a in probe:
+        assert t.hops(a, a) == 0
+        for b in probe:
+            assert t.hops(a, b) == t.hops(b, a)
+            assert (t.hops(a, b) == 0) == (a == b)
+            for c in probe:
+                assert t.hops(a, c) <= t.hops(a, b) + t.hops(b, c)
+
+
+@given(sizes, radixes)
+@settings(max_examples=80, deadline=None)
+def test_hops_bounded_by_levels(n, radix):
+    t = FatTreeTopology(n, radix=radix)
+    assert t.diameter_hops <= 2 * t.n_levels
+    probe = range(0, n, max(1, n // 8))
+    for a in probe:
+        for b in probe:
+            if a != b:
+                h = t.hops(a, b)
+                assert h % 2 == 0 and h >= 2
+
+
+@given(sizes, radixes)
+@settings(max_examples=80, deadline=None)
+def test_same_leaf_router_means_two_hops(n, radix):
+    t = FatTreeTopology(n, radix=radix)
+    for a in range(0, n, max(1, n // 8)):
+        for b in range(0, n, max(1, n // 8)):
+            if a != b and a // radix == b // radix:
+                assert t.hops(a, b) == 2
+
+
+@given(sizes, radixes)
+@settings(max_examples=60, deadline=None)
+def test_router_counts_shrink_by_radix(n, radix):
+    t = FatTreeTopology(n, radix=radix)
+    counts = t.routers_per_level
+    assert counts[-1] == 1
+    prev = n
+    for c in counts:
+        assert c == -(-prev // radix)      # ceil division
+        prev = c
+
+
+@given(st.integers(min_value=2, max_value=120))
+@settings(max_examples=40, deadline=None)
+def test_lca_level_consistency(n):
+    """hops(a,b) == 2*(LCA level + 1) for the radix-8 tree."""
+    t = FatTreeTopology(n, radix=8)
+    for a in range(0, n, max(1, n // 10)):
+        for b in range(0, n, max(1, n // 10)):
+            if a == b:
+                continue
+            lca = next(lvl for lvl in range(t.n_levels)
+                       if t.router_of(a, lvl) == t.router_of(b, lvl))
+            assert t.hops(a, b) == 2 * (lca + 1)

@@ -1,0 +1,201 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.primitives import Signal, Timeout
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    out = []
+    sim.schedule(30, out.append, "c")
+    sim.schedule(10, out.append, "a")
+    sim.schedule(20, out.append, "b")
+    sim.run()
+    assert out == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_same_cycle_events_fire_fifo():
+    sim = Simulator()
+    out = []
+    for tag in range(10):
+        sim.schedule(5, out.append, tag)
+    sim.run()
+    assert out == list(range(10))
+
+
+def test_zero_delay_runs_after_current_queue():
+    sim = Simulator()
+    out = []
+
+    def first():
+        out.append("first")
+        sim.schedule(0, out.append, "nested")
+
+    sim.schedule(1, first)
+    sim.schedule(1, out.append, "second")
+    sim.run()
+    assert out == ["first", "second", "nested"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+    out = []
+    sim.schedule(10, out.append, "early")
+    sim.schedule(100, out.append, "late")
+    sim.run(until=50)
+    assert out == ["early"]
+    assert sim.now == 50
+    sim.run()
+    assert out == ["early", "late"]
+
+
+def test_run_until_inclusive_boundary():
+    sim = Simulator()
+    out = []
+    sim.schedule(50, out.append, "exact")
+    sim.run(until=50)
+    assert out == ["exact"]
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(1, forever)
+
+    sim.schedule(1, forever)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run(max_events=100)
+
+
+def test_process_returns_value():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(5)
+        return 42
+
+    assert sim.run_process(proc()) == 42
+    assert sim.now == 5
+
+
+def test_nested_coroutines_compose():
+    sim = Simulator()
+
+    def inner():
+        yield Timeout(3)
+        return "inner-done"
+
+    def outer():
+        result = yield from inner()
+        yield Timeout(4)
+        return result + "/outer-done"
+
+    assert sim.run_process(outer()) == "inner-done/outer-done"
+    assert sim.now == 7
+
+
+def test_deadlock_detected():
+    sim = Simulator()
+
+    def blocked():
+        yield Signal().wait()   # nobody will ever fire this
+
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_process(blocked())
+
+
+def test_process_exception_propagates():
+    sim = Simulator()
+
+    def boom():
+        yield Timeout(1)
+        raise ValueError("kaboom")
+
+    with pytest.raises(ValueError, match="kaboom"):
+        sim.run_process(boom())
+
+
+def test_yielding_garbage_is_an_error():
+    sim = Simulator()
+
+    def bad():
+        yield 12345
+
+    with pytest.raises(SimulationError, match="non-primitive"):
+        sim.run_process(bad())
+
+
+def test_determinism_across_runs():
+    def build_and_run():
+        sim = Simulator()
+        trace = []
+
+        def worker(tag, delay):
+            yield Timeout(delay)
+            trace.append((sim.now, tag))
+            yield Timeout(delay * 2)
+            trace.append((sim.now, tag))
+
+        for i in range(5):
+            sim.spawn(worker(i, 3 + i))
+        sim.run()
+        return trace
+
+    assert build_and_run() == build_and_run()
+
+
+def test_join_returns_result():
+    sim = Simulator()
+
+    def child():
+        yield Timeout(10)
+        return "payload"
+
+    def parent():
+        proc = sim.spawn(child())
+        result = yield proc.join()
+        return result
+
+    assert sim.run_process(parent()) == "payload"
+
+
+def test_join_already_finished_process():
+    sim = Simulator()
+
+    def child():
+        yield Timeout(1)
+        return 7
+
+    def parent():
+        proc = sim.spawn(child())
+        yield Timeout(100)           # child long done
+        result = yield proc.join()
+        return result
+
+    assert sim.run_process(parent()) == 7
+
+
+def test_events_dispatched_counter():
+    sim = Simulator()
+    for _ in range(7):
+        sim.schedule(1, lambda: None)
+    sim.run()
+    assert sim.events_dispatched == 7

@@ -1,0 +1,254 @@
+"""Unit tests for signals, gates, resources and queues."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.primitives import (
+    FifoQueue, Gate, Resource, Signal, Timeout, all_of,
+)
+
+
+# ---------------------------------------------------------------------------
+# Signal
+# ---------------------------------------------------------------------------
+
+def test_signal_wakes_all_waiters_with_value():
+    sim = Simulator()
+    sig = Signal()
+    got = []
+
+    def waiter(tag):
+        value = yield sig.wait()
+        got.append((tag, value))
+
+    for i in range(3):
+        sim.spawn(waiter(i))
+    sim.schedule(10, sig.fire, sim, "hello")
+    sim.run()
+    assert got == [(0, "hello"), (1, "hello"), (2, "hello")]
+
+
+def test_wait_after_fire_resumes_immediately():
+    sim = Simulator()
+    sig = Signal()
+
+    def late():
+        yield Timeout(20)
+        value = yield sig.wait()
+        return (sim.now, value)
+
+    sim.schedule(5, sig.fire, sim, 99)
+    proc = sim.spawn(late())
+    sim.run()
+    assert proc.result == (20, 99)
+
+
+def test_double_fire_raises():
+    sim = Simulator()
+    sig = Signal()
+    sig.fire(sim, 1)
+    with pytest.raises(RuntimeError, match="twice"):
+        sig.fire(sim, 2)
+
+
+def test_try_fire_reports_outcome():
+    sim = Simulator()
+    sig = Signal()
+    assert sig.try_fire(sim, "a") is True
+    assert sig.try_fire(sim, "b") is False
+    assert sig.value == "a"
+
+
+# ---------------------------------------------------------------------------
+# Gate
+# ---------------------------------------------------------------------------
+
+def test_gate_release_passes_future_waits():
+    sim = Simulator()
+    gate = Gate()
+    order = []
+
+    def early():
+        yield gate.wait()
+        order.append(("early", sim.now))
+
+    def late():
+        yield Timeout(50)
+        yield gate.wait()
+        order.append(("late", sim.now))
+
+    sim.spawn(early())
+    sim.spawn(late())
+    sim.schedule(10, gate.release, sim, None)
+    sim.run()
+    assert order == [("early", 10), ("late", 50)]
+
+
+def test_gate_pulse_wakes_only_current_waiters():
+    sim = Simulator()
+    gate = Gate()
+    woken = []
+
+    def waiter():
+        yield gate.wait()
+        woken.append(sim.now)
+        yield gate.wait()       # must block again after a pulse
+        woken.append(sim.now)
+
+    sim.spawn(waiter())
+    sim.schedule(5, gate.pulse, sim, None)
+    sim.schedule(30, gate.pulse, sim, None)
+    sim.run()
+    assert woken == [5, 30]
+
+
+def test_gate_close_rearms():
+    sim = Simulator()
+    gate = Gate()
+    gate.release(sim)
+    gate.close()
+    hits = []
+
+    def waiter():
+        yield gate.wait()
+        hits.append(sim.now)
+
+    sim.spawn(waiter())
+    sim.schedule(7, gate.release, sim, None)
+    sim.run()
+    assert hits == [7]
+
+
+# ---------------------------------------------------------------------------
+# Resource
+# ---------------------------------------------------------------------------
+
+def test_resource_serializes_fifo():
+    sim = Simulator()
+    res = Resource("r")
+    order = []
+
+    def user(tag):
+        yield res.acquire()
+        order.append(("in", tag, sim.now))
+        yield Timeout(10)
+        order.append(("out", tag, sim.now))
+        res.release()
+
+    for i in range(3):
+        sim.spawn(user(i))
+    sim.run()
+    assert order == [("in", 0, 0), ("out", 0, 10),
+                     ("in", 1, 10), ("out", 1, 20),
+                     ("in", 2, 20), ("out", 2, 30)]
+    assert res.grants == 3
+    assert res.busy_cycles == 30
+    assert not res.busy
+
+
+def test_resource_release_idle_raises():
+    res = Resource("r")
+    with pytest.raises(RuntimeError, match="idle"):
+        res.release()
+
+
+def test_resource_queue_length_visible():
+    sim = Simulator()
+    res = Resource("r")
+
+    def holder():
+        yield res.acquire()
+        yield Timeout(100)
+        res.release()
+
+    def waiter():
+        yield res.acquire()
+        res.release()
+
+    sim.spawn(holder())
+    sim.spawn(waiter())
+    sim.spawn(waiter())
+    sim.run(until=50)
+    assert res.queue_length == 2
+    sim.run()
+    assert res.queue_length == 0
+
+
+# ---------------------------------------------------------------------------
+# FifoQueue
+# ---------------------------------------------------------------------------
+
+def test_queue_get_blocks_until_put():
+    sim = Simulator()
+    q = FifoQueue("q")
+    got = []
+
+    def consumer():
+        item = yield q.get()
+        got.append((item, sim.now))
+
+    sim.spawn(consumer())
+    sim.schedule(25, q.put, sim, "x")
+    sim.run()
+    assert got == [("x", 25)]
+
+
+def test_queue_preserves_order_and_depth_stats():
+    sim = Simulator()
+    q = FifoQueue("q")
+    got = []
+
+    def producer():
+        for i in range(5):
+            q.put(sim, i)
+            yield Timeout(1)
+
+    def consumer():
+        yield Timeout(10)        # let items accumulate
+        for _ in range(5):
+            item = yield q.get()
+            got.append(item)
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert got == [0, 1, 2, 3, 4]
+    assert q.max_depth == 5
+    assert q.puts == 5
+
+
+def test_queue_multiple_getters_fifo():
+    sim = Simulator()
+    q = FifoQueue("q")
+    got = []
+
+    def consumer(tag):
+        item = yield q.get()
+        got.append((tag, item))
+
+    for i in range(3):
+        sim.spawn(consumer(i))
+    sim.schedule(5, q.put, sim, "a")
+    sim.schedule(6, q.put, sim, "b")
+    sim.schedule(7, q.put, sim, "c")
+    sim.run()
+    assert got == [(0, "a"), (1, "b"), (2, "c")]
+
+
+# ---------------------------------------------------------------------------
+# all_of
+# ---------------------------------------------------------------------------
+
+def test_all_of_collects_results_in_order():
+    sim = Simulator()
+
+    def worker(tag, delay):
+        yield Timeout(delay)
+        return tag
+
+    def main():
+        procs = [sim.spawn(worker(i, 10 - i)) for i in range(5)]
+        results = yield from all_of(sim, procs)
+        return results
+
+    assert sim.run_process(main()) == [0, 1, 2, 3, 4]

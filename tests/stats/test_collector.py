@@ -1,0 +1,93 @@
+"""Tests for latency statistics."""
+
+import pytest
+
+from repro.config.mechanism import Mechanism
+from repro.config.parameters import SystemConfig
+from repro.core.machine import Machine
+from repro.stats.collector import (
+    LatencyStats, fairness_across_cpus, op_latency_stats,
+)
+from repro.trace import TraceRecorder
+
+
+def test_basic_statistics():
+    st = LatencyStats("t")
+    st.extend([10, 20, 30, 40, 50])
+    assert st.mean == 30
+    assert st.minimum == 10 and st.maximum == 50
+    assert st.p50 == 30
+    assert len(st) == 5
+
+
+def test_percentile_bounds_checked():
+    st = LatencyStats()
+    st.record(1)
+    with pytest.raises(ValueError):
+        st.percentile(101)
+    empty = LatencyStats()
+    with pytest.raises(ValueError):
+        empty.percentile(50)
+
+
+def test_cv_zero_for_constant():
+    st = LatencyStats()
+    st.extend([7, 7, 7])
+    assert st.coefficient_of_variation() == 0.0
+
+
+def test_summary_text():
+    st = LatencyStats("acq")
+    st.extend(range(100))
+    text = st.summary()
+    assert "acq" in text and "p99" in text
+    assert "no samples" in LatencyStats("x").summary()
+
+
+def test_trace_derived_op_latencies():
+    machine = Machine(SystemConfig.table1(4))
+    tracer = TraceRecorder.attach(machine)
+    var = machine.alloc("v", home_node=1)
+
+    def thread(proc):
+        for _ in range(3):
+            yield from proc.load(var.addr)
+            yield from proc.delay(50)
+
+    machine.run_threads(thread, cpus=[0])
+    st = op_latency_stats(tracer, "load")
+    assert len(st) == 3
+    # the first (miss) load dominates the cached ones
+    assert st.maximum > st.minimum
+
+
+def test_fairness_metric_on_symmetric_workload():
+    machine = Machine(SystemConfig.table1(4))
+    tracer = TraceRecorder.attach(machine)
+    var = machine.alloc("ctr", home_node=0)
+
+    def thread(proc):
+        yield from proc.atomic_rmw(var.addr, lambda v: v + 1)
+
+    machine.run_threads(thread)
+    cv = fairness_across_cpus(tracer, "atomic_rmw", 4)
+    assert cv >= 0.0
+
+
+def test_lock_acquisition_fairness_ticket_vs_mcs():
+    """FIFO locks must be reasonably fair in per-CPU acquire time."""
+    from repro.sync.ticket_lock import TicketLock
+    machine = Machine(SystemConfig.table1(8))
+    tracer = TraceRecorder.attach(machine)
+    lock = TicketLock(machine, Mechanism.AMO)
+
+    def thread(proc):
+        for _ in range(2):
+            yield from lock.acquire(proc)
+            yield from proc.delay(60)
+            yield from lock.release(proc)
+            yield from proc.delay(100)
+
+    machine.run_threads(thread, max_events=4_000_000)
+    cv = fairness_across_cpus(tracer, "spin_until", 8)
+    assert cv < 1.5

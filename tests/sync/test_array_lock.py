@@ -1,0 +1,90 @@
+"""Correctness tests for Anderson's array-based queueing lock."""
+
+import pytest
+
+from repro.config.mechanism import Mechanism
+from repro.config.parameters import SystemConfig
+from repro.core.machine import Machine
+from repro.sync.array_lock import ArrayQueueLock
+from tests.sync.test_ticket_lock import lock_workload
+
+ALL = list(Mechanism)
+
+
+@pytest.mark.parametrize("mech", ALL, ids=[m.value for m in ALL])
+def test_mutual_exclusion_and_fifo(mech):
+    machine = Machine(SystemConfig.table1(8))
+    lock = ArrayQueueLock(machine, mech)
+    cs_log, order = lock_workload(machine, lock)
+    assert len(cs_log) == 16
+    assert order == list(range(16))
+    machine.check_coherence_invariants()
+
+
+@pytest.mark.parametrize("variant", ["classic", "rounds"])
+def test_sequencer_wraparound_reuse(variant):
+    """More acquisitions than slots: slots are reused correctly."""
+    machine = Machine(SystemConfig.table1(4))
+    lock = ArrayQueueLock(machine, Mechanism.ATOMIC, n_slots=4,
+                          variant=variant)
+    _cs, order = lock_workload(machine, lock, iterations=4)
+    assert order == list(range(16))           # 4 wraps of the 4 slots
+
+
+def test_flags_one_line_each(machine4):
+    from repro.mem.address import line_of
+    lock = ArrayQueueLock(machine4, Mechanism.LLSC)
+    lines = {line_of(lock.flags.word_addr(i))
+             for i in range(lock.n_slots)}
+    assert len(lines) == lock.n_slots
+
+
+def test_lock_starts_free(machine4):
+    lock = ArrayQueueLock(machine4, Mechanism.LLSC)
+    assert machine4.peek(lock.flags.word_addr(0)) == 1
+
+
+def test_release_without_hold_raises(machine4):
+    lock = ArrayQueueLock(machine4, Mechanism.AMO)
+
+    def thread(proc):
+        yield from lock.release(proc)
+
+    with pytest.raises(RuntimeError, match="does not hold"):
+        machine4.run_threads(thread, cpus=[1])
+
+
+def test_invalid_variant_rejected(machine4):
+    with pytest.raises(ValueError, match="variant"):
+        ArrayQueueLock(machine4, Mechanism.AMO, variant="bogus")
+
+
+def test_release_touches_single_waiter():
+    """The algorithmic point: an array-lock release invalidates at most
+    one spinner, a ticket-lock release invalidates all of them."""
+    from repro.network.message import MessageKind
+    from repro.sync.ticket_lock import TicketLock
+
+    def invals_per_release(lock_cls):
+        machine = Machine(SystemConfig.table1(8))
+        lock = lock_cls(machine, Mechanism.LLSC)
+        lock_workload(machine, lock, iterations=1)
+        st = machine.net.stats
+        return (st.messages[MessageKind.INVALIDATE]
+                + st.local_messages[MessageKind.INVALIDATE]) / 8.0
+
+    assert invals_per_release(ArrayQueueLock) < \
+        invals_per_release(TicketLock)
+
+
+def test_classic_variant_resets_flag(machine4):
+    lock = ArrayQueueLock(machine4, Mechanism.ATOMIC, variant="classic")
+
+    def thread(proc):
+        yield from lock.acquire(proc)
+        yield from lock.release(proc)
+
+    machine4.run_threads(thread, cpus=[0])
+    # slot 0 was reset by the acquire; slot 1 granted by the release
+    assert machine4.peek(lock.flags.word_addr(0)) == 0
+    assert machine4.peek(lock.flags.word_addr(1)) == 1

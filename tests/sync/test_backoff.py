@@ -1,0 +1,51 @@
+"""Tests for backoff helpers."""
+
+from repro.sync.backoff import exponential_schedule, spin_with_exponential_backoff
+
+
+def test_schedule_doubles_and_caps():
+    assert exponential_schedule(100, 0) == 100
+    assert exponential_schedule(100, 1) == 200
+    assert exponential_schedule(100, 3) == 800
+    assert exponential_schedule(100, 30, cap_cycles=5_000) == 5_000
+
+
+def test_schedule_zero_base():
+    assert exponential_schedule(0, 5) == 0
+
+
+def test_spin_with_backoff_completes(machine4):
+    var = machine4.alloc("flag", home_node=1)
+
+    def waiter(proc):
+        value = yield from spin_with_exponential_backoff(
+            proc, var.addr, lambda v: v == 3, base_cycles=50)
+        return value
+
+    def writer(proc):
+        yield from proc.delay(4_000)
+        yield from proc.store(var.addr, 3)
+
+    def thread(proc):
+        if proc.cpu_id == 0:
+            r = yield from waiter(proc)
+        else:
+            r = yield from writer(proc)
+        return r
+
+    results = machine4.run_threads(thread, cpus=[0, 2],
+                                   max_events=2_000_000)
+    assert results[0] == 3
+
+
+def test_spin_with_backoff_polls_load_each_time(machine4):
+    """Unlike spin_until, the backoff spin issues real loads."""
+    var = machine4.alloc("flag", home_node=1)
+    machine4.poke(var.addr, 9)
+
+    def thread(proc):
+        value = yield from spin_with_exponential_backoff(
+            proc, var.addr, lambda v: v == 9)
+        return value
+
+    assert machine4.run_threads(thread, cpus=[0]) == [9]

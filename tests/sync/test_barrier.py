@@ -1,0 +1,108 @@
+"""Correctness tests for centralized barriers under all five mechanisms.
+
+The fundamental barrier property: no participant leaves episode *k*
+before every participant has entered episode *k*.  We verify it with a
+zero-sim-cost Python-side phase log.
+"""
+
+import pytest
+
+from repro.config.mechanism import Mechanism
+from repro.config.parameters import SystemConfig
+from repro.core.machine import Machine
+from repro.sync.barrier import CentralizedBarrier
+
+ALL = list(Mechanism)
+
+
+def check_barrier_property(n, episodes, arrivals, departures):
+    """No departure from episode e before n arrivals in episode e."""
+    for e in range(episodes):
+        first_departure = min(departures[(e, cpu)] for cpu in range(n))
+        last_arrival = max(arrivals[(e, cpu)] for cpu in range(n))
+        assert first_departure >= last_arrival, (
+            f"episode {e}: departure at {first_departure} before "
+            f"last arrival at {last_arrival}")
+
+
+@pytest.mark.parametrize("mech", ALL, ids=[m.value for m in ALL])
+def test_barrier_blocks_until_all_arrive(mech):
+    n, episodes = 8, 3
+    machine = Machine(SystemConfig.table1(n))
+    barrier = CentralizedBarrier(machine, mech)
+    arrivals, departures = {}, {}
+
+    def thread(proc):
+        for e in range(episodes):
+            # skew arrivals so someone is always late
+            yield from proc.delay((proc.cpu_id * 211) % 1500)
+            arrivals[(e, proc.cpu_id)] = proc.sim.now
+            yield from barrier.wait(proc)
+            departures[(e, proc.cpu_id)] = proc.sim.now
+
+    machine.run_threads(thread, max_events=3_000_000)
+    check_barrier_property(n, episodes, arrivals, departures)
+    machine.check_coherence_invariants()
+
+
+@pytest.mark.parametrize("mech", ALL, ids=[m.value for m in ALL])
+def test_barrier_reusable_many_episodes(mech):
+    n, episodes = 4, 6
+    machine = Machine(SystemConfig.table1(n))
+    barrier = CentralizedBarrier(machine, mech)
+
+    def thread(proc):
+        for _ in range(episodes):
+            yield from barrier.wait(proc)
+        return barrier.episodes_completed(proc.cpu_id)
+
+    results = machine.run_threads(thread, max_events=3_000_000)
+    assert results == [episodes] * n
+    assert machine.peek(barrier.count_var.addr) == n * episodes
+
+
+def test_naive_conventional_barrier_works_but_costs_more():
+    # The spin-variable coding's advantage is a *contended-size* effect
+    # (the paper cites a 25% win at 64 CPUs); at small P the extra
+    # release store makes it a wash.  Assert at 32 CPUs, where spinner
+    # reload storms interfering with increments dominate.
+    from repro.workloads.barrier import run_barrier_workload
+    naive = run_barrier_workload(32, Mechanism.LLSC, episodes=2,
+                                 naive=True)
+    optimized = run_barrier_workload(32, Mechanism.LLSC, episodes=2)
+    assert optimized.cycles_per_episode < naive.cycles_per_episode
+
+
+def test_amo_barrier_always_uses_naive_coding(machine4):
+    barrier = CentralizedBarrier(machine4, Mechanism.AMO)
+    assert barrier.naive is True
+
+
+def test_subset_of_cpus_barrier(machine8):
+    barrier = CentralizedBarrier(machine8, Mechanism.AMO, n_participants=4)
+
+    def thread(proc):
+        yield from barrier.wait(proc)
+        return True
+
+    results = machine8.run_threads(thread, cpus=[1, 3, 5, 7])
+    assert results == [True] * 4
+
+
+def test_barrier_variables_in_distinct_lines(machine4):
+    from repro.mem.address import line_of
+    barrier = CentralizedBarrier(machine4, Mechanism.LLSC)
+    assert line_of(barrier.count_var.addr) != line_of(barrier.spin_var.addr)
+
+
+@pytest.mark.parametrize("mech", ALL, ids=[m.value for m in ALL])
+def test_barrier_count_exact_after_episode(mech):
+    n = 4
+    machine = Machine(SystemConfig.table1(n))
+    barrier = CentralizedBarrier(machine, mech)
+
+    def thread(proc):
+        yield from barrier.wait(proc)
+
+    machine.run_threads(thread, max_events=2_000_000)
+    assert machine.peek(barrier.count_var.addr) == n

@@ -1,0 +1,137 @@
+"""Tests for the extension barriers: dissemination and sense-reversing."""
+
+import pytest
+
+from repro.config.mechanism import Mechanism
+from repro.config.parameters import SystemConfig
+from repro.core.machine import Machine
+from repro.sync.dissemination import DisseminationBarrier
+from repro.sync.sense_barrier import SenseReversingBarrier
+from tests.sync.test_barrier import check_barrier_property
+
+ALL = list(Mechanism)
+
+
+def drive(machine, barrier, n, episodes):
+    arrivals, departures = {}, {}
+
+    def thread(proc):
+        for e in range(episodes):
+            yield from proc.delay((proc.cpu_id * 173) % 1100)
+            arrivals[(e, proc.cpu_id)] = proc.sim.now
+            yield from barrier.wait(proc)
+            departures[(e, proc.cpu_id)] = proc.sim.now
+
+    machine.run_threads(thread, max_events=6_000_000)
+    check_barrier_property(n, episodes, arrivals, departures)
+    machine.check_coherence_invariants()
+
+
+# ---------------------------------------------------------------------------
+# dissemination
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("mech", ALL, ids=[m.value for m in ALL])
+def test_dissemination_barrier_property(mech):
+    n = 8
+    machine = Machine(SystemConfig.table1(n))
+    drive(machine, DisseminationBarrier(machine, mech), n, episodes=3)
+
+
+def test_dissemination_non_power_of_two():
+    n = 6
+    machine = Machine(SystemConfig.table1(n))
+    barrier = DisseminationBarrier(machine, Mechanism.ATOMIC,
+                                   n_participants=n)
+    assert barrier.rounds == 3
+    drive(machine, barrier, n, episodes=2)
+
+
+def test_dissemination_partner_structure():
+    machine = Machine(SystemConfig.table1(8))
+    b = DisseminationBarrier(machine, Mechanism.LLSC)
+    assert b.rounds == 3
+    assert b.partner_out(0, 0) == 1
+    assert b.partner_out(0, 1) == 2
+    assert b.partner_out(0, 2) == 4
+    assert b.partner_in(0, 0) == 7
+    # signalling is a permutation each round
+    for rnd in range(b.rounds):
+        outs = {b.partner_out(i, rnd) for i in range(8)}
+        assert outs == set(range(8))
+
+
+def test_dissemination_flags_homed_at_waiter():
+    machine = Machine(SystemConfig.table1(8))
+    b = DisseminationBarrier(machine, Mechanism.LLSC)
+    for cpu in range(8):
+        for rnd in range(b.rounds):
+            assert b._flags[cpu][rnd].home_node == \
+                machine.node_of_cpu(cpu)
+
+
+def test_dissemination_rejects_single_cpu():
+    machine = Machine(SystemConfig.table1(4))
+    with pytest.raises(ValueError):
+        DisseminationBarrier(machine, Mechanism.AMO, n_participants=1)
+
+
+def test_dissemination_has_no_hot_spot():
+    """Message destinations are spread across nodes, not one home."""
+    n = 16
+    machine = Machine(SystemConfig.table1(n))
+    barrier = DisseminationBarrier(machine, Mechanism.ATOMIC)
+
+    def thread(proc):
+        yield from barrier.wait(proc)
+
+    machine.run_threads(thread, max_events=6_000_000)
+    audits = machine.backing.home_audit()
+    assert len(audits) == machine.config.n_nodes  # flags on every node
+
+
+# ---------------------------------------------------------------------------
+# sense-reversing
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("mech", ALL, ids=[m.value for m in ALL])
+def test_sense_reversing_barrier_property(mech):
+    n = 8
+    machine = Machine(SystemConfig.table1(n))
+    drive(machine, SenseReversingBarrier(machine, mech), n, episodes=4)
+
+
+def test_sense_count_resets_each_episode():
+    n = 4
+    machine = Machine(SystemConfig.table1(n))
+    barrier = SenseReversingBarrier(machine, Mechanism.ATOMIC)
+
+    def thread(proc):
+        for _ in range(3):
+            yield from barrier.wait(proc)
+
+    machine.run_threads(thread, max_events=4_000_000)
+    assert machine.peek(barrier.count_var.addr) == 0
+    assert machine.peek(barrier.sense_var.addr) == 1   # 3 flips: 1,0,1
+
+
+def test_monotone_coding_beats_sense_reversing_slightly():
+    """The sense-reversing reset write is pure overhead vs the monotone
+    target coding; per-episode cost must not be lower."""
+    from repro.sync.barrier import CentralizedBarrier
+    n, episodes = 16, 4
+
+    def run(barrier_cls):
+        machine = Machine(SystemConfig.table1(n))
+        barrier = barrier_cls(machine, Mechanism.ATOMIC)
+
+        def thread(proc):
+            for _ in range(episodes):
+                yield from barrier.wait(proc)
+
+        machine.run_threads(thread, max_events=8_000_000)
+        return machine.last_completion_time
+
+    sense = run(SenseReversingBarrier)
+    monotone = run(CentralizedBarrier)
+    assert monotone <= sense * 1.1

@@ -1,0 +1,77 @@
+"""Correctness tests for the two-level combining-tree barrier."""
+
+import pytest
+
+from repro.config.mechanism import Mechanism
+from repro.config.parameters import SystemConfig
+from repro.core.machine import Machine
+from repro.sync.tree_barrier import CombiningTreeBarrier
+from tests.sync.test_barrier import check_barrier_property
+
+ALL = list(Mechanism)
+
+
+@pytest.mark.parametrize("mech", ALL, ids=[m.value for m in ALL])
+def test_tree_barrier_property_holds(mech):
+    n, episodes, branching = 16, 2, 4
+    machine = Machine(SystemConfig.table1(n))
+    barrier = CombiningTreeBarrier(machine, mech, branching=branching)
+    arrivals, departures = {}, {}
+
+    def thread(proc):
+        for e in range(episodes):
+            yield from proc.delay((proc.cpu_id * 311) % 1200)
+            arrivals[(e, proc.cpu_id)] = proc.sim.now
+            yield from barrier.wait(proc)
+            departures[(e, proc.cpu_id)] = proc.sim.now
+
+    machine.run_threads(thread, max_events=5_000_000)
+    check_barrier_property(n, episodes, arrivals, departures)
+    machine.check_coherence_invariants()
+
+
+def test_uneven_last_group():
+    # 12 CPUs with branching 8 => groups of 8 and 4
+    machine = Machine(SystemConfig.table1(12))
+    barrier = CombiningTreeBarrier(machine, Mechanism.ATOMIC, branching=8)
+    assert barrier.n_groups == 2
+    assert barrier.group_size(0) == 8
+    assert barrier.group_size(1) == 4
+
+    def thread(proc):
+        yield from barrier.wait(proc)
+        return True
+
+    assert machine.run_threads(thread, max_events=3_000_000) == [True] * 12
+
+
+def test_group_variables_distributed_across_nodes():
+    machine = Machine(SystemConfig.table1(16))
+    barrier = CombiningTreeBarrier(machine, Mechanism.LLSC, branching=4)
+    homes = {v.home_node for v in barrier.group_count}
+    assert len(homes) > 1, "group counters must not all share one home"
+
+
+def test_invalid_branching_rejected(machine8):
+    with pytest.raises(ValueError):
+        CombiningTreeBarrier(machine8, Mechanism.AMO, branching=1)
+    with pytest.raises(ValueError, match="single group"):
+        CombiningTreeBarrier(machine8, Mechanism.AMO, branching=8)
+
+
+def test_tree_beats_flat_for_conventional_at_scale():
+    """Table 3's premise at a reduced size: LL/SC+tree > flat LL/SC."""
+    from repro.workloads.barrier import run_barrier_workload
+    flat = run_barrier_workload(32, Mechanism.LLSC, episodes=2)
+    tree = run_barrier_workload(32, Mechanism.LLSC, episodes=2,
+                                tree_branching=8)
+    assert tree.cycles_per_episode < flat.cycles_per_episode
+
+
+def test_flat_amo_beats_tree_amo():
+    """Paper §4.2.2: AMO+tree is *slower* than AMO alone."""
+    from repro.workloads.barrier import run_barrier_workload
+    flat = run_barrier_workload(32, Mechanism.AMO, episodes=2)
+    tree = run_barrier_workload(32, Mechanism.AMO, episodes=2,
+                                tree_branching=8)
+    assert flat.cycles_per_episode < tree.cycles_per_episode

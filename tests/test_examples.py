@@ -1,0 +1,36 @@
+"""Every example script must run clean (they are part of the API surface)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", []),
+    ("barrier_scaling.py", ["--cpus", "4", "8", "16", "--episodes", "1"]),
+    ("lock_contention.py", ["--cpus", "4", "8", "--acq", "1"]),
+    ("message_anatomy.py", []),
+    ("custom_amo.py", []),
+    ("openmp_reduction.py", ["--cpus", "8"]),
+    ("trace_a_barrier.py", ["--out-dir", "/tmp"]),
+    ("applications.py", ["--cpus", "4"]),
+]
+
+
+@pytest.mark.parametrize("script,args", CASES,
+                         ids=[c[0] for c in CASES])
+def test_example_runs_clean(script, args):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples must print something useful"
+
+
+def test_examples_inventory_complete():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {c[0] for c in CASES} == scripts, \
+        "new example scripts must be added to the test matrix"

@@ -1,0 +1,54 @@
+"""Tests for the barrier workload driver."""
+
+import pytest
+
+from repro.config.mechanism import Mechanism
+from repro.workloads.barrier import BarrierResult, run_barrier_workload
+
+
+def test_result_metrics_consistent():
+    r = run_barrier_workload(4, Mechanism.AMO, episodes=3)
+    assert r.n_processors == 4
+    assert r.episodes == 3
+    assert r.total_cycles > 0
+    assert r.cycles_per_episode == pytest.approx(r.total_cycles / 3)
+    assert r.cycles_per_processor == pytest.approx(
+        r.cycles_per_episode / 4)
+    assert r.messages_per_episode > 0
+    assert r.bytes_per_episode > 0
+
+
+def test_speedup_over_self_is_one():
+    r = run_barrier_workload(4, Mechanism.ATOMIC, episodes=2)
+    assert r.speedup_over(r) == pytest.approx(1.0)
+
+
+def test_warmup_excluded_from_measurement():
+    # AMO is contention-deterministic: the cold episode pays the initial
+    # fetches, so the warmed measurement must not be slower.
+    cold = run_barrier_workload(4, Mechanism.AMO, episodes=1,
+                                warmup_episodes=0)
+    warm = run_barrier_workload(4, Mechanism.AMO, episodes=1,
+                                warmup_episodes=1)
+    assert warm.cycles_per_episode <= cold.cycles_per_episode * 1.05
+
+
+def test_tree_configuration_recorded():
+    r = run_barrier_workload(16, Mechanism.MAO, episodes=2,
+                             tree_branching=4)
+    assert r.tree_branching == 4
+
+
+def test_deterministic_repetition():
+    a = run_barrier_workload(8, Mechanism.AMO, episodes=2)
+    b = run_barrier_workload(8, Mechanism.AMO, episodes=2)
+    assert a.total_cycles == b.total_cycles
+    assert a.traffic.total_messages == b.traffic.total_messages
+
+
+def test_config_processor_count_override():
+    # passing a config whose n_processors disagrees gets reconciled
+    from repro.config.parameters import SystemConfig
+    r = run_barrier_workload(8, Mechanism.AMO, episodes=1,
+                             config=SystemConfig.table1(4))
+    assert r.n_processors == 8

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Splice measured tables from a `repro-experiments all --markdown` dump
+into EXPERIMENTS.md's placeholder comments.
+
+Usage: python tools/fill_experiments.py <results.md> [EXPERIMENTS.md]
+
+The dump contains sections like:
+
+    == E1/table2: ... ==
+    **Measured — ...**
+    | CPUs | ... |
+    ...
+
+Each experiment's *measured* markdown table replaces the matching
+``<!-- XXX-MEASURED -->`` placeholder.
+"""
+
+import re
+import sys
+
+PLACEHOLDERS = {
+    "E1/table2": "TABLE2-MEASURED",
+    "E2/fig5": "FIG5-MEASURED",
+    "E3/table3": "TABLE3-MEASURED",
+    "E4/fig6": "FIG6-MEASURED",
+    "E5/table4": "TABLE4-MEASURED",
+    "E6/fig7": "FIG7-MEASURED",
+    "E9/amo-model": "AMO-MODEL-MEASURED",
+}
+
+
+def extract_measured_tables(dump: str) -> dict[str, str]:
+    """Map experiment id -> its measured markdown table."""
+    out = {}
+    sections = re.split(r"^== ", dump, flags=re.M)
+    for section in sections[1:]:
+        header, _, body = section.partition("\n")
+        exp_id = header.split(":")[0].strip()
+        # the first markdown table after a "**Measured" title
+        match = re.search(
+            r"\*\*Measured[^\n]*\*\*\n\n((?:\|[^\n]*\n)+)", body)
+        if match:
+            out[exp_id] = match.group(1).rstrip()
+    return out
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    dump_path = sys.argv[1]
+    target_path = sys.argv[2] if len(sys.argv) > 2 else "EXPERIMENTS.md"
+    dump = open(dump_path).read()
+    target = open(target_path).read()
+    tables = extract_measured_tables(dump)
+    missing = []
+    for exp_id, placeholder in PLACEHOLDERS.items():
+        marker = f"<!-- {placeholder} -->"
+        if exp_id in tables and marker in target:
+            target = target.replace(marker, tables[exp_id])
+        else:
+            missing.append(exp_id)
+    open(target_path, "w").write(target)
+    if missing:
+        print(f"not filled: {', '.join(missing)}")
+    print(f"filled {len(PLACEHOLDERS) - len(missing)} sections "
+          f"into {target_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
