@@ -12,7 +12,7 @@ import pytest
 from benchmarks.conftest import BARRIER_CPUS, EPISODES, once
 from repro.config.mechanism import Mechanism
 from repro.harness.experiments import experiment_table2
-from repro.workloads.barrier import run_barrier_workload
+from repro.runner import RunSpec
 
 MECHS = [Mechanism.LLSC, Mechanism.ACTMSG, Mechanism.ATOMIC,
          Mechanism.MAO, Mechanism.AMO]
@@ -20,9 +20,10 @@ MECHS = [Mechanism.LLSC, Mechanism.ACTMSG, Mechanism.ATOMIC,
 
 @pytest.mark.parametrize("n_cpus", BARRIER_CPUS)
 @pytest.mark.parametrize("mech", MECHS, ids=[m.value for m in MECHS])
-def test_barrier_cell(benchmark, mech, n_cpus):
-    result = once(benchmark, run_barrier_workload, n_cpus, mech,
-                  episodes=EPISODES)
+def test_barrier_cell(benchmark, runner, mech, n_cpus):
+    spec = RunSpec.barrier(n_processors=n_cpus, mechanism=mech,
+                           episodes=EPISODES)
+    result = once(benchmark, runner.run_one, spec)
     benchmark.extra_info["mechanism"] = mech.label
     benchmark.extra_info["n_cpus"] = n_cpus
     benchmark.extra_info["cycles_per_episode"] = result.cycles_per_episode

@@ -13,28 +13,29 @@ from repro.config.mechanism import Mechanism
 from repro.harness.experiments import (
     experiment_fig6, experiment_table3, run_barrier_suite, run_tree_suite,
 )
-from repro.workloads.barrier import run_barrier_workload
+from repro.runner import RunSpec
 
 MECHS = [Mechanism.LLSC, Mechanism.ACTMSG, Mechanism.ATOMIC,
          Mechanism.MAO, Mechanism.AMO]
 
 
 @pytest.fixture(scope="module")
-def tree_results():
-    return run_tree_suite(TREE_CPUS, episodes=EPISODES)
+def tree_results(runner):
+    return run_tree_suite(TREE_CPUS, episodes=EPISODES, runner=runner)
 
 
 @pytest.fixture(scope="module")
-def flat_results():
-    return run_barrier_suite(TREE_CPUS, episodes=EPISODES)
+def flat_results(runner):
+    return run_barrier_suite(TREE_CPUS, episodes=EPISODES, runner=runner)
 
 
 @pytest.mark.parametrize("branching", (4, 8))
 @pytest.mark.parametrize("mech", MECHS, ids=[m.value for m in MECHS])
-def test_tree_barrier_cell(benchmark, mech, branching):
+def test_tree_barrier_cell(benchmark, runner, mech, branching):
     n_cpus = TREE_CPUS[-1] if branching < TREE_CPUS[-1] else 16
-    result = once(benchmark, run_barrier_workload, n_cpus, mech,
-                  episodes=EPISODES, tree_branching=branching)
+    spec = RunSpec.barrier(n_processors=n_cpus, mechanism=mech,
+                           episodes=EPISODES, tree_branching=branching)
+    result = once(benchmark, runner.run_one, spec)
     benchmark.extra_info.update(
         mechanism=mech.label, n_cpus=n_cpus, branching=branching,
         cycles_per_episode=result.cycles_per_episode)

@@ -7,24 +7,27 @@ from repro.config.mechanism import Mechanism
 from repro.harness.experiments import (
     experiment_fig7, experiment_table4, run_lock_suite,
 )
-from repro.workloads.locks import run_lock_workload
+from repro.runner import RunSpec
 
 MECHS = [Mechanism.LLSC, Mechanism.ACTMSG, Mechanism.ATOMIC,
          Mechanism.MAO, Mechanism.AMO]
 
 
 @pytest.fixture(scope="module")
-def lock_results():
+def lock_results(runner):
     cpus = sorted(set(LOCK_CPUS) | set(FIG7_CPUS))
-    return run_lock_suite(cpus, acquisitions_per_cpu=ACQUISITIONS)
+    return run_lock_suite(cpus, acquisitions_per_cpu=ACQUISITIONS,
+                          runner=runner)
 
 
 @pytest.mark.parametrize("lock_type", ("ticket", "array"))
 @pytest.mark.parametrize("n_cpus", LOCK_CPUS)
 @pytest.mark.parametrize("mech", MECHS, ids=[m.value for m in MECHS])
-def test_lock_cell(benchmark, mech, n_cpus, lock_type):
-    result = once(benchmark, run_lock_workload, n_cpus, mech, lock_type,
-                  acquisitions_per_cpu=ACQUISITIONS)
+def test_lock_cell(benchmark, runner, mech, n_cpus, lock_type):
+    spec = RunSpec.lock(n_processors=n_cpus, mechanism=mech,
+                        lock_type=lock_type,
+                        acquisitions_per_cpu=ACQUISITIONS)
+    result = once(benchmark, runner.run_one, spec)
     benchmark.extra_info.update(
         mechanism=mech.label, n_cpus=n_cpus, lock=lock_type,
         cycles_per_acquisition=result.cycles_per_acquisition,

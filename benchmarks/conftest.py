@@ -6,6 +6,11 @@ pytest-benchmark timing is the *wall-clock cost of the simulation*
 simulated cycles, speedups, traffic — are attached as ``extra_info`` so
 ``--benchmark-json`` output regenerates the tables.
 
+All sweep points go through :mod:`repro.runner`.  The shared runner is
+serial and uncached by default so timings stay honest; set
+``REPRO_BENCH_JOBS=N`` to fan the suite fixtures across N worker
+processes (per-cell timings then measure runner dispatch + simulation).
+
 Sizes: the default grid stops at 64 CPUs so the whole suite runs in a
 few minutes (the repro band flags pure-Python 256-CPU runs as slow).
 Set ``REPRO_BENCH_FULL=1`` to run the paper's complete 4-256 sweep.
@@ -15,7 +20,10 @@ import os
 
 import pytest
 
+from repro.runner import ParallelRunner
+
 FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
 
 BARRIER_CPUS = (4, 8, 16, 32, 64, 128, 256) if FULL else (4, 8, 16, 32)
 TREE_CPUS = (16, 32, 64, 128, 256) if FULL else (16, 32)
@@ -26,10 +34,16 @@ ACQUISITIONS = 3 if FULL else 2
 
 
 @pytest.fixture(scope="session")
-def barrier_results():
+def runner():
+    """Sweep executor shared by every benchmark module (uncached)."""
+    return ParallelRunner(jobs=JOBS)
+
+
+@pytest.fixture(scope="session")
+def barrier_results(runner):
     """Shared flat-barrier measurements (table2 + fig5 + amo-model)."""
     from repro.harness.experiments import run_barrier_suite
-    return run_barrier_suite(BARRIER_CPUS, episodes=EPISODES)
+    return run_barrier_suite(BARRIER_CPUS, episodes=EPISODES, runner=runner)
 
 
 def once(benchmark, fn, *args, **kwargs):

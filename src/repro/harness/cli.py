@@ -5,12 +5,20 @@ Examples::
     repro-experiments fig1
     repro-experiments table2 --cpus 4 16 64 --episodes 3
     repro-experiments all --quick
+    repro-experiments all --full --jobs 4 --progress
     repro-experiments all --full --markdown > results.md
 
 ``--quick`` runs reduced sizes (up to 64 CPUs, fewer episodes) so the
 whole suite completes in a couple of minutes; ``--full`` runs the paper's
 complete 4-256 sweep (tens of minutes in pure Python — the repro band
 for this paper flags 256-processor runs as the slow part).
+
+Sweeps go through :mod:`repro.runner`: ``--jobs N`` fans independent
+simulations across N worker processes (0 = all cores), and results are
+cached on disk keyed by configuration + code version, so re-running an
+experiment — or another experiment sharing points, like ``fig5`` after
+``table2`` — skips the simulation work entirely.  ``--no-cache``
+disables the cache, ``--jobs 1`` (the default) runs serially in-process.
 """
 
 from __future__ import annotations
@@ -21,6 +29,8 @@ import time
 
 from repro.harness import experiments as ex
 from repro.harness.paper_data import TABLE2_CPUS, TABLE3_CPUS, TABLE4_CPUS
+from repro.runner import ParallelRunner, ResultCache, default_cache_dir
+from repro.stats.runner import make_progress
 
 QUICK_BARRIER_CPUS = (4, 8, 16, 32, 64)
 QUICK_TREE_CPUS = (16, 32, 64)
@@ -57,7 +67,26 @@ def main(argv=None) -> int:
                         help="emit Markdown tables")
     parser.add_argument("--json", metavar="PATH",
                         help="also write results as JSON to PATH")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the sweep (default 1 = "
+                             "serial in-process; 0 = all cores)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    parser.add_argument("--cache-dir", metavar="PATH",
+                        help="result-cache location (default "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro-runner)")
+    parser.add_argument("--timeout", type=float, metavar="SECONDS",
+                        help="per-run wall-clock limit")
+    parser.add_argument("--progress", action="store_true",
+                        help="print one line per resolved sweep point")
     args = parser.parse_args(argv)
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(root=args.cache_dir or default_cache_dir())
+    runner = ParallelRunner(jobs=args.jobs, cache=cache,
+                            timeout=args.timeout,
+                            progress=make_progress(args.progress))
 
     want = args.experiment
     results: list[ex.ExperimentResult] = []
@@ -67,7 +96,8 @@ def main(argv=None) -> int:
         cpus = _sizes(args, TABLE2_CPUS, QUICK_BARRIER_CPUS)
         print(f"# running flat-barrier suite on CPUs={cpus} ...",
               file=sys.stderr)
-        flat = ex.run_barrier_suite(cpus, episodes=args.episodes)
+        flat = ex.run_barrier_suite(cpus, episodes=args.episodes,
+                                    runner=runner)
         if want in ("table2", "all"):
             results.append(ex.experiment_table2(flat))
         if want in ("fig5", "all"):
@@ -78,8 +108,10 @@ def main(argv=None) -> int:
         cpus = _sizes(args, TABLE3_CPUS, QUICK_TREE_CPUS)
         print(f"# running tree-barrier suite on CPUs={cpus} ...",
               file=sys.stderr)
-        tree = ex.run_tree_suite(cpus, episodes=args.episodes)
-        flat3 = ex.run_barrier_suite(cpus, episodes=args.episodes)
+        tree = ex.run_tree_suite(cpus, episodes=args.episodes,
+                                 runner=runner)
+        flat3 = ex.run_barrier_suite(cpus, episodes=args.episodes,
+                                     runner=runner)
         if want in ("table3", "all"):
             results.append(ex.experiment_table3(tree, flat3))
         if want in ("fig6", "all"):
@@ -88,7 +120,8 @@ def main(argv=None) -> int:
         cpus = _sizes(args, TABLE4_CPUS, QUICK_LOCK_CPUS)
         print(f"# running lock suite on CPUs={cpus} ...", file=sys.stderr)
         locks = ex.run_lock_suite(cpus,
-                                  acquisitions_per_cpu=args.acquisitions)
+                                  acquisitions_per_cpu=args.acquisitions,
+                                  runner=runner)
         if want in ("table4", "all"):
             results.append(ex.experiment_table4(locks))
         if want in ("fig7", "all"):
@@ -124,6 +157,8 @@ def main(argv=None) -> int:
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)
         print(f"# wrote {args.json}", file=sys.stderr)
+    if runner.stats.total_points:
+        print(f"# runner: {runner.stats.summary()}", file=sys.stderr)
     failed = [c for r in results for c in r.checks if not c.passed]
     print(f"# {len(results)} experiment(s), "
           f"{sum(len(r.checks) for r in results)} shape checks, "

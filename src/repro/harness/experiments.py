@@ -20,9 +20,10 @@ from typing import Optional, Sequence
 
 from repro.config.mechanism import Mechanism
 from repro.harness import paper_data
+from repro.runner import ParallelRunner, RunSpec
 from repro.stats.report import TableFormatter, fit_linear
 from repro.workloads.barrier import BarrierResult, run_barrier_workload
-from repro.workloads.locks import LockResult, run_lock_workload
+from repro.workloads.locks import LockResult
 
 #: mechanism column order used by the paper's tables
 BARRIER_COLUMNS = [Mechanism.ACTMSG, Mechanism.ATOMIC, Mechanism.MAO,
@@ -79,48 +80,59 @@ class ExperimentResult:
 # suite runners (shared between table and figure experiments)
 # ---------------------------------------------------------------------------
 
+def _runner_or_serial(runner: Optional[ParallelRunner]) -> ParallelRunner:
+    """Default execution: serial, in-process, uncached — byte-identical
+    to calling the workload drivers directly (the determinism-test path).
+    Pass an explicit :class:`ParallelRunner` (the CLI does) for
+    multi-process fan-out and the on-disk result cache."""
+    return runner if runner is not None else ParallelRunner(jobs=1)
+
+
 def run_barrier_suite(cpu_counts: Sequence[int], episodes: int = 3,
+                      runner: Optional[ParallelRunner] = None,
                       ) -> dict[tuple[int, Mechanism], BarrierResult]:
     """Flat-barrier measurements for every (P, mechanism)."""
-    out: dict[tuple[int, Mechanism], BarrierResult] = {}
-    for p in cpu_counts:
-        for mech in ALL_MECHANISMS:
-            out[(p, mech)] = run_barrier_workload(p, mech, episodes=episodes)
-    return out
+    keys = [(p, mech) for p in cpu_counts for mech in ALL_MECHANISMS]
+    specs = [RunSpec.barrier(n_processors=p, mechanism=mech,
+                             episodes=episodes) for p, mech in keys]
+    results = _runner_or_serial(runner).run(specs)
+    return dict(zip(keys, results))
 
 
 def run_tree_suite(cpu_counts: Sequence[int], episodes: int = 3,
                    branchings: Sequence[int] = DEFAULT_BRANCHINGS,
+                   runner: Optional[ParallelRunner] = None,
                    ) -> dict[tuple[int, Mechanism], BarrierResult]:
     """Tree-barrier measurements, keeping the best branching factor per
     configuration (the paper's methodology)."""
+    keys = [(p, mech, b) for p in cpu_counts for mech in ALL_MECHANISMS
+            for b in branchings if b < p]       # needs at least two groups
+    specs = [RunSpec.barrier(n_processors=p, mechanism=mech,
+                             episodes=episodes, tree_branching=b)
+             for p, mech, b in keys]
+    results = _runner_or_serial(runner).run(specs)
     out: dict[tuple[int, Mechanism], BarrierResult] = {}
+    for (p, mech, _b), res in zip(keys, results):
+        best = out.get((p, mech))
+        if best is None or res.cycles_per_episode < best.cycles_per_episode:
+            out[(p, mech)] = res
     for p in cpu_counts:
         for mech in ALL_MECHANISMS:
-            best: Optional[BarrierResult] = None
-            for b in branchings:
-                if b >= p:       # needs at least two groups
-                    continue
-                res = run_barrier_workload(p, mech, episodes=episodes,
-                                           tree_branching=b)
-                if best is None or res.cycles_per_episode < best.cycles_per_episode:
-                    best = res
-            assert best is not None, f"no valid branching for P={p}"
-            out[(p, mech)] = best
+            assert (p, mech) in out, f"no valid branching for P={p}"
     return out
 
 
 def run_lock_suite(cpu_counts: Sequence[int], acquisitions_per_cpu: int = 3,
+                   runner: Optional[ParallelRunner] = None,
                    ) -> dict[tuple[int, Mechanism, str], LockResult]:
     """Lock measurements for every (P, mechanism, ticket|array)."""
-    out: dict[tuple[int, Mechanism, str], LockResult] = {}
-    for p in cpu_counts:
-        for mech in ALL_MECHANISMS:
-            for lock_type in ("ticket", "array"):
-                out[(p, mech, lock_type)] = run_lock_workload(
-                    p, mech, lock_type,
-                    acquisitions_per_cpu=acquisitions_per_cpu)
-    return out
+    keys = [(p, mech, lt) for p in cpu_counts for mech in ALL_MECHANISMS
+            for lt in ("ticket", "array")]
+    specs = [RunSpec.lock(n_processors=p, mechanism=mech, lock_type=lt,
+                          acquisitions_per_cpu=acquisitions_per_cpu)
+             for p, mech, lt in keys]
+    results = _runner_or_serial(runner).run(specs)
+    return dict(zip(keys, results))
 
 
 # ---------------------------------------------------------------------------
@@ -522,8 +534,6 @@ def experiment_amo_tree_crossover(cpu_counts: Sequence[int],
     work."  This experiment produces the flat/tree ratio per size so the
     trend toward (or away from) a crossover is visible.
     """
-    from repro.workloads.barrier import run_barrier_workload
-
     table = TableFormatter(
         ["CPUs", "flat AMO", "best AMO+tree", "best branching",
          "tree/flat"],

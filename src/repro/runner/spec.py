@@ -1,0 +1,144 @@
+"""Run specifications — the unit of work the parallel runner schedules.
+
+A :class:`RunSpec` is an immutable, picklable, *canonically serializable*
+description of one simulator run: a registered ``kind`` (which names a
+driver function such as :func:`repro.workloads.barrier.run_barrier_workload`)
+plus its keyword arguments.  Canonical serialization is what makes the
+content-addressed result cache sound: two specs with the same semantics
+always produce the same JSON, regardless of keyword order or enum
+identity.
+
+New run kinds (e.g. application kernels) register a driver with
+:func:`register_kind`; the executor workers resolve kinds through the
+same registry, so a kind registered before the pool is forked is
+runnable in every worker.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.config.mechanism import Mechanism
+
+#: kind name -> driver callable taking the spec's kwargs
+_KIND_REGISTRY: dict[str, Callable[..., Any]] = {}
+
+
+def register_kind(name: str, fn: Callable[..., Any]) -> None:
+    """Register (or replace) the driver function for a run kind."""
+    _KIND_REGISTRY[name] = fn
+
+
+def registered_kinds() -> tuple[str, ...]:
+    return tuple(sorted(_KIND_REGISTRY))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent simulation point: ``kind`` + frozen kwargs."""
+
+    kind: str
+    #: sorted ``(name, value)`` pairs — hashable and order-independent
+    params: tuple[tuple[str, Any], ...]
+
+    @classmethod
+    def make(cls, kind: str, **params: Any) -> "RunSpec":
+        return cls(kind=kind, params=tuple(sorted(params.items())))
+
+    @classmethod
+    def barrier(cls, n_processors: int, mechanism: Mechanism,
+                episodes: int = 4, warmup_episodes: int = 1,
+                tree_branching: Optional[int] = None, naive: bool = False,
+                home_node: int = 0) -> "RunSpec":
+        """A :func:`~repro.workloads.barrier.run_barrier_workload` point."""
+        return cls.make("barrier", n_processors=n_processors,
+                        mechanism=mechanism, episodes=episodes,
+                        warmup_episodes=warmup_episodes,
+                        tree_branching=tree_branching, naive=naive,
+                        home_node=home_node)
+
+    @classmethod
+    def lock(cls, n_processors: int, mechanism: Mechanism,
+             lock_type: str = "ticket", acquisitions_per_cpu: int = 4,
+             warmup_per_cpu: int = 1, home_node: int = 0) -> "RunSpec":
+        """A :func:`~repro.workloads.locks.run_lock_workload` point."""
+        return cls.make("lock", n_processors=n_processors,
+                        mechanism=mechanism, lock_type=lock_type,
+                        acquisitions_per_cpu=acquisitions_per_cpu,
+                        warmup_per_cpu=warmup_per_cpu, home_node=home_node)
+
+    # ------------------------------------------------------------------
+    @property
+    def kwargs(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    def canonical(self) -> str:
+        """Stable JSON rendering — the cache-key input."""
+        return json.dumps({"kind": self.kind, "params": self.kwargs},
+                          sort_keys=True, default=_encode_value,
+                          separators=(",", ":"))
+
+    def label(self) -> str:
+        """Short human label for progress lines."""
+        kw = self.kwargs
+        bits = [self.kind]
+        if "n_processors" in kw:
+            bits.append(f"P={kw['n_processors']}")
+        mech = kw.get("mechanism")
+        if isinstance(mech, Mechanism):
+            bits.append(mech.value)
+        if kw.get("lock_type"):
+            bits.append(kw["lock_type"])
+        if kw.get("tree_branching"):
+            bits.append(f"b={kw['tree_branching']}")
+        return " ".join(bits)
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, Mechanism):
+        return {"__mechanism__": value.name}
+    raise TypeError(
+        f"RunSpec parameter {value!r} ({type(value).__name__}) is not "
+        "canonically serializable; use int/float/str/bool/None/Mechanism")
+
+
+@dataclass
+class RunRecord:
+    """What executing one spec produced, plus execution metadata."""
+
+    spec: RunSpec
+    result: Any
+    #: simulator events the run dispatched (0 if the driver reports none)
+    sim_events: int = 0
+    #: wall-clock seconds the driver took, in whichever process ran it
+    wall_seconds: float = 0.0
+    schema: int = field(default=1)
+
+
+def execute_spec(spec: RunSpec) -> RunRecord:
+    """Execute ``spec`` in this process and wrap the outcome."""
+    try:
+        fn = _KIND_REGISTRY[spec.kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown run kind {spec.kind!r}; registered: "
+            f"{registered_kinds()}") from None
+    t0 = time.perf_counter()
+    result = fn(**spec.kwargs)
+    wall = time.perf_counter() - t0
+    return RunRecord(spec=spec, result=result,
+                     sim_events=getattr(result, "events_dispatched", 0),
+                     wall_seconds=wall)
+
+
+def _register_builtin_kinds() -> None:
+    from repro.workloads.barrier import run_barrier_workload
+    from repro.workloads.locks import run_lock_workload
+    register_kind("barrier", run_barrier_workload)
+    register_kind("lock", run_lock_workload)
+
+
+_register_builtin_kinds()

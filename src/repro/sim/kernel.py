@@ -137,8 +137,9 @@ class Simulator:
             Stop once simulated time would pass this value; events at
             exactly ``until`` still fire.
         max_events:
-            Safety valve for runaway simulations; raises
-            :class:`SimulationError` when exceeded.
+            Safety valve for runaway simulations; at most ``max_events``
+            events are dispatched, and attempting one more raises
+            :class:`SimulationError`.
 
         Returns the final simulated time.
         """
@@ -148,6 +149,8 @@ class Simulator:
         try:
             dispatched = 0
             while self._queue:
+                if max_events is not None and dispatched >= max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
                 when, _seq, fn, args = self._queue[0]
                 if until is not None and when > until:
                     self._now = until
@@ -159,8 +162,6 @@ class Simulator:
                 fn(*args)
                 dispatched += 1
                 self.events_dispatched += 1
-                if max_events is not None and dispatched > max_events:
-                    raise SimulationError(f"exceeded max_events={max_events}")
         finally:
             self._running = False
         return self._now

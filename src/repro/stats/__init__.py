@@ -2,6 +2,7 @@
 
 from repro.stats.collector import LatencyStats, fairness_across_cpus, op_latency_stats
 from repro.stats.report import TableFormatter, fit_linear
+from repro.stats.runner import PointRecord, RunnerStats, stderr_progress
 
 __all__ = [
     "TableFormatter",
@@ -9,4 +10,7 @@ __all__ = [
     "LatencyStats",
     "op_latency_stats",
     "fairness_across_cpus",
+    "PointRecord",
+    "RunnerStats",
+    "stderr_progress",
 ]

@@ -1,0 +1,107 @@
+"""Observability for the sweep runner: per-point and aggregate counters.
+
+The :class:`~repro.runner.executor.ParallelRunner` records one
+:class:`PointRecord` per resolved spec (cache hit or fresh execution)
+and aggregates them in :class:`RunnerStats` — runs completed, cache
+hits, retries, per-point wall time, and simulator events dispatched per
+second of worker wall time.  Progress hooks receive each record as it
+lands, in completion order.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass
+class PointRecord:
+    """One resolved sweep point."""
+
+    label: str
+    cached: bool
+    #: wall-clock seconds the simulation took (stored time for hits)
+    wall_seconds: float
+    #: simulator events the run dispatched
+    sim_events: int
+    attempts: int = 1
+    failed: bool = False
+
+    @property
+    def events_per_second(self) -> float:
+        return self.sim_events / self.wall_seconds if self.wall_seconds else 0.0
+
+
+#: hook signature: (completed so far, total points, the record that landed)
+ProgressHook = Callable[[int, int, PointRecord], None]
+
+
+@dataclass
+class RunnerStats:
+    """Aggregate counters across every :meth:`ParallelRunner.run` call."""
+
+    total_points: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    failures: int = 0
+    #: extra attempts beyond the first, summed over all points
+    retries: int = 0
+    #: sum of fresh-execution wall seconds (worker-side, overlaps when
+    #: parallel — compare against :attr:`elapsed_seconds` for speedup)
+    wall_seconds: float = 0.0
+    #: end-to-end seconds spent inside run() calls
+    elapsed_seconds: float = 0.0
+    sim_events: int = 0
+    points: list[PointRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def record(self, point: PointRecord) -> None:
+        self.total_points += 1
+        self.points.append(point)
+        self.sim_events += point.sim_events
+        self.retries += max(0, point.attempts - 1)
+        if point.failed:
+            self.failures += 1
+        elif point.cached:
+            self.cache_hits += 1
+        else:
+            self.executed += 1
+            self.wall_seconds += point.wall_seconds
+
+    @property
+    def events_per_second(self) -> float:
+        """Simulator events dispatched per second of worker wall time."""
+        if self.wall_seconds == 0:
+            return 0.0
+        executed_events = sum(p.sim_events for p in self.points
+                              if not p.cached and not p.failed)
+        return executed_events / self.wall_seconds
+
+    def summary(self) -> str:
+        parts = [f"{self.total_points} points",
+                 f"{self.cache_hits} cache hits",
+                 f"{self.executed} executed"]
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.failures:
+            parts.append(f"{self.failures} FAILED")
+        parts.append(f"{self.elapsed_seconds:.1f}s elapsed")
+        if self.executed:
+            parts.append(f"{self.events_per_second:,.0f} events/s")
+        return ", ".join(parts)
+
+
+def stderr_progress(done: int, total: int, point: PointRecord) -> None:
+    """Default ``--progress`` hook: one line per resolved point."""
+    origin = "cache" if point.cached else f"{point.wall_seconds:.2f}s"
+    if point.failed:
+        origin = "FAILED"
+    rate = (f" {point.events_per_second:,.0f} ev/s"
+            if not point.cached and not point.failed else "")
+    print(f"# [{done}/{total}] {point.label}: {origin}{rate}",
+          file=sys.stderr, flush=True)
+
+
+def make_progress(enabled: bool) -> Optional[ProgressHook]:
+    return stderr_progress if enabled else None

@@ -29,6 +29,8 @@ class BarrierResult:
     tree_branching: Optional[int]
     total_cycles: int
     traffic: TrafficStats
+    #: kernel events dispatched by the whole run (simulator-cost metric)
+    events_dispatched: int = 0
 
     @property
     def cycles_per_episode(self) -> float:
@@ -91,4 +93,5 @@ def run_barrier_workload(n_processors: int, mechanism: Mechanism,
     machine.check_coherence_invariants()
     return BarrierResult(
         mechanism=mechanism, n_processors=n_processors, episodes=episodes,
-        tree_branching=tree_branching, total_cycles=total, traffic=traffic)
+        tree_branching=tree_branching, total_cycles=total, traffic=traffic,
+        events_dispatched=machine.sim.events_dispatched)

@@ -41,6 +41,8 @@ class LockResult:
     think_cycles: int
     #: distribution of individual acquire() latencies (steady state)
     acquire_latency: Optional[LatencyStats] = None
+    #: kernel events dispatched by the whole run (simulator-cost metric)
+    events_dispatched: int = 0
 
     @property
     def cycles_per_acquisition(self) -> float:
@@ -114,4 +116,5 @@ def run_lock_workload(n_processors: int, mechanism: Mechanism,
         acquisitions=acquisitions_per_cpu * n_processors,
         total_cycles=total, traffic=traffic,
         cs_cycles=cs_cycles, think_cycles=think_cycles,
-        acquire_latency=acquire_latency)
+        acquire_latency=acquire_latency,
+        events_dispatched=machine.sim.events_dispatched)

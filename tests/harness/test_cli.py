@@ -5,6 +5,12 @@ import pytest
 from repro.harness.cli import main
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """The CLI caches results by default; keep tests off the user cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cli-cache"))
+
+
 def test_fig1_exits_zero(capsys):
     assert main(["fig1"]) == 0
     out = capsys.readouterr().out
@@ -54,3 +60,49 @@ def test_amo_tree_experiment_via_cli(capsys):
     out = capsys.readouterr().out
     assert "amo-tree" in out.lower() or "AMO combining-tree" in out
     assert rc == 0
+
+
+def test_warm_cache_second_invocation_skips_all_simulation(capsys):
+    args = ["table2", "--cpus", "4", "--episodes", "1"]
+    main(args)
+    first = capsys.readouterr()
+    assert "0 cache hits" in first.err
+    main(args)
+    second = capsys.readouterr()
+    assert "5 cache hits, 0 executed" in second.err
+    # cached tables are byte-identical to freshly computed ones
+    assert first.out == second.out
+
+
+def test_no_cache_flag_disables_caching(capsys):
+    args = ["table2", "--cpus", "4", "--episodes", "1", "--no-cache"]
+    main(args)
+    capsys.readouterr()
+    main(args)
+    err = capsys.readouterr().err
+    assert "0 cache hits, 5 executed" in err
+
+
+def test_parallel_jobs_match_serial_output(capsys):
+    main(["table2", "--cpus", "4", "8", "--episodes", "1", "--no-cache"])
+    serial = capsys.readouterr().out
+    main(["table2", "--cpus", "4", "8", "--episodes", "1", "--no-cache",
+          "--jobs", "2"])
+    parallel = capsys.readouterr().out
+    assert serial == parallel
+
+
+def test_progress_flag_emits_per_point_lines(capsys):
+    main(["table2", "--cpus", "4", "--episodes", "1", "--no-cache",
+          "--progress"])
+    err = capsys.readouterr().err
+    assert "[1/5]" in err and "[5/5]" in err
+    assert "ev/s" in err
+
+
+def test_cache_dir_flag_overrides_env(tmp_path, capsys):
+    custom = tmp_path / "custom-cache"
+    main(["table2", "--cpus", "4", "--episodes", "1",
+          "--cache-dir", str(custom)])
+    capsys.readouterr()
+    assert custom.exists() and any(custom.rglob("*.pkl"))

@@ -1,10 +1,15 @@
 """End-to-end integration: mixed synchronization patterns on one machine."""
 
+import pytest
+
 from repro.config.mechanism import Mechanism
 from repro.config.parameters import SystemConfig
 from repro.core.machine import Machine
 from repro.sync.barrier import CentralizedBarrier
 from repro.sync.ticket_lock import TicketLock
+
+#: multi-million-event end-to-end runs — the long integration tier
+pytestmark = pytest.mark.slow
 
 
 def test_pipeline_of_barriers_and_locks():

@@ -11,6 +11,9 @@ from repro.config.mechanism import Mechanism
 from repro.workloads.barrier import run_barrier_workload
 from repro.workloads.locks import run_lock_workload
 
+#: full-module sweep fixtures up to 32 CPUs — the long integration tier
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def barrier16():

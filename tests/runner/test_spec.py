@@ -1,0 +1,80 @@
+"""RunSpec canonicalization, registry dispatch, and execution."""
+
+import pickle
+
+import pytest
+
+from repro.config.mechanism import Mechanism
+from repro.runner import RunSpec, execute_spec, register_kind, registered_kinds
+
+
+def test_canonical_is_order_independent():
+    a = RunSpec.make("barrier", n_processors=8, mechanism=Mechanism.AMO)
+    b = RunSpec.make("barrier", mechanism=Mechanism.AMO, n_processors=8)
+    assert a == b
+    assert a.canonical() == b.canonical()
+
+
+def test_canonical_distinguishes_parameters():
+    base = RunSpec.barrier(n_processors=8, mechanism=Mechanism.AMO)
+    assert base.canonical() != RunSpec.barrier(
+        n_processors=16, mechanism=Mechanism.AMO).canonical()
+    assert base.canonical() != RunSpec.barrier(
+        n_processors=8, mechanism=Mechanism.MAO).canonical()
+    assert base.canonical() != RunSpec.barrier(
+        n_processors=8, mechanism=Mechanism.AMO, episodes=7).canonical()
+
+
+def test_canonical_encodes_mechanism_stably():
+    spec = RunSpec.barrier(n_processors=4, mechanism=Mechanism.LLSC)
+    assert '"__mechanism__":"LLSC"' in spec.canonical()
+
+
+def test_unserializable_parameter_rejected():
+    spec = RunSpec.make("barrier", fn=lambda: None)
+    with pytest.raises(TypeError, match="not\\s+canonically serializable"):
+        spec.canonical()
+
+
+def test_spec_is_hashable_and_picklable():
+    spec = RunSpec.lock(n_processors=8, mechanism=Mechanism.AMO)
+    assert spec in {spec}
+    assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+def test_label_names_the_point():
+    spec = RunSpec.barrier(n_processors=16, mechanism=Mechanism.AMO,
+                           tree_branching=4)
+    assert "P=16" in spec.label()
+    assert "amo" in spec.label()
+    assert "b=4" in spec.label()
+
+
+def test_builtin_kinds_registered():
+    assert "barrier" in registered_kinds()
+    assert "lock" in registered_kinds()
+
+
+def test_execute_spec_runs_the_driver_and_measures():
+    record = execute_spec(RunSpec.barrier(n_processors=4,
+                                          mechanism=Mechanism.AMO,
+                                          episodes=1))
+    assert record.result.cycles_per_episode > 0
+    assert record.sim_events > 0
+    assert record.wall_seconds > 0
+
+
+def test_execute_unknown_kind_is_a_clear_error():
+    with pytest.raises(KeyError, match="unknown run kind"):
+        execute_spec(RunSpec.make("no-such-kind"))
+
+
+def test_register_kind_dispatches():
+    register_kind("test-echo", lambda value: value * 2)
+    try:
+        record = execute_spec(RunSpec.make("test-echo", value=21))
+        assert record.result == 42
+        assert record.sim_events == 0
+    finally:
+        from repro.runner import spec as spec_mod
+        spec_mod._KIND_REGISTRY.pop("test-echo", None)

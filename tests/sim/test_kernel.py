@@ -85,6 +85,27 @@ def test_max_events_guard():
         sim.run(max_events=100)
 
 
+def test_max_events_allows_exactly_the_bound():
+    """A run needing exactly max_events events completes cleanly."""
+    sim = Simulator()
+    for i in range(100):
+        sim.schedule(i, lambda: None)
+    sim.run(max_events=100)
+    assert sim.events_dispatched == 100
+
+
+def test_max_events_stops_before_the_excess_event():
+    """Regression: the guard used to fire only after max_events + 1
+    events had already run; the bound must be a true ceiling."""
+    sim = Simulator()
+    ran = []
+    for i in range(101):
+        sim.schedule(i, ran.append, i)
+    with pytest.raises(SimulationError, match="max_events=100"):
+        sim.run(max_events=100)
+    assert len(ran) == 100, "the 101st event must not have executed"
+
+
 def test_process_returns_value():
     sim = Simulator()
 

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Serial-vs-parallel runner baseline — writes ``BENCH_runner.json``.
+
+Runs one fixed barrier sweep three ways and records wall time and
+simulator events/second for each:
+
+* ``serial``   — ``jobs=1``, no cache (the pre-runner execution model)
+* ``parallel`` — ``jobs=N`` workers, no cache
+* ``warm``     — second pass over a freshly populated on-disk cache
+
+Future PRs diff this file to catch executor/cache regressions::
+
+    PYTHONPATH=src python tools/bench_runner.py --jobs 4
+    PYTHONPATH=src python tools/bench_runner.py --cpus 4 8 16 32 --out -
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+from repro.config.mechanism import Mechanism
+from repro.runner import ParallelRunner, ResultCache, RunSpec
+
+
+def build_specs(cpus: list[int], episodes: int) -> list[RunSpec]:
+    return [RunSpec.barrier(n_processors=p, mechanism=m, episodes=episodes)
+            for p in cpus for m in Mechanism]
+
+
+def timed_pass(specs: list[RunSpec], **runner_kwargs) -> dict:
+    runner = ParallelRunner(**runner_kwargs)
+    t0 = time.perf_counter()
+    runner.run(specs)
+    elapsed = time.perf_counter() - t0
+    stats = runner.stats
+    return {
+        "elapsed_seconds": round(elapsed, 3),
+        "executed": stats.executed,
+        "cache_hits": stats.cache_hits,
+        "sim_events": stats.sim_events,
+        "events_per_second": round(stats.events_per_second),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cpus", type=int, nargs="+",
+                        default=[4, 8, 16, 32])
+    parser.add_argument("--episodes", type=int, default=2)
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="parallel-pass workers (0 = all cores)")
+    parser.add_argument("--out", default="BENCH_runner.json",
+                        help="output path, or - for stdout")
+    args = parser.parse_args(argv)
+
+    jobs = args.jobs or multiprocessing.cpu_count()
+    specs = build_specs(args.cpus, args.episodes)
+
+    serial = timed_pass(specs, jobs=1)
+    parallel = timed_pass(specs, jobs=jobs)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cache = ResultCache(root=cache_dir)
+        cold = timed_pass(specs, jobs=jobs, cache=cache)
+        warm = timed_pass(specs, jobs=jobs, cache=cache)
+
+    payload = {
+        "benchmark": "runner",
+        "points": len(specs),
+        "cpus": args.cpus,
+        "episodes": args.episodes,
+        "jobs": jobs,
+        "host_cores": multiprocessing.cpu_count(),
+        "python": platform.python_version(),
+        "serial": serial,
+        "parallel": parallel,
+        "cache_cold": cold,
+        "cache_warm": warm,
+        "parallel_speedup": round(
+            serial["elapsed_seconds"] / parallel["elapsed_seconds"], 2)
+        if parallel["elapsed_seconds"] else None,
+        "warm_speedup_over_serial": round(
+            serial["elapsed_seconds"] / warm["elapsed_seconds"], 1)
+        if warm["elapsed_seconds"] else None,
+    }
+    text = json.dumps(payload, indent=2) + "\n"
+    if args.out == "-":
+        print(text, end="")
+    else:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}: serial {serial['elapsed_seconds']}s, "
+              f"parallel(x{jobs}) {parallel['elapsed_seconds']}s, "
+              f"warm cache {warm['elapsed_seconds']}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
