@@ -37,6 +37,11 @@ class ActiveMemoryUnit:
         self.queue = FifoQueue(name=f"amu[{hub.node}]")
         self.ops_executed = 0
         self.puts_issued = 0
+        #: ops whose result matched their §3.2 test value
+        self.test_matches = 0
+        #: ops that updated the AMU cache *without* a put — the deferred
+        #: visibility window of the paper's release-consistency semantics
+        self.puts_deferred = 0
         self._dispatcher = self.sim.spawn(self._dispatch_loop(),
                                           name=f"amu-dispatch[{hub.node}]")
 
@@ -69,6 +74,8 @@ class ActiveMemoryUnit:
                 old = yield from self.hub.home_engine.read_coherent_word(word)
                 yield Timeout(op_time)
                 new = op.apply(old, cmd.operand)
+                if cmd.test is not None and new == cmd.test:
+                    self.test_matches += 1
                 yield from self.hub.home_engine.write_coherent_word(
                     word, new, push_updates=cmd.should_push(new))
             else:
@@ -83,10 +90,14 @@ class ActiveMemoryUnit:
                 old = entry.value
                 new = op.apply(old, cmd.operand)
                 entry.value = new
+                if cmd.test is not None and new == cmd.test:
+                    self.test_matches += 1
                 if cmd.should_push(new):
                     self.puts_issued += 1
                     yield from self.hub.home_engine.write_coherent_word(
                         word, new, push_updates=True)
+                else:
+                    self.puts_deferred += 1
 
             self.ops_executed += 1
             reply_kind = (MessageKind.AMO_REPLY if cmd.coherent

@@ -61,6 +61,12 @@ class HomeEngine:
         self.backing = hub.backing
         self.directory = Directory(hub.node)
         self.transactions = 0
+        self.get_s_served = 0
+        self.get_x_served = 0
+        self.writebacks_served = 0
+        self.invalidations_sent = 0
+        self.interventions_sent = 0
+        self.word_updates_pushed = 0
 
     # ------------------------------------------------------------------
     # dispatch
@@ -85,10 +91,18 @@ class HomeEngine:
         return self.config.hub.hub_to_cpu(
             self.config.hub.directory_occupancy_hub_cycles)
 
+    def _count_invalidations(self, fanout: int) -> None:
+        """Account one invalidation wave of ``fanout`` targets."""
+        self.invalidations_sent += fanout
+        obs = self.hub.machine.obs
+        if obs is not None:
+            obs.inval_fanout.observe(fanout)
+
     # ------------------------------------------------------------------
     # GET_S — read miss
     # ------------------------------------------------------------------
     def _serve_get_s(self, msg: Message):
+        self.get_s_served += 1
         line = line_base(msg.addr)
         ent = self.directory.entry(line)
         yield ent.busy.acquire()
@@ -143,6 +157,7 @@ class HomeEngine:
     # GET_X — store miss / upgrade / LL-SC upgrade / atomic fetch
     # ------------------------------------------------------------------
     def _serve_get_x(self, msg: Message):
+        self.get_x_served += 1
         line = line_base(msg.addr)
         ent = self.directory.entry(line)
         yield ent.busy.acquire()
@@ -165,6 +180,7 @@ class HomeEngine:
                     ent.amu_sharer = False
                 invalidees = sorted(ent.sharers - {requester})
                 if invalidees:
+                    self._count_invalidations(len(invalidees))
                     latch = AckLatch(len(invalidees),
                                      name=f"inv@{line:#x}")
                     for cpu in invalidees:
@@ -201,6 +217,7 @@ class HomeEngine:
         Returns the owner's line words (the coherent data).  The owner
         itself sends the data reply directly to the requester.
         """
+        self.interventions_sent += 1
         done = Signal(name=f"intervene@{requester_msg.addr:#x}")
         node = self.hub.machine.node_of_cpu(owner)
         yield from self.hub.egress_send(Message(
@@ -215,6 +232,7 @@ class HomeEngine:
     # writebacks (dirty eviction or clean-exclusive drop notification)
     # ------------------------------------------------------------------
     def _serve_writeback(self, msg: Message):
+        self.writebacks_served += 1
         line = line_base(msg.addr)
         ent = self.directory.entry(line)
         yield ent.busy.acquire()
@@ -327,6 +345,11 @@ class HomeEngine:
             self.backing.write_word(addr, value)
             ent.version += 1
             if push_updates:
+                if ent.sharers:
+                    self.word_updates_pushed += len(ent.sharers)
+                    obs = self.hub.machine.obs
+                    if obs is not None:
+                        obs.update_fanout.observe(len(ent.sharers))
                 multicast = self.config.network.multicast_updates
                 for i, cpu in enumerate(sorted(ent.sharers)):
                     node = self.hub.machine.node_of_cpu(cpu)
@@ -341,6 +364,7 @@ class HomeEngine:
                     else:
                         yield from self.hub.egress_send(update)
             elif ent.sharers:
+                self._count_invalidations(len(ent.sharers))
                 latch = AckLatch(len(ent.sharers), name=f"fginv@{line:#x}")
                 for cpu in sorted(ent.sharers):
                     node = self.hub.machine.node_of_cpu(cpu)

@@ -128,6 +128,8 @@ class Machine:
         self.last_completion_time = 0
         #: optional TraceRecorder (see repro.trace) — None = no tracing
         self.tracer = None
+        #: optional MachineMetrics (see repro.obs) — None = no metrics
+        self.obs = None
         for cpu_id in range(self.config.n_processors):
             hub = self.hubs[self.node_of_cpu(cpu_id)]
             proc = Processor(cpu_id, hub)

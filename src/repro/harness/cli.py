@@ -79,7 +79,20 @@ def main(argv=None) -> int:
                         help="per-run wall-clock limit")
     parser.add_argument("--progress", action="store_true",
                         help="print one line per resolved sweep point")
+    parser.add_argument("--metrics", action="store_true",
+                        help="run sweeps with the repro.obs metrics layer "
+                             "attached (separate cache entries)")
+    parser.add_argument("--metrics-interval", type=int, default=0,
+                        metavar="CYCLES",
+                        help="with --metrics: sample gauges every N "
+                             "simulated cycles (0 = no time-series)")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="write the merged metrics export (JSON, "
+                             "schema repro.obs.export/1) to PATH; "
+                             "implies --metrics")
     args = parser.parse_args(argv)
+    if args.metrics_out:
+        args.metrics = True
 
     cache = None
     if not args.no_cache:
@@ -97,7 +110,8 @@ def main(argv=None) -> int:
         print(f"# running flat-barrier suite on CPUs={cpus} ...",
               file=sys.stderr)
         flat = ex.run_barrier_suite(cpus, episodes=args.episodes,
-                                    runner=runner)
+                                    runner=runner, metrics=args.metrics,
+                                    metrics_interval=args.metrics_interval)
         if want in ("table2", "all"):
             results.append(ex.experiment_table2(flat))
         if want in ("fig5", "all"):
@@ -109,9 +123,11 @@ def main(argv=None) -> int:
         print(f"# running tree-barrier suite on CPUs={cpus} ...",
               file=sys.stderr)
         tree = ex.run_tree_suite(cpus, episodes=args.episodes,
-                                 runner=runner)
+                                 runner=runner, metrics=args.metrics,
+                                 metrics_interval=args.metrics_interval)
         flat3 = ex.run_barrier_suite(cpus, episodes=args.episodes,
-                                     runner=runner)
+                                     runner=runner, metrics=args.metrics,
+                                     metrics_interval=args.metrics_interval)
         if want in ("table3", "all"):
             results.append(ex.experiment_table3(tree, flat3))
         if want in ("fig6", "all"):
@@ -121,7 +137,8 @@ def main(argv=None) -> int:
         print(f"# running lock suite on CPUs={cpus} ...", file=sys.stderr)
         locks = ex.run_lock_suite(cpus,
                                   acquisitions_per_cpu=args.acquisitions,
-                                  runner=runner)
+                                  runner=runner, metrics=args.metrics,
+                                  metrics_interval=args.metrics_interval)
         if want in ("table4", "all"):
             results.append(ex.experiment_table4(locks))
         if want in ("fig7", "all"):
@@ -157,6 +174,20 @@ def main(argv=None) -> int:
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)
         print(f"# wrote {args.json}", file=sys.stderr)
+    if args.metrics_out:
+        import json
+        from repro.obs import build_export, validate_export
+        export = build_export(runner.metrics_points,
+                              runner=runner.stats.snapshot()["counters"])
+        errors = validate_export(export)
+        if errors:
+            for err in errors:
+                print(f"# metrics export INVALID: {err}", file=sys.stderr)
+            return 2
+        with open(args.metrics_out, "w") as fh:
+            json.dump(export, fh, indent=2)
+        print(f"# wrote metrics export ({len(export['points'])} points) "
+              f"to {args.metrics_out}", file=sys.stderr)
     if runner.stats.total_points:
         print(f"# runner: {runner.stats.summary()}", file=sys.stderr)
     failed = [c for r in results for c in r.checks if not c.passed]

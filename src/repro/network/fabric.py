@@ -37,8 +37,10 @@ class Network:
         self.topology = FatTreeTopology(n_nodes, radix=self.config.router_radix)
         self.stats = TrafficStats()
         self._handlers: dict[int, Callable[[Message], None]] = {}
-        #: optional hook observing every injected message (tests/tracing)
-        self.on_send: Optional[Callable[[Message, int], None]] = None
+        # hooks observing every injected message (tracing, profiling,
+        # metrics) — see subscribe_send / the legacy on_send property
+        self._send_hooks: list[Callable[[Message, int], None]] = []
+        self._legacy_send_hook: Optional[Callable[[Message, int], None]] = None
         # per-node link reservations (timestamp model, contention mode)
         self._uplink_free_at = [0] * n_nodes
         self._downlink_free_at = [0] * n_nodes
@@ -58,6 +60,44 @@ class Network:
     def attach(self, node: int, handler: Callable[[Message], None]) -> None:
         """Register the request handler (the hub) for ``node``."""
         self._handlers[node] = handler
+
+    # ------------------------------------------------------------------
+    # send observation hooks
+    # ------------------------------------------------------------------
+    def subscribe_send(self, hook: Callable[[Message, int], None]) -> None:
+        """Add a ``hook(msg, hops)`` called on every injected message.
+
+        Hooks are observation-only (tracers, profilers, metrics) and are
+        invoked in subscription order; any number may be attached
+        concurrently.  Subscribing the same callable twice is a no-op.
+        """
+        if hook not in self._send_hooks:
+            self._send_hooks.append(hook)
+
+    def unsubscribe_send(self, hook: Callable[[Message, int], None]) -> None:
+        """Remove a previously subscribed hook (missing hook is a no-op)."""
+        try:
+            self._send_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    @property
+    def on_send(self) -> Optional[Callable[[Message, int], None]]:
+        """Legacy single-hook view: the most recently subscribed hook.
+
+        Assigning replaces *only* the hook previously assigned through
+        this property (other subscribers are untouched); assigning
+        ``None`` removes it.  New code should use :meth:`subscribe_send`.
+        """
+        return self._send_hooks[-1] if self._send_hooks else None
+
+    @on_send.setter
+    def on_send(self, hook: Optional[Callable[[Message, int], None]]) -> None:
+        if self._legacy_send_hook is not None:
+            self.unsubscribe_send(self._legacy_send_hook)
+        self._legacy_send_hook = hook
+        if hook is not None:
+            self.subscribe_send(hook)
 
     def latency(self, src: int, dst: int) -> int:
         """One-way latency in CPU cycles between two nodes."""
@@ -79,8 +119,9 @@ class Network:
         hops = 0 if msg.src_node == msg.dst_node else self.topology.hops(
             msg.src_node, msg.dst_node)
         self.stats.record(self.sim.now, msg, hops)
-        if self.on_send is not None:
-            self.on_send(msg, hops)
+        if self._send_hooks:
+            for hook in self._send_hooks:
+                hook(msg, hops)
         base_latency = self.latency(msg.src_node, msg.dst_node)
         if self.config.model_router_contention and hops > 0:
             self._schedule_delivery(msg, self._reserve_path(msg))

@@ -1,0 +1,36 @@
+"""Unified metrics & telemetry for the whole stack (``repro.obs``).
+
+One observability layer spanning kernel -> coherence -> network -> runner:
+
+* :class:`MetricsRegistry` — named counters, gauges and log-bucketed
+  histograms with near-zero cost when nothing is attached (components
+  guard instrumentation behind a single ``machine.obs is None`` check).
+* :class:`MachineMetrics` — wires one :class:`~repro.core.machine.Machine`
+  into a registry: kernel event/queue telemetry, per-level cache
+  hit/miss/eviction counters, directory and home-engine transaction
+  counts, AMU/MAO op counters, and per-kind network traffic.
+* :class:`Sampler` — snapshots gauges on a simulated-cycle interval,
+  producing time-series (queue depths, cumulative events) per run.
+* :class:`CriticalPathAnalyzer` — attributes each barrier/lock episode's
+  latency to cpu / coherence / network / amu / wait segments using the
+  trace recorder's spans.
+* :mod:`repro.obs.snapshot` — snapshot merge across sweep points, and
+  :mod:`repro.obs.schema` — the export JSON schema plus a dependency-free
+  validator (``python -m repro.obs.schema out.json``).
+"""
+
+from repro.obs.critical_path import CriticalPathAnalyzer, EpisodeBreakdown
+from repro.obs.events import EventLog
+from repro.obs.machine import MachineMetrics
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.sampler import Sampler
+from repro.obs.schema import validate_export, validate_snapshot
+from repro.obs.snapshot import build_export, merge_snapshots
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "MachineMetrics", "Sampler",
+    "CriticalPathAnalyzer", "EpisodeBreakdown", "EventLog",
+    "merge_snapshots", "build_export",
+    "validate_snapshot", "validate_export",
+]

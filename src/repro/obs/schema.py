@@ -1,0 +1,220 @@
+"""Export schema for metrics snapshots, plus a dependency-free validator.
+
+The JSON-Schema document (:data:`EXPORT_JSON_SCHEMA`) describes the file
+written by ``repro-experiments --metrics-out``; CI validates every smoke
+sweep against it.  Since the toolchain must not grow dependencies, the
+actual validation is a small hand-rolled structural checker implementing
+exactly the subset the schema uses — run it as::
+
+    python -m repro.obs.schema out.json
+
+which exits non-zero listing every violation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any
+
+from repro.obs.registry import SNAPSHOT_SCHEMA
+from repro.obs.snapshot import EXPORT_SCHEMA
+
+_NUM = {"type": "number"}
+_COUNTER_MAP = {"type": "object", "additionalProperties": _NUM}
+
+#: JSON-Schema (draft 2020-12 style) for one registry snapshot
+SNAPSHOT_JSON_SCHEMA: dict = {
+    "type": "object",
+    "required": ["schema", "counters", "gauges", "histograms"],
+    "properties": {
+        "schema": {"const": SNAPSHOT_SCHEMA},
+        "counters": _COUNTER_MAP,
+        "gauges": _COUNTER_MAP,
+        "histograms": {
+            "type": "object",
+            "additionalProperties": {
+                "type": "object",
+                "required": ["count", "sum", "min", "max", "buckets"],
+                "properties": {
+                    "count": _NUM, "sum": _NUM, "min": _NUM, "max": _NUM,
+                    "buckets": {"type": "object",
+                                "additionalProperties": _NUM},
+                },
+            },
+        },
+        "series": {
+            "type": "array",
+            "items": {"type": "object", "required": ["t"],
+                      "additionalProperties": _NUM},
+        },
+        "critical_path": {
+            "type": "object",
+            "required": ["episodes", "total_cycles", "segments"],
+            "properties": {
+                "episodes": _NUM,
+                "total_cycles": _NUM,
+                "segments": _COUNTER_MAP,
+            },
+        },
+    },
+}
+
+#: JSON-Schema for the ``--metrics-out`` export document
+EXPORT_JSON_SCHEMA: dict = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "title": "repro.obs metrics export",
+    "type": "object",
+    "required": ["schema", "tool", "points", "aggregate"],
+    "properties": {
+        "schema": {"const": EXPORT_SCHEMA},
+        "tool": {"type": "string"},
+        "points": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["label", "metrics"],
+                "properties": {
+                    "label": {"type": "string"},
+                    "metrics": SNAPSHOT_JSON_SCHEMA,
+                },
+            },
+        },
+        "aggregate": SNAPSHOT_JSON_SCHEMA,
+        "runner": _COUNTER_MAP,
+        "notes": {"type": "string"},
+    },
+}
+
+
+# ---------------------------------------------------------------------------
+# hand-rolled structural validation (no jsonschema dependency)
+# ---------------------------------------------------------------------------
+
+def _is_num(v: Any) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def _check_num_map(obj: Any, path: str, errors: list[str]) -> None:
+    if not isinstance(obj, dict):
+        errors.append(f"{path}: expected object, got {type(obj).__name__}")
+        return
+    for key, value in obj.items():
+        if not _is_num(value):
+            errors.append(f"{path}.{key}: expected number, "
+                          f"got {type(value).__name__}")
+
+
+def validate_snapshot(snap: Any, path: str = "$") -> list[str]:
+    """Structural errors in one registry snapshot ([] = valid)."""
+    errors: list[str] = []
+    if not isinstance(snap, dict):
+        return [f"{path}: expected object, got {type(snap).__name__}"]
+    if snap.get("schema") != SNAPSHOT_SCHEMA:
+        errors.append(f"{path}.schema: expected {SNAPSHOT_SCHEMA!r}, "
+                      f"got {snap.get('schema')!r}")
+    for section in ("counters", "gauges"):
+        if section not in snap:
+            errors.append(f"{path}.{section}: missing")
+        else:
+            _check_num_map(snap[section], f"{path}.{section}", errors)
+    hists = snap.get("histograms")
+    if hists is None:
+        errors.append(f"{path}.histograms: missing")
+    elif not isinstance(hists, dict):
+        errors.append(f"{path}.histograms: expected object")
+    else:
+        for name, hist in hists.items():
+            hpath = f"{path}.histograms.{name}"
+            if not isinstance(hist, dict):
+                errors.append(f"{hpath}: expected object")
+                continue
+            for key in ("count", "sum", "min", "max"):
+                if not _is_num(hist.get(key)):
+                    errors.append(f"{hpath}.{key}: expected number")
+            buckets = hist.get("buckets")
+            if not isinstance(buckets, dict):
+                errors.append(f"{hpath}.buckets: expected object")
+            else:
+                _check_num_map(buckets, f"{hpath}.buckets", errors)
+    series = snap.get("series")
+    if series is not None:
+        if not isinstance(series, list):
+            errors.append(f"{path}.series: expected array")
+        else:
+            for i, sample in enumerate(series):
+                if not isinstance(sample, dict) or not _is_num(
+                        sample.get("t")):
+                    errors.append(f"{path}.series[{i}]: expected object "
+                                  "with numeric 't'")
+                    continue
+                _check_num_map(sample, f"{path}.series[{i}]", errors)
+    cp = snap.get("critical_path")
+    if cp is not None:
+        cpath = f"{path}.critical_path"
+        if not isinstance(cp, dict):
+            errors.append(f"{cpath}: expected object")
+        else:
+            for key in ("episodes", "total_cycles"):
+                if not _is_num(cp.get(key)):
+                    errors.append(f"{cpath}.{key}: expected number")
+            if "segments" not in cp:
+                errors.append(f"{cpath}.segments: missing")
+            else:
+                _check_num_map(cp["segments"], f"{cpath}.segments", errors)
+    return errors
+
+
+def validate_export(doc: Any) -> list[str]:
+    """Structural errors in a ``--metrics-out`` document ([] = valid)."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"$: expected object, got {type(doc).__name__}"]
+    if doc.get("schema") != EXPORT_SCHEMA:
+        errors.append(f"$.schema: expected {EXPORT_SCHEMA!r}, "
+                      f"got {doc.get('schema')!r}")
+    if not isinstance(doc.get("tool"), str):
+        errors.append("$.tool: expected string")
+    points = doc.get("points")
+    if not isinstance(points, list):
+        errors.append("$.points: expected array")
+    else:
+        for i, point in enumerate(points):
+            if not isinstance(point, dict):
+                errors.append(f"$.points[{i}]: expected object")
+                continue
+            if not isinstance(point.get("label"), str):
+                errors.append(f"$.points[{i}].label: expected string")
+            errors += validate_snapshot(point.get("metrics"),
+                                        f"$.points[{i}].metrics")
+    if "aggregate" not in doc:
+        errors.append("$.aggregate: missing")
+    else:
+        errors += validate_snapshot(doc["aggregate"], "$.aggregate")
+    if "runner" in doc:
+        _check_num_map(doc["runner"], "$.runner", errors)
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.schema EXPORT.json",
+              file=sys.stderr)
+        return 2
+    with open(argv[0]) as fh:
+        doc = json.load(fh)
+    errors = validate_export(doc)
+    if errors:
+        for err in errors:
+            print(f"INVALID {err}", file=sys.stderr)
+        return 1
+    n_points = len(doc.get("points", []))
+    counters = len(doc.get("aggregate", {}).get("counters", {}))
+    print(f"valid: {argv[0]} ({n_points} points, "
+          f"{counters} aggregate counters)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

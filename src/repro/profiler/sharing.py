@@ -1,7 +1,7 @@
 """Per-line coherence-traffic profiles and the false-sharing heuristic.
 
-The profiler taps the network's ``on_send`` hook (chaining any hook that
-is already installed, so it composes with the tracer) and classifies
+The profiler subscribes to the network's send hooks (so it composes
+with the tracer and metrics, in any attach order) and classifies
 every coherence packet by the line it targets.  Symbol attribution comes
 from the machine's address space: profiles report variable names, not
 raw addresses.
@@ -91,14 +91,11 @@ class SharingProfiler:
     def attach(cls, machine: "Machine") -> "SharingProfiler":
         """Hook the profiler into ``machine`` (composes with a tracer)."""
         profiler = cls(machine)
-        previous = machine.net.on_send
 
         def on_send(msg: Message, hops: int) -> None:
-            if previous is not None:
-                previous(msg, hops)
             profiler.observe(msg)
 
-        machine.net.on_send = on_send
+        machine.net.subscribe_send(on_send)
         return profiler
 
     def observe(self, msg: Message) -> None:

@@ -132,6 +132,10 @@ class ParallelRunner:
         self.progress = progress
         self._mp_context = mp_context
         self.stats = RunnerStats()
+        #: ``(label, snapshot)`` per resolved point whose driver ran with
+        #: metrics enabled (cache hits included — snapshots ride inside
+        #: the cached result), in resolution order; feeds --metrics-out
+        self.metrics_points: list[tuple[str, dict]] = []
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[RunSpec]) -> list[Any]:
@@ -190,7 +194,7 @@ class ParallelRunner:
                         self._note(specs[i], record=outcome, cached=j > 0,
                                    attempts=n_attempts)
 
-        self.stats.elapsed_seconds += time.perf_counter() - t_start
+        self.stats.add_elapsed(time.perf_counter() - t_start)
         assert all(o is not None for o in outcomes)
         return outcomes          # type: ignore[return-value]
 
@@ -208,6 +212,9 @@ class ParallelRunner:
                                 wall_seconds=record.wall_seconds,
                                 sim_events=record.sim_events,
                                 attempts=attempts)
+            snapshot = getattr(record.result, "metrics", None)
+            if snapshot is not None:
+                self.metrics_points.append((spec.label(), snapshot))
         self.stats.record(point)
         self._done += 1
         if self.progress is not None:

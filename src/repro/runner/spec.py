@@ -52,23 +52,40 @@ class RunSpec:
     def barrier(cls, n_processors: int, mechanism: Mechanism,
                 episodes: int = 4, warmup_episodes: int = 1,
                 tree_branching: Optional[int] = None, naive: bool = False,
-                home_node: int = 0) -> "RunSpec":
-        """A :func:`~repro.workloads.barrier.run_barrier_workload` point."""
-        return cls.make("barrier", n_processors=n_processors,
-                        mechanism=mechanism, episodes=episodes,
-                        warmup_episodes=warmup_episodes,
-                        tree_branching=tree_branching, naive=naive,
-                        home_node=home_node)
+                home_node: int = 0, metrics: bool = False,
+                metrics_interval: int = 0) -> "RunSpec":
+        """A :func:`~repro.workloads.barrier.run_barrier_workload` point.
+
+        Metrics parameters enter the spec (and hence the cache key) only
+        when enabled, so metered and unmetered sweeps cache separately
+        and pre-existing cache entries keep their keys.
+        """
+        params = dict(n_processors=n_processors, mechanism=mechanism,
+                      episodes=episodes, warmup_episodes=warmup_episodes,
+                      tree_branching=tree_branching, naive=naive,
+                      home_node=home_node)
+        if metrics:
+            params["metrics"] = True
+            if metrics_interval:
+                params["metrics_interval"] = metrics_interval
+        return cls.make("barrier", **params)
 
     @classmethod
     def lock(cls, n_processors: int, mechanism: Mechanism,
              lock_type: str = "ticket", acquisitions_per_cpu: int = 4,
-             warmup_per_cpu: int = 1, home_node: int = 0) -> "RunSpec":
+             warmup_per_cpu: int = 1, home_node: int = 0,
+             metrics: bool = False,
+             metrics_interval: int = 0) -> "RunSpec":
         """A :func:`~repro.workloads.locks.run_lock_workload` point."""
-        return cls.make("lock", n_processors=n_processors,
-                        mechanism=mechanism, lock_type=lock_type,
-                        acquisitions_per_cpu=acquisitions_per_cpu,
-                        warmup_per_cpu=warmup_per_cpu, home_node=home_node)
+        params = dict(n_processors=n_processors, mechanism=mechanism,
+                      lock_type=lock_type,
+                      acquisitions_per_cpu=acquisitions_per_cpu,
+                      warmup_per_cpu=warmup_per_cpu, home_node=home_node)
+        if metrics:
+            params["metrics"] = True
+            if metrics_interval:
+                params["metrics_interval"] = metrics_interval
+        return cls.make("lock", **params)
 
     # ------------------------------------------------------------------
     @property

@@ -6,13 +6,22 @@ and aggregates them in :class:`RunnerStats` — runs completed, cache
 hits, retries, per-point wall time, and simulator events dispatched per
 second of worker wall time.  Progress hooks receive each record as it
 lands, in completion order.
+
+:class:`RunnerStats` is backed by a
+:class:`~repro.obs.registry.MetricsRegistry` (counters named
+``runner.*`` plus a per-point wall-time histogram), so the runner's own
+accounting exports through the same snapshot pipeline as simulation
+metrics; the original attribute API (``stats.executed`` etc.) is
+preserved as property views over the registry.
 """
 
 from __future__ import annotations
 
 import sys
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
+
+from repro.obs.registry import MetricsRegistry
 
 
 @dataclass
@@ -37,37 +46,91 @@ class PointRecord:
 ProgressHook = Callable[[int, int, PointRecord], None]
 
 
-@dataclass
 class RunnerStats:
-    """Aggregate counters across every :meth:`ParallelRunner.run` call."""
+    """Aggregate counters across every :meth:`ParallelRunner.run` call.
 
-    total_points: int = 0
-    cache_hits: int = 0
-    executed: int = 0
-    failures: int = 0
-    #: extra attempts beyond the first, summed over all points
-    retries: int = 0
-    #: sum of fresh-execution wall seconds (worker-side, overlaps when
-    #: parallel — compare against :attr:`elapsed_seconds` for speedup)
-    wall_seconds: float = 0.0
-    #: end-to-end seconds spent inside run() calls
-    elapsed_seconds: float = 0.0
-    sim_events: int = 0
-    points: list[PointRecord] = field(default_factory=list)
+    All counts live in a :class:`MetricsRegistry` under ``runner.*``
+    names; the public attributes are read-through properties, so code
+    written against the original dataclass keeps working while
+    ``--metrics-out`` exports the same numbers.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry or MetricsRegistry()
+        reg = self.registry
+        self._total = reg.counter("runner.points_total")
+        self._cache_hits = reg.counter("runner.cache_hits")
+        self._executed = reg.counter("runner.executed")
+        self._failures = reg.counter("runner.failures")
+        self._retries = reg.counter("runner.retries")
+        self._wall = reg.counter("runner.wall_seconds")
+        self._elapsed = reg.counter("runner.elapsed_seconds")
+        self._sim_events = reg.counter("runner.sim_events")
+        #: per-point fresh-execution wall time distribution
+        self.point_wall_ms = reg.histogram("runner.point_wall_ms")
+        self.points: list[PointRecord] = []
 
     # ------------------------------------------------------------------
     def record(self, point: PointRecord) -> None:
-        self.total_points += 1
+        self._total.inc()
         self.points.append(point)
-        self.sim_events += point.sim_events
-        self.retries += max(0, point.attempts - 1)
+        self._sim_events.inc(point.sim_events)
+        if point.attempts > 1:
+            self._retries.inc(point.attempts - 1)
         if point.failed:
-            self.failures += 1
+            self._failures.inc()
         elif point.cached:
-            self.cache_hits += 1
+            self._cache_hits.inc()
         else:
-            self.executed += 1
-            self.wall_seconds += point.wall_seconds
+            self._executed.inc()
+            self._wall.inc(point.wall_seconds)
+            self.point_wall_ms.observe(point.wall_seconds * 1000.0)
+
+    # ------------------------------------------------------------------
+    # property views preserving the original dataclass-field API
+    # ------------------------------------------------------------------
+    @property
+    def total_points(self) -> int:
+        return self._total.value
+
+    @property
+    def cache_hits(self) -> int:
+        return self._cache_hits.value
+
+    @property
+    def executed(self) -> int:
+        return self._executed.value
+
+    @property
+    def failures(self) -> int:
+        return self._failures.value
+
+    @property
+    def retries(self) -> int:
+        """Extra attempts beyond the first, summed over all points."""
+        return self._retries.value
+
+    @property
+    def wall_seconds(self) -> float:
+        """Sum of fresh-execution wall seconds (worker-side, overlaps
+        when parallel — compare against :attr:`elapsed_seconds`)."""
+        return self._wall.value
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """End-to-end seconds spent inside run() calls."""
+        return self._elapsed.value
+
+    def add_elapsed(self, seconds: float) -> None:
+        self._elapsed.inc(seconds)
+
+    @property
+    def sim_events(self) -> int:
+        return self._sim_events.value
+
+    def snapshot(self) -> dict:
+        """The runner's registry snapshot (for ``--metrics-out``)."""
+        return self.registry.snapshot()
 
     @property
     def events_per_second(self) -> float:

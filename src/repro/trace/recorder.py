@@ -2,7 +2,7 @@
 
 Span capture is zero-cost when no recorder is attached: the processor's
 traced methods check ``machine.tracer`` once per call.  Message capture
-rides the fabric's ``on_send`` hook.
+subscribes to the fabric's send hooks (``Network.subscribe_send``).
 
 Chrome trace format notes: we emit "X" (complete) events with ``ts`` and
 ``dur`` in simulated CPU cycles (one cycle rendered as one microsecond —
@@ -71,7 +71,7 @@ class TraceRecorder:
                           "hops": hops,
                           "addr": None if msg.addr is None
                           else hex(msg.addr)}))
-            machine.net.on_send = on_send
+            machine.net.subscribe_send(on_send)
         return tracer
 
     # ------------------------------------------------------------------

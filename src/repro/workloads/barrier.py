@@ -15,8 +15,11 @@ from repro.config.mechanism import Mechanism
 from repro.config.parameters import SystemConfig
 from repro.core.machine import Machine
 from repro.network.stats import TrafficStats
+from repro.obs import CriticalPathAnalyzer, MachineMetrics
+from repro.obs.critical_path import EPISODE_SPAN
 from repro.sync.barrier import CentralizedBarrier
 from repro.sync.tree_barrier import CombiningTreeBarrier
+from repro.trace.recorder import TraceRecorder
 
 
 @dataclass
@@ -31,6 +34,8 @@ class BarrierResult:
     traffic: TrafficStats
     #: kernel events dispatched by the whole run (simulator-cost metric)
     events_dispatched: int = 0
+    #: metrics snapshot (repro.obs) when the run was metered, else None
+    metrics: Optional[dict] = None
 
     @property
     def cycles_per_episode(self) -> float:
@@ -59,16 +64,27 @@ def run_barrier_workload(n_processors: int, mechanism: Mechanism,
                          tree_branching: Optional[int] = None,
                          naive: bool = False,
                          config: Optional[SystemConfig] = None,
-                         home_node: int = 0) -> BarrierResult:
+                         home_node: int = 0,
+                         metrics: bool = False,
+                         metrics_interval: int = 0) -> BarrierResult:
     """Measure one (mechanism, P[, branching]) barrier configuration.
 
     ``tree_branching`` selects the two-level combining tree;
     ``naive`` forces the Figure 3(a) coding for conventional mechanisms.
+    ``metrics`` additionally attaches the observability layer
+    (:mod:`repro.obs`) and a tracer, returning a metrics snapshot with a
+    per-episode critical-path breakdown on the result;
+    ``metrics_interval`` > 0 also samples gauges on that cycle period.
     """
     cfg = config or SystemConfig.table1(n_processors)
     if cfg.n_processors != n_processors:
         cfg = cfg.replace(n_processors=n_processors)
     machine = Machine(cfg)
+    obs = tracer = None
+    if metrics:
+        obs = MachineMetrics.attach(machine,
+                                    sample_interval=metrics_interval)
+        tracer = TraceRecorder.attach(machine, capture_messages=False)
     if tree_branching is not None:
         barrier = CombiningTreeBarrier(machine, mechanism,
                                        branching=tree_branching,
@@ -77,21 +93,33 @@ def run_barrier_workload(n_processors: int, mechanism: Mechanism,
         barrier = CentralizedBarrier(machine, mechanism, naive=naive,
                                      home_node=home_node)
 
-    def make_thread(count: int):
+    def make_thread(count: int, measured: bool = False):
         def thread(proc):
             for _ in range(count):
+                t0 = proc.sim.now
                 yield from barrier.wait(proc)
+                if measured and tracer is not None:
+                    tracer.add_span(f"cpu{proc.cpu_id}", EPISODE_SPAN,
+                                    t0, proc.sim.now)
         return thread
 
     if warmup_episodes:
         machine.run_threads(make_thread(warmup_episodes))
     start = machine.last_completion_time
     before = machine.net.stats.snapshot()
-    machine.run_threads(make_thread(episodes))
+    if obs is not None and obs.sampler is not None:
+        obs.sampler.start()
+    machine.run_threads(make_thread(episodes, measured=True))
     total = machine.last_completion_time - start
     traffic = machine.net.stats.delta_since(before)
     machine.check_coherence_invariants()
+    snapshot = None
+    if obs is not None:
+        analyzer = CriticalPathAnalyzer(machine)
+        obs.critical_path = analyzer.summarize(analyzer.analyze(tracer))
+        snapshot = obs.snapshot()
     return BarrierResult(
         mechanism=mechanism, n_processors=n_processors, episodes=episodes,
         tree_branching=tree_branching, total_cycles=total, traffic=traffic,
-        events_dispatched=machine.sim.events_dispatched)
+        events_dispatched=machine.sim.events_dispatched,
+        metrics=snapshot)

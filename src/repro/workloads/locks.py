@@ -16,7 +16,10 @@ from repro.config.mechanism import Mechanism
 from repro.config.parameters import SystemConfig
 from repro.core.machine import Machine
 from repro.network.stats import TrafficStats
+from repro.obs import CriticalPathAnalyzer, MachineMetrics
+from repro.obs.critical_path import EPISODE_SPAN
 from repro.stats.collector import LatencyStats
+from repro.trace.recorder import TraceRecorder
 from repro.sync.array_lock import ArrayQueueLock
 from repro.sync.mcs_lock import McsLock
 from repro.sync.ticket_lock import TicketLock
@@ -43,6 +46,8 @@ class LockResult:
     acquire_latency: Optional[LatencyStats] = None
     #: kernel events dispatched by the whole run (simulator-cost metric)
     events_dispatched: int = 0
+    #: metrics snapshot (repro.obs) when the run was metered, else None
+    metrics: Optional[dict] = None
 
     @property
     def cycles_per_acquisition(self) -> float:
@@ -69,12 +74,24 @@ def run_lock_workload(n_processors: int, mechanism: Mechanism,
                       cs_cycles: int = DEFAULT_CS_CYCLES,
                       think_cycles: int = DEFAULT_THINK_CYCLES,
                       config: Optional[SystemConfig] = None,
-                      home_node: int = 0) -> LockResult:
-    """Measure one (mechanism, P, lock algorithm) configuration."""
+                      home_node: int = 0,
+                      metrics: bool = False,
+                      metrics_interval: int = 0) -> LockResult:
+    """Measure one (mechanism, P, lock algorithm) configuration.
+
+    ``metrics`` attaches the observability layer (:mod:`repro.obs`); the
+    returned result then carries a metrics snapshot whose critical-path
+    section attributes each acquire→release episode's latency.
+    """
     cfg = config or SystemConfig.table1(n_processors)
     if cfg.n_processors != n_processors:
         cfg = cfg.replace(n_processors=n_processors)
     machine = Machine(cfg)
+    obs = tracer = None
+    if metrics:
+        obs = MachineMetrics.attach(machine,
+                                    sample_interval=metrics_interval)
+        tracer = TraceRecorder.attach(machine, capture_messages=False)
     if lock_type == "ticket":
         lock = TicketLock(machine, mechanism, home_node=home_node)
     elif lock_type == "array":
@@ -99,6 +116,9 @@ def run_lock_workload(n_processors: int, mechanism: Mechanism,
                 yield from proc.delay(cs_cycles)
                 occupancy["n"] -= 1
                 yield from lock.release(proc)
+                if measured and tracer is not None:
+                    tracer.add_span(f"cpu{proc.cpu_id}", EPISODE_SPAN,
+                                    t0, proc.sim.now)
                 yield from proc.delay(think_cycles)
         return thread
 
@@ -106,10 +126,17 @@ def run_lock_workload(n_processors: int, mechanism: Mechanism,
         machine.run_threads(make_thread(warmup_per_cpu, False))
     start = machine.last_completion_time
     before = machine.net.stats.snapshot()
+    if obs is not None and obs.sampler is not None:
+        obs.sampler.start()
     machine.run_threads(make_thread(acquisitions_per_cpu, True))
     total = machine.last_completion_time - start
     traffic = machine.net.stats.delta_since(before)
     machine.check_coherence_invariants()
+    snapshot = None
+    if obs is not None:
+        analyzer = CriticalPathAnalyzer(machine)
+        obs.critical_path = analyzer.summarize(analyzer.analyze(tracer))
+        snapshot = obs.snapshot()
     return LockResult(
         mechanism=mechanism, lock_type=lock_type,
         n_processors=n_processors,
@@ -117,4 +144,5 @@ def run_lock_workload(n_processors: int, mechanism: Mechanism,
         total_cycles=total, traffic=traffic,
         cs_cycles=cs_cycles, think_cycles=think_cycles,
         acquire_latency=acquire_latency,
-        events_dispatched=machine.sim.events_dispatched)
+        events_dispatched=machine.sim.events_dispatched,
+        metrics=snapshot)

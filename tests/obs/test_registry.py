@@ -1,0 +1,71 @@
+"""Unit tests for the metrics registry instruments."""
+
+from repro.obs import MetricsRegistry
+from repro.obs.registry import Histogram, SNAPSHOT_SCHEMA
+
+
+def test_counter_get_or_create_and_inc():
+    reg = MetricsRegistry()
+    c = reg.counter("cache.l1.hits")
+    assert reg.counter("cache.l1.hits") is c
+    c.inc()
+    c.inc(41)
+    assert c.value == 42
+
+
+def test_gauge_set_and_callback():
+    reg = MetricsRegistry()
+    g = reg.gauge("queue.depth")
+    g.set(7)
+    assert g.read() == 7
+    backing = {"v": 3}
+    live = reg.gauge("kernel.now", fn=lambda: backing["v"])
+    assert live.read() == 3
+    backing["v"] = 9
+    assert live.read() == 9
+
+
+def test_histogram_log2_bucketing():
+    h = Histogram("fanout")
+    for v in (0, 1, 3, 4, 100):
+        h.observe(v)
+    assert (h.count, h.total) == (5, 108)
+    assert h.min == 0 and h.max == 100
+    # inclusive power-of-two upper bounds; 0 gets its own bucket
+    assert sorted(h.buckets.items()) == [(0, 1), (1, 1), (4, 2), (128, 1)]
+    assert h.mean == 108 / 5
+
+
+def test_histogram_as_dict_empty():
+    h = Histogram("empty")
+    d = h.as_dict()
+    assert d == {"count": 0, "sum": 0, "min": 0, "max": 0, "buckets": {}}
+
+
+def test_collectors_report_as_counters():
+    reg = MetricsRegistry()
+    state = {"events": 0}
+    reg.register_collector("kernel.events", lambda: state["events"])
+    state["events"] = 123
+    snap = reg.snapshot()
+    assert snap["counters"]["kernel.events"] == 123
+
+
+def test_snapshot_shape_and_sorting():
+    reg = MetricsRegistry()
+    reg.counter("b").inc(2)
+    reg.counter("a").inc(1)
+    reg.gauge("g").set(5)
+    reg.histogram("h").observe(16)
+    snap = reg.snapshot()
+    assert snap["schema"] == SNAPSHOT_SCHEMA
+    assert list(snap["counters"]) == ["a", "b"]
+    assert snap["gauges"] == {"g": 5}
+    assert snap["histograms"]["h"]["buckets"] == {"16": 1}
+
+
+def test_gauge_values_reads_every_gauge():
+    reg = MetricsRegistry()
+    reg.gauge("x").set(1)
+    reg.gauge("y", fn=lambda: 2)
+    assert reg.gauge_values() == {"x": 1, "y": 2}

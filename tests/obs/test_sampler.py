@@ -1,0 +1,86 @@
+"""Sampler behaviour: periodic gauge capture without observer effects."""
+
+import pytest
+
+from repro.config.parameters import SystemConfig
+from repro.core.machine import Machine
+from repro.obs import MachineMetrics, MetricsRegistry, Sampler
+from repro.sim.kernel import Simulator
+
+
+def test_interval_must_be_positive():
+    with pytest.raises(ValueError, match="positive"):
+        Sampler(Simulator(), MetricsRegistry(), 0)
+
+
+def test_samples_land_on_the_interval(machine4):
+    obs = MachineMetrics.attach(machine4, sample_interval=1_000)
+    obs.sampler.start()
+    var = machine4.alloc("v", home_node=1)
+
+    def thread(proc):
+        for _ in range(4):
+            yield from proc.delay(900)
+            yield from proc.store(var.addr, proc.cpu_id)
+
+    machine4.run_threads(thread)
+    times = [s["t"] for s in obs.sampler.series]
+    assert times and all(t % 1_000 == 0 for t in times)
+    assert times == sorted(times)
+    # every sample carries every gauge
+    assert all("kernel.queue_depth" in s for s in obs.sampler.series)
+
+
+def test_sampler_stops_when_queue_drains(machine4):
+    """The re-arm guard must not wedge run-to-quiescence."""
+    obs = MachineMetrics.attach(machine4, sample_interval=100)
+    obs.sampler.start()
+    var = machine4.alloc("v", home_node=0)
+
+    def thread(proc):
+        yield from proc.load(var.addr)
+
+    machine4.run_threads(thread)          # returns => queue drained
+    assert machine4.sim.pending_events() == 0
+
+
+def test_start_rearms_for_a_second_window(machine4):
+    obs = MachineMetrics.attach(machine4, sample_interval=200)
+    var = machine4.alloc("v", home_node=1)
+
+    def thread(proc):
+        yield from proc.store(var.addr, 1)
+        yield from proc.delay(1_000)
+
+    obs.sampler.start()
+    machine4.run_threads(thread, cpus=[0])
+    first = obs.sampler.n_samples
+    assert first > 0
+    obs.sampler.start()                   # second measurement window
+    machine4.run_threads(thread, cpus=[1])
+    assert obs.sampler.n_samples > first
+
+
+def test_sampling_is_timing_neutral():
+    """Identical cycle counts with and without a sampler attached."""
+    def run(interval):
+        machine = Machine(SystemConfig.table1(8))
+        obs = MachineMetrics.attach(machine, sample_interval=interval)
+        if obs.sampler:
+            obs.sampler.start()
+        var = machine.alloc("ctr", home_node=0)
+
+        def thread(proc):
+            yield from proc.llsc_rmw(var.addr, lambda v: v + 1)
+
+        machine.run_threads(thread)
+        return machine.last_completion_time
+
+    assert run(0) == run(250)
+
+
+def test_record_sample_manual(machine4):
+    obs = MachineMetrics.attach(machine4, sample_interval=1_000)
+    obs.sampler.record_sample()
+    assert obs.sampler.n_samples == 1
+    assert obs.sampler.series[0]["t"] == 0

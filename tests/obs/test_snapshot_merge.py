@@ -1,0 +1,81 @@
+"""Merge semantics and export assembly across sweep points."""
+
+from repro.obs import build_export, merge_snapshots, validate_export
+from repro.obs.registry import SNAPSHOT_SCHEMA
+from repro.obs.snapshot import EXPORT_SCHEMA
+
+
+def snap(counters=None, gauges=None, histograms=None, **extra):
+    d = {"schema": SNAPSHOT_SCHEMA, "counters": counters or {},
+         "gauges": gauges or {}, "histograms": histograms or {}}
+    d.update(extra)
+    return d
+
+
+def test_counters_sum():
+    merged = merge_snapshots([snap(counters={"a": 1, "b": 2}),
+                              snap(counters={"a": 10})])
+    assert merged["counters"] == {"a": 11, "b": 2}
+
+
+def test_gauges_take_max():
+    merged = merge_snapshots([snap(gauges={"depth": 3}),
+                              snap(gauges={"depth": 9}),
+                              snap(gauges={"depth": 5})])
+    assert merged["gauges"] == {"depth": 9}
+
+
+def test_histograms_merge_bucketwise():
+    h1 = {"count": 2, "sum": 5, "min": 1, "max": 4,
+          "buckets": {"1": 1, "4": 1}}
+    h2 = {"count": 1, "sum": 16, "min": 16, "max": 16,
+          "buckets": {"16": 1}}
+    merged = merge_snapshots([snap(histograms={"h": h1}),
+                              snap(histograms={"h": h2})])
+    out = merged["histograms"]["h"]
+    assert out["count"] == 3 and out["sum"] == 21
+    assert out["min"] == 1 and out["max"] == 16
+    assert out["buckets"] == {"1": 1, "4": 1, "16": 1}
+
+
+def test_histogram_merge_skips_empty_min_max():
+    empty = {"count": 0, "sum": 0, "min": 0, "max": 0, "buckets": {}}
+    real = {"count": 1, "sum": 7, "min": 7, "max": 7, "buckets": {"8": 1}}
+    merged = merge_snapshots([snap(histograms={"h": empty}),
+                              snap(histograms={"h": real})])
+    out = merged["histograms"]["h"]
+    # the empty point must not drag min down to 0
+    assert out["min"] == 7 and out["max"] == 7
+
+
+def test_critical_path_sums_and_series_stays_per_point():
+    cp1 = {"episodes": 2, "total_cycles": 100, "segments": {"cpu": 60,
+                                                            "wait": 40}}
+    cp2 = {"episodes": 1, "total_cycles": 50, "segments": {"cpu": 50}}
+    merged = merge_snapshots([
+        snap(critical_path=cp1, series=[{"t": 0}]),
+        snap(critical_path=cp2)])
+    assert merged["critical_path"] == {
+        "episodes": 3, "total_cycles": 150,
+        "segments": {"cpu": 110, "wait": 40}}
+    assert "series" not in merged
+
+
+def test_build_export_shape_and_validity():
+    points = [("barrier P=4 ll/sc", snap(counters={"x": 1})),
+              ("barrier P=8 ll/sc", snap(counters={"x": 2}))]
+    doc = build_export(points, runner={"runner.points_total": 2},
+                       notes="unit test")
+    assert doc["schema"] == EXPORT_SCHEMA
+    assert [p["label"] for p in doc["points"]] == [
+        "barrier P=4 ll/sc", "barrier P=8 ll/sc"]
+    assert doc["aggregate"]["counters"] == {"x": 3}
+    assert doc["runner"] == {"runner.points_total": 2}
+    assert doc["notes"] == "unit test"
+    assert validate_export(doc) == []
+
+
+def test_build_export_empty_points_still_valid():
+    doc = build_export([])
+    assert doc["points"] == []
+    assert validate_export(doc) == []

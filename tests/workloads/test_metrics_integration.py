@@ -1,0 +1,70 @@
+"""Workload drivers with metrics enabled: snapshots, critical path,
+and the no-observer-effect guarantee."""
+
+from repro.config.mechanism import Mechanism
+from repro.obs import validate_snapshot
+from repro.obs.critical_path import SEGMENTS
+from repro.workloads.barrier import run_barrier_workload
+from repro.workloads.locks import run_lock_workload
+
+
+def test_barrier_metrics_off_by_default():
+    result = run_barrier_workload(4, Mechanism.LLSC, episodes=2)
+    assert result.metrics is None
+
+
+def test_barrier_metrics_snapshot_is_valid():
+    result = run_barrier_workload(4, Mechanism.AMO, episodes=2,
+                                  metrics=True)
+    snap = result.metrics
+    assert snap is not None
+    assert validate_snapshot(snap) == []
+    assert snap["counters"]["kernel.events_dispatched"] > 0
+    assert snap["counters"]["amu.ops_executed"] > 0     # AMO barrier
+
+
+def test_barrier_critical_path_covers_measured_episodes():
+    episodes = 3
+    result = run_barrier_workload(8, Mechanism.LLSC, episodes=episodes,
+                                  metrics=True)
+    cp = result.metrics["critical_path"]
+    assert cp["episodes"] == episodes
+    assert cp["total_cycles"] > 0
+    assert set(cp["segments"]) == set(SEGMENTS)
+    assert sum(cp["segments"].values()) == cp["total_cycles"]
+    # an LL/SC barrier spends real time beyond pure cpu work
+    assert cp["segments"]["coherence"] + cp["segments"]["wait"] > 0
+
+
+def test_barrier_metrics_do_not_change_results():
+    plain = run_barrier_workload(8, Mechanism.LLSC, episodes=2)
+    metered = run_barrier_workload(8, Mechanism.LLSC, episodes=2,
+                                   metrics=True)
+    assert metered.cycles_per_episode == plain.cycles_per_episode
+    assert metered.total_cycles == plain.total_cycles
+
+
+def test_barrier_sampler_series_attached():
+    result = run_barrier_workload(4, Mechanism.LLSC, episodes=2,
+                                  metrics=True, metrics_interval=500)
+    series = result.metrics.get("series")
+    assert series and all("t" in s for s in series)
+
+
+def test_lock_metrics_snapshot_and_critical_path():
+    result = run_lock_workload(4, Mechanism.AMO, lock_type="ticket",
+                               acquisitions_per_cpu=2, metrics=True)
+    snap = result.metrics
+    assert snap is not None
+    assert validate_snapshot(snap) == []
+    cp = snap["critical_path"]
+    assert cp["episodes"] > 0
+    assert sum(cp["segments"].values()) == cp["total_cycles"]
+
+
+def test_lock_metrics_do_not_change_results():
+    kwargs = dict(lock_type="ticket", acquisitions_per_cpu=2)
+    plain = run_lock_workload(4, Mechanism.LLSC, **kwargs)
+    metered = run_lock_workload(4, Mechanism.LLSC, metrics=True, **kwargs)
+    assert metered.cycles_per_acquisition == \
+        plain.cycles_per_acquisition

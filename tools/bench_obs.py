@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Metrics-layer overhead benchmark — writes ``BENCH_obs.json``.
+
+Runs one fixed barrier workload in three modes and records wall time and
+simulator events/second for each:
+
+* ``off``     — no observability attached (the seed execution model)
+* ``metrics`` — :class:`~repro.obs.machine.MachineMetrics` attached
+  (pull collectors + tracer + critical-path analysis)
+* ``sampler`` — metrics plus gauge sampling every ``--interval`` cycles
+
+Each mode runs ``--repeats`` times and keeps the best (max events/s) to
+damp scheduler noise.  With ``--baseline`` and ``--assert-overhead``,
+the script compares this host's ``off`` events/s against a previously
+recorded ``off`` figure and exits non-zero when the regression exceeds
+the budget — CI runs one pass to record the baseline and a second pass
+to assert, so the comparison is same-host, same-build::
+
+    PYTHONPATH=src python tools/bench_obs.py --out baseline.json
+    PYTHONPATH=src python tools/bench_obs.py \\
+        --baseline baseline.json --assert-overhead 5 --out -
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.config.mechanism import Mechanism
+from repro.workloads.barrier import run_barrier_workload
+
+
+def timed_run(cpus: int, episodes: int, mechanism: Mechanism,
+              metrics: bool, interval: int) -> dict:
+    t0 = time.perf_counter()
+    result = run_barrier_workload(cpus, mechanism, episodes=episodes,
+                                  metrics=metrics,
+                                  metrics_interval=interval)
+    elapsed = time.perf_counter() - t0
+    return {
+        "elapsed_seconds": round(elapsed, 4),
+        "sim_events": result.events_dispatched,
+        "events_per_second": round(result.events_dispatched / elapsed)
+        if elapsed else 0,
+    }
+
+
+def best_of(repeats: int, **kwargs) -> dict:
+    runs = [timed_run(**kwargs) for _ in range(repeats)]
+    return max(runs, key=lambda r: r["events_per_second"])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cpus", type=int, default=32)
+    parser.add_argument("--episodes", type=int, default=24,
+                        help="default sized so one timed run is a few "
+                             "hundred ms — short runs are too noisy for "
+                             "the overhead assertion")
+    parser.add_argument("--mechanism", default="llsc",
+                        choices=[m.value for m in Mechanism],
+                        help="llsc default: the chattiest mechanism, so "
+                             "per-event overhead is most visible")
+    parser.add_argument("--interval", type=int, default=1000,
+                        help="sampler period (cycles) for the third mode")
+    parser.add_argument("--repeats", type=int, default=4,
+                        help="runs per mode; the fastest is kept")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="previously written BENCH_obs.json to "
+                             "compare the metrics-off rate against")
+    parser.add_argument("--assert-overhead", type=float, metavar="PCT",
+                        help="fail if metrics-off events/s is more than "
+                             "PCT%% below the baseline's")
+    parser.add_argument("--out", default="BENCH_obs.json",
+                        help="output path, or - for stdout")
+    args = parser.parse_args(argv)
+
+    mech = Mechanism(args.mechanism)
+    common = dict(cpus=args.cpus, episodes=args.episodes, mechanism=mech,
+                  repeats=args.repeats)
+    off = best_of(metrics=False, interval=0, **common)
+    metered = best_of(metrics=True, interval=0, **common)
+    sampled = best_of(metrics=True, interval=args.interval, **common)
+
+    def pct_slower(mode: dict) -> float:
+        if not off["events_per_second"]:
+            return 0.0
+        return round(100.0 * (1 - mode["events_per_second"]
+                              / off["events_per_second"]), 1)
+
+    payload = {
+        "benchmark": "obs",
+        "cpus": args.cpus,
+        "episodes": args.episodes,
+        "mechanism": mech.value,
+        "sampler_interval": args.interval,
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "off": off,
+        "metrics": metered,
+        "metrics_sampler": sampled,
+        "metrics_overhead_pct": pct_slower(metered),
+        "sampler_overhead_pct": pct_slower(sampled),
+    }
+
+    status = 0
+    if args.baseline:
+        base = json.loads(Path(args.baseline).read_text())
+        base_rate = base["off"]["events_per_second"]
+        drop = (100.0 * (1 - off["events_per_second"] / base_rate)
+                if base_rate else 0.0)
+        payload["baseline_off_events_per_second"] = base_rate
+        payload["off_regression_pct"] = round(drop, 1)
+        if args.assert_overhead is not None:
+            ok = drop <= args.assert_overhead
+            payload["overhead_budget_pct"] = args.assert_overhead
+            payload["overhead_check"] = "pass" if ok else "fail"
+            if not ok:
+                print(f"FAIL: metrics-off rate regressed {drop:.1f}% "
+                      f"vs baseline (budget {args.assert_overhead}%)")
+                status = 1
+
+    text = json.dumps(payload, indent=2) + "\n"
+    if args.out == "-":
+        print(text, end="")
+    else:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}: off {off['events_per_second']:,} ev/s, "
+              f"metrics {payload['metrics_overhead_pct']}% slower, "
+              f"+sampler {payload['sampler_overhead_pct']}% slower")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
