@@ -9,6 +9,7 @@ evicted if I bring this in".
 from __future__ import annotations
 
 import itertools
+from collections import defaultdict
 from typing import Optional
 
 from repro.cache.line import CacheLine
@@ -32,8 +33,11 @@ class SetAssociativeCache:
         self.name = name
         self.n_sets = config.n_sets
         self.line_bytes = config.line_bytes
-        # set index -> {line_addr: CacheLine}; per-set dicts keep lookups O(1)
-        self._sets: list[dict[int, CacheLine]] = [dict() for _ in range(self.n_sets)]
+        # set index -> {line_addr: CacheLine}; per-set dicts keep lookups
+        # O(1).  Sets materialize lazily on first touch: a 256-CPU machine
+        # holds ~half a million sets and a sync-heavy workload touches a
+        # handful, so eager allocation used to dominate Machine() setup.
+        self._sets: dict[int, dict[int, CacheLine]] = defaultdict(dict)
         self._stamp = itertools.count(1)
         self.hits = 0
         self.misses = 0
@@ -55,8 +59,10 @@ class SetAssociativeCache:
         ``touch`` updates LRU; pass False for coherence probes so remote
         traffic does not perturb the local replacement order.
         """
-        base = self.line_base(addr)
-        line = self._sets[self._set_index(base)].get(base)
+        lb = self.line_bytes
+        base = addr - addr % lb
+        entry = self._sets.get((base // lb) % self.n_sets)
+        line = entry.get(base) if entry is not None else None
         if line is None or line.state is LineState.INVALID:
             return None
         if touch:
@@ -97,9 +103,10 @@ class SetAssociativeCache:
 
     def invalidate(self, addr: int) -> Optional[CacheLine]:
         """Drop the line containing ``addr``; returns it if it was valid."""
-        base = self.line_base(addr)
-        entry = self._sets[self._set_index(base)]
-        line = entry.pop(base, None)
+        lb = self.line_bytes
+        base = addr - addr % lb
+        entry = self._sets.get((base // lb) % self.n_sets)
+        line = entry.pop(base, None) if entry is not None else None
         if line is not None and line.state is not LineState.INVALID:
             self.invalidations += 1
             return line
@@ -125,11 +132,11 @@ class SetAssociativeCache:
     # ------------------------------------------------------------------
     def resident_lines(self) -> list[CacheLine]:
         """All valid lines (diagnostics / property tests)."""
-        return [ln for s in self._sets for ln in s.values()
+        return [ln for s in self._sets.values() for ln in s.values()
                 if ln.state is not LineState.INVALID]
 
     def occupancy(self) -> int:
-        return sum(len(s) for s in self._sets)
+        return sum(len(s) for s in self._sets.values())
 
     @property
     def hit_rate(self) -> float:

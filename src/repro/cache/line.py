@@ -2,39 +2,48 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.cache.state import LineState
-from repro.mem.address import WORD_BYTES, word_base
+from repro.mem.address import WORD_BYTES
 
 
-@dataclass
 class CacheLine:
     """One resident line.
 
     ``words`` maps word byte-addresses to values; absent words are zero
     (the backing store's default).  ``dirty`` marks lines modified since
     fill — only meaningful in EXCLUSIVE state.
+
+    A hand-rolled ``__slots__`` class (not a dataclass): lines are
+    created on every fill and their word map is probed on every cached
+    load, so instance-dict elimination and inlined word-base arithmetic
+    are measurable at 256-CPU scale.
     """
 
-    line_addr: int                       # base byte address of the line
-    state: LineState = LineState.INVALID
-    words: dict[int, int] = field(default_factory=dict)
-    dirty: bool = False
-    #: monotonically increasing LRU stamp, maintained by the cache
-    last_use: int = 0
+    __slots__ = ("line_addr", "state", "words", "dirty", "last_use")
+
+    def __init__(self, line_addr: int, state: LineState = LineState.INVALID,
+                 words: Optional[dict[int, int]] = None, dirty: bool = False,
+                 last_use: int = 0) -> None:
+        self.line_addr = line_addr           # base byte address of the line
+        self.state = state
+        self.words = {} if words is None else words
+        self.dirty = dirty
+        #: monotonically increasing LRU stamp, maintained by the cache
+        self.last_use = last_use
 
     def read_word(self, addr: int) -> int:
         """Value of the word containing ``addr`` within this line."""
-        return self.words.get(word_base(addr), 0)
+        return self.words.get(addr - addr % WORD_BYTES, 0)
 
     def write_word(self, addr: int, value: int) -> None:
-        self.words[word_base(addr)] = value
+        self.words[addr - addr % WORD_BYTES] = value
 
     def patch_word(self, addr: int, value: int) -> None:
         """Apply a fine-grained WORD_UPDATE push (does not dirty the line:
         the home's copy is the source of the new value)."""
-        self.words[word_base(addr)] = value
+        self.words[addr - addr % WORD_BYTES] = value
 
     def contains(self, addr: int, line_bytes: int = 128) -> bool:
         return self.line_addr <= addr < self.line_addr + line_bytes

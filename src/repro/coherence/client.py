@@ -21,7 +21,6 @@ between the spinner's read and its wait is detected and re-checked.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
 from typing import Callable, Optional, TYPE_CHECKING
 
 from repro.cache.cache import SetAssociativeCache
@@ -35,12 +34,28 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.machine import Hub
 
 
-@dataclass
 class LineMeta:
-    """Spin-support metadata for one line: change version + wake gate."""
+    """Spin-support metadata for one line: change version + wake gate.
 
-    version: int = 0
-    gate: Gate = field(default_factory=Gate)
+    ``gate_wait`` is the gate's (stateless) wait primitive, built once —
+    spinners re-yield it every wake-up, so per-iteration allocation is
+    avoided on the hottest loop in lock workloads.
+    """
+
+    __slots__ = ("version", "gate", "gate_wait")
+
+    def __init__(self) -> None:
+        self.version = 0
+        self.gate = Gate()
+        self.gate_wait = self.gate.wait()
+
+
+def _fill_done_of(mshr: dict) -> Signal:
+    """The MSHR's fill-completion signal, created on first waiter."""
+    sig = mshr["fill_done"]
+    if sig is None:
+        sig = mshr["fill_done"] = Signal()
+    return sig
 
 
 class CacheController:
@@ -76,6 +91,12 @@ class CacheController:
         #: the home forwarded to us after we evicted but before our
         #: WRITEBACK retired)
         self.wb_race_interventions = 0
+        # fixed cache latencies: Timeout is stateless, reuse one per level
+        self._t_l1 = Timeout(self.config.l1.latency_cycles)
+        self._t_l2 = Timeout(self.config.l2.latency_cycles)
+        # spawn names precomputed once: these handlers run per delivery
+        self._name_inv = f"inv@cpu{cpu_id}"
+        self._name_intervene = f"intervene@cpu{cpu_id}"
 
     # ------------------------------------------------------------------
     # metadata / spin support
@@ -99,19 +120,19 @@ class CacheController:
     # ------------------------------------------------------------------
     def load(self, addr: int):
         """Coroutine: coherent load of the word containing ``addr``."""
-        yield Timeout(self.config.l1.latency_cycles)
+        yield self._t_l1
         l1_line = self.l1.lookup(addr)
         if l1_line is not None:
-            self.l1.record_hit()
+            self.l1.hits += 1
             return l1_line.read_word(addr)
-        self.l1.record_miss()
-        yield Timeout(self.config.l2.latency_cycles)
+        self.l1.misses += 1
+        yield self._t_l2
         l2_line = self.l2.lookup(addr)
         if l2_line is not None:
-            self.l2.record_hit()
+            self.l2.hits += 1
             self._fill_l1(addr, l2_line.read_word(addr))
             return l2_line.read_word(addr)
-        self.l2.record_miss()
+        self.l2.misses += 1
         line = yield from self._fetch(addr, exclusive=False)
         value = line.read_word(addr)
         if self.l2.probe(addr) is not None:
@@ -122,7 +143,7 @@ class CacheController:
 
     def store(self, addr: int, value: int):
         """Coroutine: coherent store (write-invalidate unless exclusive)."""
-        yield Timeout(self.config.l1.latency_cycles)
+        yield self._t_l1
         l2_line = self.l2.lookup(addr)
         fetched = False
         if l2_line is None or l2_line.state is not LineState.EXCLUSIVE:
@@ -159,7 +180,7 @@ class CacheController:
         after the GET_X completes, having already paid the traffic.
         """
         line = line_base(addr)
-        yield Timeout(self.config.l1.latency_cycles)
+        yield self._t_l1
         if self._reservation != line:
             self.sc_failures += 1
             return False
@@ -219,7 +240,7 @@ class CacheController:
         the paper charges this mechanism with), applies ``fn`` locally,
         never fails.  Returns the old value.
         """
-        yield Timeout(self.config.l1.latency_cycles)
+        yield self._t_l1
         line_addr = line_base(addr)
         l2_line = self.l2.lookup(addr)
         if l2_line is None or l2_line.state is not LineState.EXCLUSIVE:
@@ -247,7 +268,7 @@ class CacheController:
     # ------------------------------------------------------------------
     def uncached_read(self, addr: int):
         """Coroutine: cache-bypassing load served by the home node."""
-        sig = Signal(name=f"ucread@{addr:#x}")
+        sig = Signal()
         yield from self.hub.egress_send(Message(
             kind=MessageKind.UNCACHED_READ, src_node=self.node,
             dst_node=home_of(addr), addr=addr, reply_to=sig,
@@ -257,7 +278,7 @@ class CacheController:
 
     def uncached_write(self, addr: int, value: int):
         """Coroutine: cache-bypassing store (waits for the ack)."""
-        sig = Signal(name=f"ucwrite@{addr:#x}")
+        sig = Signal()
         yield from self.hub.egress_send(Message(
             kind=MessageKind.UNCACHED_WRITE, src_node=self.node,
             dst_node=home_of(addr), addr=addr, value=value, reply_to=sig,
@@ -273,15 +294,16 @@ class CacheController:
         Event-driven equivalent of a spin loop; see the module docstring
         for the traffic semantics.  Returns the satisfying value.
         """
+        meta = self._line_meta(addr)
+        gate_wait = meta.gate_wait
         while True:
-            meta = self._line_meta(addr)
             version = meta.version
             value = yield from self.load(addr)
             if predicate(value):
                 return value
             if meta.version != version:
                 continue  # changed under our read; re-check immediately
-            yield meta.gate.wait()
+            yield gate_wait
             self.spin_wakeups += 1
 
     # ------------------------------------------------------------------
@@ -327,13 +349,14 @@ class CacheController:
         # One outstanding fill per line per controller: a second context
         # (an active-message handler sharing this CPU) waits its turn.
         while line_addr in self._inflight:
-            yield self._inflight[line_addr]["fill_done"].wait()
+            yield _fill_done_of(self._inflight[line_addr]).wait()
+        # fill_done is created lazily — only a second context racing the
+        # same line ever waits on it, and fills outnumber races ~1000:1
         mshr = {"poisoned": False, "updates": [], "exclusive": exclusive,
-                "fill_done": Signal(name=f"fill@{line_addr:#x}"
-                                         f"/cpu{self.cpu_id}")}
+                "fill_done": None}
         self._inflight[line_addr] = mshr
         try:
-            sig = Signal(name=f"fetch@{addr:#x}/cpu{self.cpu_id}")
+            sig = Signal()
             kind = MessageKind.GET_X if exclusive else MessageKind.GET_S
             yield from self.hub.egress_send(Message(
                 kind=kind, src_node=self.node, dst_node=home_of(addr),
@@ -347,8 +370,9 @@ class CacheController:
         else:
             state = (LineState.EXCLUSIVE if reply.kind is MessageKind.DATA_X
                      else LineState.SHARED)
-        words = dict(reply.payload or {})
-        line, victim = self.l2.install(addr, state, words)
+        # install() copies for new lines and merges for resident ones, so
+        # the reply payload can be handed over without a defensive copy
+        line, victim = self.l2.install(addr, state, reply.payload)
         line.dirty = False
         for upd_addr, upd_value in mshr["updates"]:
             line.patch_word(upd_addr, upd_value)
@@ -360,7 +384,9 @@ class CacheController:
                                  words=line.snapshot_words())
             self.l1.invalidate(addr)
             self.l2.invalidate(addr)
-            mshr["fill_done"].fire(self.sim, None)
+            fd = mshr["fill_done"]
+            if fd is not None:
+                fd.fire(self.sim, None)
             if victim is not None:
                 yield from self._evict(victim)
             return detached
@@ -374,7 +400,9 @@ class CacheController:
             yield from self._acquire_rmw_lock(line_addr)
         # Wake any intervention that raced ahead of this fill (it will
         # then defer again on the RMW lock just taken).
-        mshr["fill_done"].fire(self.sim, None)
+        fd = mshr["fill_done"]
+        if fd is not None:
+            fd.fire(self.sim, None)
         if victim is not None:
             yield from self._evict(victim)
         return line
@@ -392,7 +420,7 @@ class CacheController:
             return
         words = victim.snapshot_words() if victim.dirty else None
         self._pending_writebacks[victim.line_addr] = victim.snapshot_words()
-        sig = Signal(name=f"wb@{victim.line_addr:#x}")
+        sig = Signal()
         yield from self.hub.egress_send(Message(
             kind=MessageKind.WRITEBACK, src_node=self.node,
             dst_node=home_of(victim.line_addr), addr=victim.line_addr,
@@ -404,11 +432,10 @@ class CacheController:
     # incoming coherence traffic (called by the hub at delivery time)
     # ------------------------------------------------------------------
     def on_invalidate(self, msg: Message) -> None:
-        self.sim.spawn(self._do_invalidate(msg),
-                       name=f"inv@cpu{self.cpu_id}")
+        self.sim.spawn(self._do_invalidate(msg), name=self._name_inv)
 
     def _do_invalidate(self, msg: Message):
-        yield Timeout(self.config.l2.latency_cycles)
+        yield self._t_l2
         line = line_base(msg.addr)
         mshr = self._inflight.get(line)
         if mshr is not None and not mshr["exclusive"]:
@@ -427,11 +454,10 @@ class CacheController:
             requester=self.cpu_id))
 
     def on_intervention(self, msg: Message) -> None:
-        self.sim.spawn(self._do_intervention(msg),
-                       name=f"intervene@cpu{self.cpu_id}")
+        self.sim.spawn(self._do_intervention(msg), name=self._name_intervene)
 
     def _do_intervention(self, msg: Message):
-        yield Timeout(self.config.l2.latency_cycles)
+        yield self._t_l2
         requester_msg, done = msg.payload
         downgrade = msg.value == "downgrade"
         line_addr = line_base(msg.addr)
@@ -451,7 +477,7 @@ class CacheController:
         # behind this intervention) and behind any atomic RMW window.
         mshr = self._inflight.get(line_addr)
         if mshr is not None and mshr["exclusive"]:
-            yield mshr["fill_done"].wait()
+            yield _fill_done_of(mshr).wait()
         while True:
             gate = self._rmw_locks.get(line_addr)
             if gate is None:

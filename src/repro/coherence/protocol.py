@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.coherence.directory import Directory, DirState
+from repro.coherence.directory import Directory, DirState, iter_sharers
 from repro.mem.address import line_base, word_base
 from repro.network.message import Message, MessageKind
 from repro.sim.primitives import Signal, Timeout
@@ -37,7 +37,7 @@ class AckLatch:
     __slots__ = ("signal", "remaining")
 
     def __init__(self, expected: int, name: str = "") -> None:
-        self.signal = Signal(name=name or "ack-latch")
+        self.signal = Signal(name=name)
         self.remaining = expected
 
     def ack(self, sim) -> None:
@@ -67,6 +67,14 @@ class HomeEngine:
         self.invalidations_sent = 0
         self.interventions_sent = 0
         self.word_updates_pushed = 0
+        # fixed directory-occupancy delay: Timeout is stateless, reuse one
+        self._t_dir = Timeout(self.config.hub.hub_to_cpu(
+            self.config.hub.directory_occupancy_hub_cycles))
+        # spawn names precomputed once: handle() runs per request message
+        self._name_get_s = f"getS@{self.node}"
+        self._name_get_x = f"getX@{self.node}"
+        self._name_wb = f"wb@{self.node}"
+        self._name_readfill = f"readfill@{self.node}"
 
     # ------------------------------------------------------------------
     # dispatch
@@ -75,11 +83,11 @@ class HomeEngine:
         """Entry point from the hub for a request homed at this node."""
         self.transactions += 1
         if msg.kind is MessageKind.GET_S:
-            self.sim.spawn(self._serve_get_s(msg), name=f"getS@{self.node}")
+            self.sim.spawn(self._serve_get_s(msg), name=self._name_get_s)
         elif msg.kind is MessageKind.GET_X:
-            self.sim.spawn(self._serve_get_x(msg), name=f"getX@{self.node}")
+            self.sim.spawn(self._serve_get_x(msg), name=self._name_get_x)
         elif msg.kind is MessageKind.WRITEBACK:
-            self.sim.spawn(self._serve_writeback(msg), name=f"wb@{self.node}")
+            self.sim.spawn(self._serve_writeback(msg), name=self._name_wb)
         elif msg.kind is MessageKind.UNCACHED_READ:
             self.sim.spawn(self._serve_uncached_read(msg))
         elif msg.kind is MessageKind.UNCACHED_WRITE:
@@ -107,7 +115,7 @@ class HomeEngine:
         ent = self.directory.entry(line)
         yield ent.busy.acquire()
         try:
-            yield Timeout(self._dir_delay())
+            yield self._t_dir
             requester = msg.requester
             if ent.state is DirState.EXCLUSIVE and ent.owner != requester:
                 # 3-hop: downgrade the owner; data flows owner->requester,
@@ -115,7 +123,7 @@ class HomeEngine:
                 words = yield from self._intervene(
                     owner=ent.owner, requester_msg=msg, downgrade=True)
                 self.backing.write_line(line, words)
-                ent.sharers = {ent.owner, requester}
+                ent.sharer_mask = (1 << ent.owner) | (1 << requester)
                 ent.owner = None
                 ent.state = DirState.SHARED
             else:
@@ -137,11 +145,11 @@ class HomeEngine:
                 # release-consistency semantics (§3.2): AMU values become
                 # visible at the put (test match / eviction), not before.
                 words = self.backing.read_line(line, self.config.line_bytes)
-                ent.sharers.add(requester)
+                ent.sharer_mask |= 1 << requester
                 ent.state = DirState.SHARED
                 ent.version += 1
                 self.sim.spawn(self._finish_clean_read(msg, words),
-                               name=f"readfill@{self.node}")
+                               name=self._name_readfill)
         finally:
             ent.busy.release()
 
@@ -162,7 +170,7 @@ class HomeEngine:
         ent = self.directory.entry(line)
         yield ent.busy.acquire()
         try:
-            yield Timeout(self._dir_delay())
+            yield self._t_dir
             requester = msg.requester
             if ent.state is DirState.EXCLUSIVE and ent.owner != requester:
                 words = yield from self._intervene(
@@ -178,12 +186,12 @@ class HomeEngine:
                 if ent.amu_sharer:
                     yield from self.hub.amu.flush_line(line)
                     ent.amu_sharer = False
-                invalidees = sorted(ent.sharers - {requester})
-                if invalidees:
-                    self._count_invalidations(len(invalidees))
-                    latch = AckLatch(len(invalidees),
-                                     name=f"inv@{line:#x}")
-                    for cpu in invalidees:
+                inv_mask = ent.sharer_mask & ~(1 << requester)
+                if inv_mask:
+                    fanout = inv_mask.bit_count()
+                    self._count_invalidations(fanout)
+                    latch = AckLatch(fanout)
+                    for cpu in iter_sharers(inv_mask):
                         node = self.hub.machine.node_of_cpu(cpu)
                         yield from self.hub.egress_send(Message(
                             kind=MessageKind.INVALIDATE,
@@ -198,7 +206,7 @@ class HomeEngine:
         line = ent.line_addr
         yield from self.dram.access_line()
         words = self.backing.read_line(line, self.config.line_bytes)
-        ent.sharers = set()
+        ent.sharer_mask = 0
         ent.owner = msg.requester
         ent.state = DirState.EXCLUSIVE
         ent.amu_sharer = False
@@ -237,16 +245,16 @@ class HomeEngine:
         ent = self.directory.entry(line)
         yield ent.busy.acquire()
         try:
-            yield Timeout(self._dir_delay())
+            yield self._t_dir
             if msg.payload is not None:
                 yield from self.dram.access_line()
                 self.backing.write_line(line, msg.payload)
             if ent.owner == msg.requester:
                 ent.owner = None
                 ent.state = DirState.UNOWNED
-            elif msg.requester in ent.sharers:
-                ent.sharers.discard(msg.requester)
-                if not ent.sharers and not ent.amu_sharer:
+            elif ent.sharer_mask >> msg.requester & 1:
+                ent.sharer_mask &= ~(1 << msg.requester)
+                if not ent.sharer_mask and not ent.amu_sharer:
                     ent.state = DirState.UNOWNED
             ent.version += 1
             yield from self.hub.egress_send(Message(
@@ -296,7 +304,7 @@ class HomeEngine:
         ent = self.directory.entry(line)
         yield ent.busy.acquire()
         try:
-            yield Timeout(self._dir_delay())
+            yield self._t_dir
             if ent.state is DirState.EXCLUSIVE:
                 fake_req = Message(
                     kind=MessageKind.FG_GET, src_node=self.node,
@@ -305,7 +313,7 @@ class HomeEngine:
                 words = yield from self._intervene(
                     owner=ent.owner, requester_msg=fake_req, downgrade=True)
                 self.backing.write_line(line, words)
-                ent.sharers = {ent.owner}
+                ent.sharer_mask = 1 << ent.owner
                 ent.owner = None
                 ent.state = DirState.SHARED
                 ent.version += 1
@@ -327,7 +335,7 @@ class HomeEngine:
         ent = self.directory.entry(line)
         yield ent.busy.acquire()
         try:
-            yield Timeout(self._dir_delay())
+            yield self._t_dir
             if ent.state is DirState.EXCLUSIVE:
                 # pull the line home first (rare: sync variables are not
                 # normally write-shared with exclusive owners)
@@ -338,20 +346,21 @@ class HomeEngine:
                 words = yield from self._intervene(
                     owner=ent.owner, requester_msg=fake_req, downgrade=True)
                 self.backing.write_line(line, words)
-                ent.sharers = {ent.owner}
+                ent.sharer_mask = 1 << ent.owner
                 ent.owner = None
                 ent.state = DirState.SHARED
             yield from self.dram.access_word()
             self.backing.write_word(addr, value)
             ent.version += 1
             if push_updates:
-                if ent.sharers:
-                    self.word_updates_pushed += len(ent.sharers)
+                if ent.sharer_mask:
+                    fanout = ent.sharer_mask.bit_count()
+                    self.word_updates_pushed += fanout
                     obs = self.hub.machine.obs
                     if obs is not None:
-                        obs.update_fanout.observe(len(ent.sharers))
+                        obs.update_fanout.observe(fanout)
                 multicast = self.config.network.multicast_updates
-                for i, cpu in enumerate(sorted(ent.sharers)):
+                for i, cpu in enumerate(iter_sharers(ent.sharer_mask)):
                     node = self.hub.machine.node_of_cpu(cpu)
                     update = Message(
                         kind=MessageKind.WORD_UPDATE, src_node=self.node,
@@ -363,17 +372,18 @@ class HomeEngine:
                         self.net.send(update)
                     else:
                         yield from self.hub.egress_send(update)
-            elif ent.sharers:
-                self._count_invalidations(len(ent.sharers))
-                latch = AckLatch(len(ent.sharers), name=f"fginv@{line:#x}")
-                for cpu in sorted(ent.sharers):
+            elif ent.sharer_mask:
+                fanout = ent.sharer_mask.bit_count()
+                self._count_invalidations(fanout)
+                latch = AckLatch(fanout)
+                for cpu in iter_sharers(ent.sharer_mask):
                     node = self.hub.machine.node_of_cpu(cpu)
                     yield from self.hub.egress_send(Message(
                         kind=MessageKind.INVALIDATE, src_node=self.node,
                         dst_node=node, addr=addr, dst_cpu=cpu,
                         payload=latch))
                 yield latch.signal.wait()
-                ent.sharers = set()
+                ent.sharer_mask = 0
                 if not ent.amu_sharer:
                     ent.state = DirState.UNOWNED
         finally:
@@ -390,5 +400,5 @@ class HomeEngine:
     def unmark_amu_sharer(self, addr: int) -> None:
         ent = self.directory.entry(line_base(addr))
         ent.amu_sharer = False
-        if ent.state is DirState.SHARED and not ent.sharers:
+        if ent.state is DirState.SHARED and not ent.sharer_mask:
             ent.state = DirState.UNOWNED

@@ -56,6 +56,30 @@ class Hub:
         self.net.attach(node, self.receive)
         #: controllers of the CPUs on this node, keyed by cpu id
         self.controllers: dict[int, object] = {}
+        # Egress occupancy depends only on the message kind; Timeout is
+        # stateless, so one instance per cost class serves every send.
+        hub_cfg = self.config.hub
+        self._t_egress_update = Timeout(
+            hub_cfg.hub_to_cpu(hub_cfg.update_egress_hub_cycles))
+        self._t_egress_ctrl = Timeout(
+            hub_cfg.hub_to_cpu(hub_cfg.egress_occupancy_hub_cycles))
+        self._t_egress_line = Timeout(
+            hub_cfg.hub_to_cpu(hub_cfg.egress_occupancy_hub_cycles * 2))
+        #: delivery routing table, kind -> handler (see :meth:`receive`)
+        self._routes = {
+            MessageKind.GET_S: self.home_engine.handle,
+            MessageKind.GET_X: self.home_engine.handle,
+            MessageKind.WRITEBACK: self.home_engine.handle,
+            MessageKind.UNCACHED_READ: self.home_engine.handle,
+            MessageKind.UNCACHED_WRITE: self.home_engine.handle,
+            MessageKind.INVALIDATE: self._on_invalidate,
+            MessageKind.INTERVENTION: self._on_intervention,
+            MessageKind.WORD_UPDATE: self._on_word_update,
+            MessageKind.INV_ACK: self._on_inv_ack,
+            MessageKind.AMO_REQUEST: self.amu.enqueue,
+            MessageKind.MAO_REQUEST: self.amu.enqueue,
+            MessageKind.AM_REQUEST: self.actmsg.handle,
+        }
 
     # ------------------------------------------------------------------
     def egress_send(self, msg: Message):
@@ -65,42 +89,44 @@ class Hub:
         wave, word-update push) costs N injection slots.  Line-carrying
         packets occupy the port twice as long as control/word packets.
         """
-        hub_cfg = self.config.hub
-        if msg.kind is MessageKind.WORD_UPDATE:
-            cost = hub_cfg.hub_to_cpu(hub_cfg.update_egress_hub_cycles)
+        kind = msg.kind
+        if kind is MessageKind.WORD_UPDATE:
+            occupancy = self._t_egress_update
+        elif kind.carries_line:
+            occupancy = self._t_egress_line
         else:
-            slots = 2 if msg.kind.carries_line else 1
-            cost = hub_cfg.hub_to_cpu(
-                hub_cfg.egress_occupancy_hub_cycles * slots)
+            occupancy = self._t_egress_ctrl
         yield self._egress.acquire()
         try:
-            yield Timeout(cost)
+            yield occupancy
         finally:
             self._egress.release()
         self.net.send(msg)
 
     # ------------------------------------------------------------------
     def receive(self, msg: Message) -> None:
-        """Delivery dispatch for messages addressed to this node."""
-        kind = msg.kind
-        if kind in (MessageKind.GET_S, MessageKind.GET_X,
-                    MessageKind.WRITEBACK, MessageKind.UNCACHED_READ,
-                    MessageKind.UNCACHED_WRITE):
-            self.home_engine.handle(msg)
-        elif kind is MessageKind.INVALIDATE:
-            self._controller_of(msg).on_invalidate(msg)
-        elif kind is MessageKind.INTERVENTION:
-            self._controller_of(msg).on_intervention(msg)
-        elif kind is MessageKind.WORD_UPDATE:
-            self._controller_of(msg).on_word_update(msg)
-        elif kind is MessageKind.INV_ACK:
-            msg.payload.ack(self.sim)
-        elif kind in (MessageKind.AMO_REQUEST, MessageKind.MAO_REQUEST):
-            self.amu.enqueue(msg)
-        elif kind is MessageKind.AM_REQUEST:
-            self.actmsg.handle(msg)
-        else:
+        """Delivery dispatch for messages addressed to this node.
+
+        One dict probe per delivery (enum members hash by identity)
+        instead of a membership-scan cascade — this sits on every
+        message's critical path.
+        """
+        route = self._routes.get(msg.kind)
+        if route is None:
             raise RuntimeError(f"hub {self.node}: unroutable {msg!r}")
+        route(msg)
+
+    def _on_invalidate(self, msg: Message) -> None:
+        self._controller_of(msg).on_invalidate(msg)
+
+    def _on_intervention(self, msg: Message) -> None:
+        self._controller_of(msg).on_intervention(msg)
+
+    def _on_word_update(self, msg: Message) -> None:
+        self._controller_of(msg).on_word_update(msg)
+
+    def _on_inv_ack(self, msg: Message) -> None:
+        msg.payload.ack(self.sim)
 
     def _controller_of(self, msg: Message):
         if msg.dst_cpu is None:

@@ -40,10 +40,12 @@ class Processor:
         self.mao_port = MaoPort(cpu_id, hub)
         self._am_seq = 0
         self.amo_ops = 0
+        # fixed per-op issue overhead: Timeout is stateless, reuse one
+        self._t_overhead = Timeout(self.config.processor.op_overhead_cycles)
 
     # ------------------------------------------------------------------
     def _overhead(self):
-        yield Timeout(self.config.processor.op_overhead_cycles)
+        yield self._t_overhead
 
     def delay(self, cycles: int):
         """Coroutine: local computation for ``cycles`` (no memory traffic)."""
@@ -55,46 +57,52 @@ class Processor:
     @traced_op
     def load(self, addr: int):
         """Coroutine: coherent load; returns the word value."""
-        yield from self._overhead()
+        yield self._t_overhead
         value = yield from self.controller.load(addr)
         return value
 
     @traced_op
     def store(self, addr: int, value: int):
         """Coroutine: coherent store."""
-        yield from self._overhead()
+        yield self._t_overhead
         yield from self.controller.store(addr, value)
 
     @traced_op
     def load_linked(self, addr: int):
-        yield from self._overhead()
+        yield self._t_overhead
         value = yield from self.controller.load_linked(addr)
         return value
 
     @traced_op
     def store_conditional(self, addr: int, value: int):
-        yield from self._overhead()
+        yield self._t_overhead
         ok = yield from self.controller.store_conditional(addr, value)
         return ok
 
     @traced_op
     def llsc_rmw(self, addr: int, fn: Callable[[int], int]):
         """Coroutine: LL/SC retry loop; returns the pre-RMW value."""
-        yield from self._overhead()
+        yield self._t_overhead
         old = yield from self.controller.ll_sc_rmw(addr, fn)
         return old
 
     @traced_op
     def atomic_rmw(self, addr: int, fn: Callable[[int], int]):
         """Coroutine: processor-side atomic instruction; returns old value."""
-        yield from self._overhead()
+        yield self._t_overhead
         old = yield from self.controller.atomic_rmw(addr, fn)
         return old
 
     @traced_op
     def spin_until(self, addr: int, predicate: Callable[[int], bool]):
-        """Coroutine: cached spin until ``predicate(value)`` holds."""
-        value = yield from self.controller.spin_until(addr, predicate)
+        """Coroutine: cached spin until ``predicate(value)`` holds.
+
+        The controller coroutine is yielded to the kernel's flattened
+        trampoline (not delegated with ``yield from``): a contended spin
+        resumes many times per call, and the trampoline makes each
+        wake-up O(1) instead of walking this delegation chain.
+        """
+        value = yield self.controller.spin_until(addr, predicate)
         return value
 
     # ------------------------------------------------------------------
@@ -116,9 +124,9 @@ class Processor:
         and counted — the instruction has a register writeback — but
         this coroutine returns after injection, yielding ``None``.
         """
-        yield from self._overhead()
+        yield self._t_overhead
         self.amo_ops += 1
-        sig = Signal(name=f"amo[{self.cpu_id}]@{addr:#x}")
+        sig = Signal()
         yield from self.hub.egress_send(Message(
             kind=MessageKind.AMO_REQUEST, src_node=self.node,
             dst_node=home_of(addr), addr=addr,
@@ -149,19 +157,19 @@ class Processor:
     @traced_op
     def mao_rmw(self, addr: int, op: str = "fetchadd", operand: Any = 1):
         """Coroutine: uncached memory-side atomic; returns old value."""
-        yield from self._overhead()
+        yield self._t_overhead
         old = yield from self.mao_port.rmw(addr, op, operand)
         return old
 
     @traced_op
     def uncached_read(self, addr: int):
-        yield from self._overhead()
+        yield self._t_overhead
         value = yield from self.controller.uncached_read(addr)
         return value
 
     @traced_op
     def uncached_write(self, addr: int, value: int):
-        yield from self._overhead()
+        yield self._t_overhead
         yield from self.controller.uncached_write(addr, value)
 
     # ------------------------------------------------------------------
@@ -171,7 +179,7 @@ class Processor:
     def am_call(self, home_node: int, handler: str, args: Any):
         """Coroutine: run ``handler`` on ``home_node``'s main processor;
         returns the handler result (retransmits on timeout)."""
-        yield from self._overhead()
+        yield self._t_overhead
         seq = self._am_seq
         self._am_seq += 1
         result = yield from self.hub.actmsg.call_remote(

@@ -1,0 +1,89 @@
+"""Determinism-parity fingerprints.
+
+A *fingerprint* reduces one workload run to the quantities that must be
+bit-exact across kernel implementations and across repeated runs:
+simulated cycle counts, per-kind message counts, and the number of
+kernel events dispatched.  The golden files under
+``tests/integration/golden/`` were captured from the seed (pre-two-tier)
+kernel; :mod:`tests.integration.test_determinism_parity` re-runs every
+mechanism and asserts equality, which is the gate any event-queue or
+protocol data-structure change must pass.
+
+Regenerate goldens (only when the *simulated behaviour* legitimately
+changes, never to paper over a kernel bug)::
+
+    PYTHONPATH=src python tools/capture_parity.py
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config.mechanism import Mechanism
+from repro.network.stats import TrafficStats
+from repro.workloads.barrier import run_barrier_workload
+from repro.workloads.locks import run_lock_workload
+
+#: workload shapes fingerprinted per mechanism (kept small: the goal is
+#: protocol coverage, not statistical significance)
+BARRIER_EPISODES = 2
+LOCK_ACQUISITIONS = 2
+
+
+def _traffic_dict(traffic: TrafficStats) -> dict:
+    return {
+        "messages": {k.value: v for k, v in sorted(
+            traffic.messages.items(), key=lambda kv: kv[0].value) if v},
+        "local_messages": {k.value: v for k, v in sorted(
+            traffic.local_messages.items(), key=lambda kv: kv[0].value) if v},
+        "total_messages": traffic.total_messages,
+        "total_bytes": traffic.total_bytes,
+    }
+
+
+def barrier_fingerprint(mechanism: Mechanism, n_processors: int,
+                        episodes: int = BARRIER_EPISODES) -> dict:
+    """Run one barrier configuration and reduce it to its fingerprint."""
+    res = run_barrier_workload(n_processors, mechanism, episodes=episodes,
+                               warmup_episodes=1)
+    return {
+        "workload": "barrier",
+        "mechanism": mechanism.value,
+        "n_processors": n_processors,
+        "total_cycles": res.total_cycles,
+        "events_dispatched": res.events_dispatched,
+        **_traffic_dict(res.traffic),
+    }
+
+
+def lock_fingerprint(mechanism: Mechanism, n_processors: int,
+                     acquisitions: int = LOCK_ACQUISITIONS) -> dict:
+    """Run one ticket-lock configuration and reduce it to a fingerprint."""
+    res = run_lock_workload(n_processors, mechanism,
+                            acquisitions_per_cpu=acquisitions,
+                            warmup_per_cpu=1)
+    return {
+        "workload": "lock",
+        "mechanism": mechanism.value,
+        "n_processors": n_processors,
+        "total_cycles": res.total_cycles,
+        "events_dispatched": res.events_dispatched,
+        **_traffic_dict(res.traffic),
+    }
+
+
+def capture_all(n_processors: int = 32,
+                mechanisms: Optional[list[Mechanism]] = None) -> dict:
+    """Fingerprint every mechanism (barrier + lock) at one machine size."""
+    mechs = mechanisms or list(Mechanism)
+    return {
+        "n_processors": n_processors,
+        "barrier_episodes": BARRIER_EPISODES,
+        "lock_acquisitions": LOCK_ACQUISITIONS,
+        "fingerprints": {
+            m.value: {
+                "barrier": barrier_fingerprint(m, n_processors),
+                "lock": lock_fingerprint(m, n_processors),
+            } for m in mechs
+        },
+    }

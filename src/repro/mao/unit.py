@@ -33,7 +33,7 @@ class MaoPort:
         """Coroutine: uncached atomic RMW at the home MC; returns the old
         value (a full network round trip, serialized at the home FU)."""
         self.ops_issued += 1
-        sig = Signal(name=f"mao[{self.cpu_id}]@{addr:#x}")
+        sig = Signal()
         yield from self.hub.egress_send(Message(
             kind=MessageKind.MAO_REQUEST, src_node=self.hub.node,
             dst_node=home_of(addr), addr=addr,

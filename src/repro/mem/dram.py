@@ -28,6 +28,14 @@ class Dram:
         self._channel = Resource(name=f"dram[{node}]")
         self.line_accesses = 0
         self.word_accesses = 0
+        # fixed delays: Timeout is stateless, reuse one instance per value
+        cfg = self.config
+        self._t_line_occ = Timeout(cfg.occupancy_cycles)
+        self._t_word_occ = Timeout(cfg.word_occupancy_cycles)
+        self._line_residual = cfg.latency_cycles - cfg.occupancy_cycles
+        self._word_residual = cfg.latency_cycles - cfg.word_occupancy_cycles
+        self._t_line_res = Timeout(self._line_residual)
+        self._t_word_res = Timeout(self._word_residual)
 
     # Each access method is a coroutine charging occupancy then latency.
     def access_line(self):
@@ -35,24 +43,22 @@ class Dram:
         self.line_accesses += 1
         yield self._channel.acquire()
         try:
-            yield Timeout(self.config.occupancy_cycles)
+            yield self._t_line_occ
         finally:
             self._channel.release()
-        residual = self.config.latency_cycles - self.config.occupancy_cycles
-        if residual > 0:
-            yield Timeout(residual)
+        if self._line_residual > 0:
+            yield self._t_line_res
 
     def access_word(self):
         """Coroutine: one word-sized (8 B) read or write."""
         self.word_accesses += 1
         yield self._channel.acquire()
         try:
-            yield Timeout(self.config.word_occupancy_cycles)
+            yield self._t_word_occ
         finally:
             self._channel.release()
-        residual = self.config.latency_cycles - self.config.word_occupancy_cycles
-        if residual > 0:
-            yield Timeout(residual)
+        if self._word_residual > 0:
+            yield self._t_word_res
 
     @property
     def busy_cycles(self) -> int:

@@ -36,7 +36,9 @@ class Network:
         self.config = config or NetworkConfig()
         self.topology = FatTreeTopology(n_nodes, radix=self.config.router_radix)
         self.stats = TrafficStats()
-        self._handlers: dict[int, Callable[[Message], None]] = {}
+        # node -> delivery handler; dense, so a list beats a dict probe
+        self._handlers: list[Optional[Callable[[Message], None]]] = \
+            [None] * n_nodes
         # hooks observing every injected message (tracing, profiling,
         # metrics) — see subscribe_send / the legacy on_send property
         self._send_hooks: list[Callable[[Message, int], None]] = []
@@ -51,6 +53,10 @@ class Network:
         #: delivery times while preserving per-(src,dst) FIFO order
         self.delay_injector = None
         self._last_delivery: dict[tuple[int, int], int] = {}
+        # (src, dst) -> (hops, base_latency): route metrics are static,
+        # so the send fast path pays one dict probe instead of a
+        # topology matrix walk plus a latency recomputation per packet
+        self._route_cache: dict[tuple[int, int], tuple[int, int]] = {}
 
     @property
     def n_nodes(self) -> int:
@@ -99,11 +105,22 @@ class Network:
         if hook is not None:
             self.subscribe_send(hook)
 
+    def _route(self, src: int, dst: int) -> tuple[int, int]:
+        """Cached ``(hops, one-way latency)`` for a node pair."""
+        key = (src, dst)
+        route = self._route_cache.get(key)
+        if route is None:
+            if src == dst:
+                route = (0, self.config.local_latency_cycles)
+            else:
+                hops = self.topology.hops(src, dst)
+                route = (hops, hops * self.config.hop_latency_cycles)
+            self._route_cache[key] = route
+        return route
+
     def latency(self, src: int, dst: int) -> int:
         """One-way latency in CPU cycles between two nodes."""
-        if src == dst:
-            return self.config.local_latency_cycles
-        return self.topology.hops(src, dst) * self.config.hop_latency_cycles
+        return self._route(src, dst)[1]
 
     # ------------------------------------------------------------------
     def send(self, msg: Message) -> None:
@@ -116,18 +133,28 @@ class Network:
         The hot-spot effect this adds is convergence at a *home node's
         downlink* under request storms.
         """
-        hops = 0 if msg.src_node == msg.dst_node else self.topology.hops(
-            msg.src_node, msg.dst_node)
+        hops, base_latency = self._route(msg.src_node, msg.dst_node)
         self.stats.record(self.sim.now, msg, hops)
         if self._send_hooks:
             for hook in self._send_hooks:
                 hook(msg, hops)
-        base_latency = self.latency(msg.src_node, msg.dst_node)
-        if self.config.model_router_contention and hops > 0:
+        config = self.config
+        if config.model_router_contention and hops > 0:
             self._schedule_delivery(msg, self._reserve_path(msg))
             return
-        if not self.config.model_link_contention or hops == 0:
-            self._schedule_delivery(msg, self.sim.now + base_latency)
+        if not config.model_link_contention or hops == 0:
+            # fast path: latency-only delivery, no reservations; the
+            # scheduling is inlined (one bucket push) — this is every
+            # packet's path in the paper-default configuration
+            if self.delay_injector is None:
+                sim = self.sim
+                if base_latency:
+                    sim._push_future(sim.now + base_latency,
+                                     (self._deliver, (msg,)))
+                else:
+                    sim._ring.append((self._deliver, (msg,)))
+            else:
+                self._schedule_delivery(msg, self.sim.now + base_latency)
             return
         now = self.sim.now
         transfer = max(1, int(msg.size_bytes
@@ -177,7 +204,7 @@ class Network:
             # retransmit path owns delivery then.
             msg.reply_to.try_fire(self.sim, msg)
             return
-        handler = self._handlers.get(msg.dst_node)
+        handler = self._handlers[msg.dst_node]
         if handler is None:
             raise RuntimeError(
                 f"no handler attached to node {msg.dst_node} for {msg!r}")

@@ -15,14 +15,24 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.sim.primitives import Signal
 
 
 class MessageKind(enum.Enum):
-    """Every message type that can cross the interconnect."""
+    """Every message type that can cross the interconnect.
+
+    Classification flags (``is_request``, ``is_reply``,
+    ``is_intervention``, ``carries_line``, ``carries_word``) and the
+    derived packet size (``packet_bytes``) are precomputed onto each
+    member after class creation, so hot-path checks are plain attribute
+    loads — no set membership, no property call.  ``__hash__`` is the
+    identity slot so members key dicts/Counters at C speed (members are
+    singletons, so identity hashing is consistent with equality).
+    """
+
+    __hash__ = object.__hash__
 
     # -- block-grained coherence (substrate S5) -------------------------
     GET_S = "get_s"                  # read request (load miss)
@@ -59,27 +69,6 @@ class MessageKind(enum.Enum):
     AM_REQUEST = "am_request"        # message carrying handler + args
     AM_REPLY = "am_reply"            # handler completion notification
 
-    @property
-    def is_request(self) -> bool:
-        return self in _REQUESTS
-
-    @property
-    def is_reply(self) -> bool:
-        return self in _REPLIES
-
-    @property
-    def is_intervention(self) -> bool:
-        return self in _INTERVENTIONS
-
-    @property
-    def carries_line(self) -> bool:
-        return self in _LINE_CARRIERS
-
-    @property
-    def carries_word(self) -> bool:
-        return self in _WORD_CARRIERS
-
-
 _REQUESTS = {
     MessageKind.GET_S, MessageKind.GET_X, MessageKind.WRITEBACK,
     MessageKind.UNCACHED_READ, MessageKind.UNCACHED_WRITE,
@@ -108,10 +97,27 @@ _WORD_CARRIERS = {
     MessageKind.AM_REQUEST, MessageKind.AM_REPLY,
 }
 
+#: fixed packet-size components (bytes)
+MIN_PACKET = 32
+WORD_BYTES = 8
+LINE_BYTES = 128
+
+# Precompute the classification flags and derived size as plain member
+# attributes (the Figure 1 solid/dashed/dotted mapping lives here).
+for _kind in MessageKind:
+    _kind.is_request = _kind in _REQUESTS
+    _kind.is_reply = _kind in _REPLIES
+    _kind.is_intervention = _kind in _INTERVENTIONS
+    _kind.carries_line = _kind in _LINE_CARRIERS
+    _kind.carries_word = _kind in _WORD_CARRIERS
+    _kind.packet_bytes = MIN_PACKET + (
+        LINE_BYTES if _kind.carries_line
+        else WORD_BYTES if _kind.carries_word else 0)
+del _kind
+
 _msg_ids = itertools.count()
 
 
-@dataclass
 class Message:
     """One interconnect packet.
 
@@ -119,33 +125,40 @@ class Message:
     copy it back so delivery can resume the waiting coroutine directly
     (hardware analogue: transaction identifiers matching replies to MSHR
     entries).  ``size_bytes`` is computed from the kind when omitted.
+
+    Hand-rolled ``__slots__`` class rather than a dataclass: hundreds of
+    thousands of packets are built per run, and the dataclass machinery
+    (``__post_init__`` dispatch, ``default_factory`` call) costs two extra
+    function calls per construction for no behavioural difference.
     """
 
-    kind: MessageKind
-    src_node: int
-    dst_node: int
-    addr: Optional[int] = None
-    value: Any = None
-    payload: Any = None
-    reply_to: Optional[Signal] = None
-    requester: Optional[int] = None       # originating CPU id, if any
-    dst_cpu: Optional[int] = None         # target CPU for cache-directed msgs
-    is_retransmit: bool = False
-    size_bytes: int = 0
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    __slots__ = ("kind", "src_node", "dst_node", "addr", "value", "payload",
+                 "reply_to", "requester", "dst_cpu", "is_retransmit",
+                 "size_bytes", "msg_id")
 
-    MIN_PACKET = 32
-    WORD_BYTES = 8
-    LINE_BYTES = 128
+    MIN_PACKET = MIN_PACKET
+    WORD_BYTES = WORD_BYTES
+    LINE_BYTES = LINE_BYTES
 
-    def __post_init__(self) -> None:
-        if self.size_bytes == 0:
-            size = self.MIN_PACKET
-            if self.kind.carries_line:
-                size += self.LINE_BYTES
-            elif self.kind.carries_word:
-                size += self.WORD_BYTES
-            self.size_bytes = size
+    def __init__(self, kind: MessageKind, src_node: int, dst_node: int,
+                 addr: Optional[int] = None, value: Any = None,
+                 payload: Any = None, reply_to: Optional[Signal] = None,
+                 requester: Optional[int] = None,
+                 dst_cpu: Optional[int] = None, is_retransmit: bool = False,
+                 size_bytes: int = 0, msg_id: Optional[int] = None) -> None:
+        self.kind = kind
+        self.src_node = src_node
+        self.dst_node = dst_node
+        self.addr = addr
+        self.value = value
+        self.payload = payload
+        self.reply_to = reply_to
+        self.requester = requester        # originating CPU id, if any
+        self.dst_cpu = dst_cpu            # target CPU for cache-directed msgs
+        self.is_retransmit = is_retransmit
+        # derived size cached per kind at module import
+        self.size_bytes = size_bytes or kind.packet_bytes
+        self.msg_id = next(_msg_ids) if msg_id is None else msg_id
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         addr = f" a={self.addr:#x}" if self.addr is not None else ""

@@ -60,6 +60,9 @@ class FatTreeTopology:
             if count == 1:
                 break
         self._hops = self._build_distance_matrix()
+        # plain nested lists: per-pair lookups on the Network.send fast
+        # path cost a list index, not a numpy scalar extraction
+        self._hops_rows: list[list[int]] = self._hops.tolist()
 
     # ------------------------------------------------------------------
     @property
@@ -80,7 +83,7 @@ class FatTreeTopology:
 
     def hops(self, src: int, dst: int) -> int:
         """Hop count between two nodes (0 when src == dst: on-die)."""
-        return int(self._hops[src, dst])
+        return self._hops_rows[src][dst]
 
     def _build_distance_matrix(self) -> np.ndarray:
         n = self.n_nodes

@@ -1,10 +1,27 @@
 """The discrete-event simulator core.
 
-A :class:`Simulator` owns a binary-heap event queue of
-``(time, sequence, callback, args)`` entries.  The ``sequence`` tiebreaker
-guarantees FIFO ordering of same-cycle events, which makes every run fully
-deterministic — a property the test suite leans on heavily (identical
-configurations must produce identical cycle counts and message traces).
+A :class:`Simulator` owns a **two-tier event queue**:
+
+* a same-cycle FIFO *dispatch ring* (a deque) holding every event due at
+  the current time — the overwhelmingly common case, since most events
+  schedule at ``now`` (process resumptions) or at ``now + fixed_latency``;
+* a binary heap of *timestamps*, each owning a FIFO bucket (a pooled,
+  recycled list) of the events due at that time.
+
+Same-cycle events bypass the heap entirely; future events cost one heap
+push per **distinct timestamp**, not per event, so an N-target fan-out
+landing on one cycle (a 255-way invalidation wave, a word-update push)
+pays a single heap operation.  Events are plain ``(fn, args)`` tuples —
+CPython's tuple free list makes them cheaper than any pooled record
+object — and drained buckets are cleared and recycled, so steady-state
+scheduling allocates almost nothing.
+
+Dispatch order is identical to the classic sequence-numbered heap: strict
+time order, FIFO within a cycle (ring order == schedule order).  Every
+run remains fully deterministic — a property the test suite leans on
+heavily (identical configurations must produce identical cycle counts,
+message traces, and ``events_dispatched``; see
+``tests/integration/test_determinism_parity.py``).
 
 Only two things ever enter the queue: plain callbacks scheduled with
 :meth:`Simulator.schedule`, and coroutine resumptions scheduled internally
@@ -14,6 +31,8 @@ by the waitable primitives in :mod:`repro.sim.primitives`.
 from __future__ import annotations
 
 import heapq
+from collections import deque
+from types import GeneratorType
 from typing import Any, Callable, Generator, Optional
 
 from repro.sim.process import Process
@@ -47,9 +66,16 @@ class Simulator:
     """
 
     def __init__(self, trace: bool = False) -> None:
-        self._queue: list[tuple[int, int, Callable[..., None], tuple]] = []
-        self._seq = 0
-        self._now = 0
+        #: current simulated time in CPU cycles (read-only for model code)
+        self.now = 0
+        #: events due at the current time, in FIFO dispatch order
+        self._ring: deque[tuple] = deque()
+        #: future time -> FIFO list of events due then
+        self._buckets: dict[int, list] = {}
+        #: min-heap of the distinct timestamps present in ``_buckets``
+        self._times: list[int] = []
+        #: recycled (cleared) bucket lists
+        self._bucket_pool: list[list] = []
         self._running = False
         self.trace = trace
         self.trace_log: list[tuple[int, str]] = []
@@ -58,30 +84,39 @@ class Simulator:
         self.active_processes: set[Process] = set()
 
     # ------------------------------------------------------------------
-    # time & scheduling
+    # scheduling
     # ------------------------------------------------------------------
-    @property
-    def now(self) -> int:
-        """Current simulated time in CPU cycles."""
-        return self._now
-
     def schedule(self, delay: int, fn: Callable[..., None], *args: Any) -> None:
         """Schedule ``fn(*args)`` to run ``delay`` cycles from now.
 
         ``delay`` must be a non-negative integer; zero-delay events run
         after all events already queued for the current cycle (FIFO).
         """
-        if delay < 0:
+        if delay == 0:
+            self._ring.append((fn, args))
+        elif delay > 0:
+            self._push_future(self.now + int(delay), (fn, args))
+        else:
             raise SimulationError(f"negative delay {delay!r}")
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + int(delay), self._seq, fn, args))
 
     def schedule_at(self, when: int, fn: Callable[..., None], *args: Any) -> None:
         """Schedule ``fn(*args)`` at absolute time ``when`` (>= now)."""
-        if when < self._now:
-            raise SimulationError(f"cannot schedule in the past ({when} < {self._now})")
-        self._seq += 1
-        heapq.heappush(self._queue, (int(when), self._seq, fn, args))
+        if when == self.now:
+            self._ring.append((fn, args))
+        elif when > self.now:
+            self._push_future(int(when), (fn, args))
+        else:
+            raise SimulationError(
+                f"cannot schedule in the past ({when} < {self.now})")
+
+    def _push_future(self, when: int, ev: tuple) -> None:
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            pool = self._bucket_pool
+            bucket = pool.pop() if pool else []
+            self._buckets[when] = bucket
+            heapq.heappush(self._times, when)
+        bucket.append(ev)
 
     # ------------------------------------------------------------------
     # processes
@@ -92,38 +127,73 @@ class Simulator:
         The generator may ``yield`` any primitive from
         :mod:`repro.sim.primitives` and may delegate to sub-coroutines with
         ``yield from``.  Its ``return`` value becomes ``process.result``.
+
+        Sub-coroutines may also be yielded *directly* (``yield sub()``
+        instead of ``yield from sub()``): the kernel then drives the inner
+        generator through an explicit per-process stack, so each resume
+        costs one frame regardless of call depth — semantically identical
+        to ``yield from`` (same values, same exception flow, same event
+        counts) but without paying one Python frame per nesting level per
+        resume on hot paths.
         """
         proc = Process(gen, name=name, sim=self)
         self.active_processes.add(proc)
         # Start after the current event finishes so spawn() is not reentrant.
-        self.schedule(0, self._resume, proc, None)
+        self._ring.append(proc._rn)
         return proc
 
-    def _resume(self, proc: Process, value: Any, exc: Optional[BaseException] = None) -> None:
-        """Advance ``proc`` by one step, interpreting what it yields."""
+    def _resume(self, proc: Process, value: Any,
+                exc: Optional[BaseException] = None) -> None:
+        """Advance ``proc`` by one step, interpreting what it yields.
+
+        The loop is the flattened resume trampoline: yielded generators
+        are pushed onto the process's call stack and driven directly, so
+        deep coroutine chains resume in O(1) instead of O(depth).
+        """
         if proc.done:
             return
-        try:
-            if exc is not None:
-                cmd = proc.gen.throw(exc)
-            else:
-                cmd = proc.gen.send(value)
-        except StopIteration as stop:
-            proc._finish(getattr(stop, "value", None))
-            self.active_processes.discard(proc)
+        gen = proc.gen
+        stack = proc.stack
+        while True:
+            try:
+                if exc is not None:
+                    err_in, exc = exc, None
+                    cmd = gen.throw(err_in)
+                else:
+                    cmd = gen.send(value)
+            except StopIteration as stop:
+                if stack:
+                    # inner coroutine returned: resume its caller inline
+                    proc.gen = gen = stack.pop()
+                    value = stop.value
+                    continue
+                proc._finish(stop.value)
+                self.active_processes.discard(proc)
+                return
+            except BaseException as err:
+                if stack:
+                    # propagate into the caller (its try/finally must run)
+                    proc.gen = gen = stack.pop()
+                    exc = err
+                    continue
+                proc._fail(err)
+                self.active_processes.discard(proc)
+                raise
+            if type(cmd) is GeneratorType:
+                # sub-call: push the caller, drive the inner generator
+                stack.append(gen)
+                proc.gen = gen = cmd
+                value = None
+                continue
+            try:
+                cmd._arm(self, proc)
+            except AttributeError:
+                raise SimulationError(
+                    f"process {proc.name!r} yielded non-primitive {cmd!r}; "
+                    "yield Timeout/Wait/Acquire/... or use 'yield from' for "
+                    "sub-coroutines"
+                ) from None
             return
-        except BaseException as err:  # propagate with process context
-            proc._fail(err)
-            self.active_processes.discard(proc)
-            raise
-        try:
-            cmd._arm(self, proc)
-        except AttributeError:
-            raise SimulationError(
-                f"process {proc.name!r} yielded non-primitive {cmd!r}; "
-                "yield Timeout/Wait/Acquire/... or use 'yield from' for "
-                "sub-coroutines"
-            ) from None
 
     # ------------------------------------------------------------------
     # main loop
@@ -146,25 +216,47 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        ring = self._ring
+        buckets = self._buckets
+        times = self._times
+        bucket_pool = self._bucket_pool
+        heappop = heapq.heappop
+        # -1 == unbounded (``dispatched`` only ever equals a non-negative bound)
+        max_ev = -1 if max_events is None else max_events
+        trace = self.trace
+        dispatched = 0
+        base_dispatched = self.events_dispatched
         try:
-            dispatched = 0
-            while self._queue:
-                if max_events is not None and dispatched >= max_events:
-                    raise SimulationError(f"exceeded max_events={max_events}")
-                when, _seq, fn, args = self._queue[0]
-                if until is not None and when > until:
-                    self._now = until
+            while True:
+                while ring:
+                    if dispatched == max_ev:
+                        raise SimulationError(f"exceeded max_events={max_events}")
+                    fn, args = ring.popleft()
+                    if trace:
+                        self.trace_log.append(
+                            (self.now, getattr(fn, "__qualname__", repr(fn))))
+                    fn(*args)
+                    dispatched += 1
+                if not times:
                     break
-                heapq.heappop(self._queue)
-                self._now = when
-                if self.trace:
-                    self.trace_log.append((when, getattr(fn, "__qualname__", repr(fn))))
-                fn(*args)
-                dispatched += 1
-                self.events_dispatched += 1
+                # events remain: the bound is checked before looking at
+                # ``until`` so a capped run with work pending always raises
+                if dispatched == max_ev:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+                when = times[0]
+                if until is not None and when > until:
+                    self.now = until
+                    break
+                heappop(times)
+                self.now = when
+                bucket = buckets.pop(when)
+                ring.extend(bucket)
+                bucket.clear()
+                bucket_pool.append(bucket)
         finally:
             self._running = False
-        return self._now
+            self.events_dispatched = base_dispatched + dispatched
+        return self.now
 
     def run_process(self, gen: Generator, name: str = "main",
                     max_events: Optional[int] = None) -> Any:
@@ -177,11 +269,11 @@ class Simulator:
         self.run(max_events=max_events)
         if not proc.done:
             raise SimulationError(
-                f"deadlock: process {name!r} still blocked at t={self._now} "
+                f"deadlock: process {name!r} still blocked at t={self.now} "
                 f"with {len(self.active_processes)} live processes"
             )
         return proc.result
 
     def pending_events(self) -> int:
         """Number of events currently queued (diagnostic)."""
-        return len(self._queue)
+        return len(self._ring) + sum(len(b) for b in self._buckets.values())

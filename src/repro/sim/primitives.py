@@ -1,7 +1,11 @@
 """Waitable primitives processes can ``yield``.
 
 Every primitive implements ``_arm(sim, proc)``: register ``proc`` so the
-kernel resumes it when the primitive completes.  The value the process's
+kernel resumes it when the primitive completes.  Zero-delay resumptions
+are appended straight onto the kernel's same-cycle dispatch ring
+(``sim._ring``) — equivalent to ``sim.schedule(0, sim._resume, ...)``
+but without the call and argument-packing overhead, which matters on the
+wake-up storms these primitives implement.  The value the process's
 ``yield`` expression evaluates to is primitive-specific (documented per
 class).
 
@@ -36,7 +40,13 @@ class Timeout:
         self.delay = delay
 
     def _arm(self, sim: "Simulator", proc: "Process") -> None:
-        sim.schedule(self.delay, sim._resume, proc, None)
+        d = self.delay
+        if d > 0:
+            sim._push_future(sim.now + d, proc._rn)
+        elif d == 0:
+            sim._ring.append(proc._rn)
+        else:
+            sim.schedule(d, sim._resume, proc, None)  # raises
 
 
 class Signal:
@@ -65,9 +75,11 @@ class Signal:
             raise RuntimeError(f"signal {self.name!r} fired twice")
         self.fired = True
         self.value = value
-        waiters, self._waiters = self._waiters, []
-        for proc in waiters:
-            sim.schedule(0, sim._resume, proc, value)
+        waiters = self._waiters
+        if waiters:
+            self._waiters = []
+            for proc in waiters:
+                sim._ring.append((sim._resume, (proc, value)))
 
     def try_fire(self, sim: "Simulator", value: Any = None) -> bool:
         """Fire unless already fired; returns whether it fired.
@@ -98,7 +110,7 @@ class Wait:
 
     def _arm(self, sim: "Simulator", proc: "Process") -> None:
         if self.signal.fired:
-            sim.schedule(0, sim._resume, proc, self.signal.value)
+            sim._ring.append((sim._resume, (proc, self.signal.value)))
         else:
             self.signal._waiters.append(proc)
 
@@ -123,15 +135,19 @@ class Gate:
         """Open the gate, waking current waiters and passing future ones."""
         self.open = True
         self.value = value
-        waiters, self._waiters = self._waiters, []
-        for proc in waiters:
-            sim.schedule(0, sim._resume, proc, value)
+        waiters = self._waiters
+        if waiters:
+            self._waiters = []
+            for proc in waiters:
+                sim._ring.append((sim._resume, (proc, value)))
 
     def pulse(self, sim: "Simulator", value: Any = None) -> None:
         """Wake current waiters without leaving the gate open."""
-        waiters, self._waiters = self._waiters, []
-        for proc in waiters:
-            sim.schedule(0, sim._resume, proc, value)
+        waiters = self._waiters
+        if waiters:
+            self._waiters = []
+            for proc in waiters:
+                sim._ring.append((sim._resume, (proc, value)))
 
     def close(self) -> None:
         """Re-arm the gate so subsequent waits block again."""
@@ -151,7 +167,7 @@ class GateWait:
 
     def _arm(self, sim: "Simulator", proc: "Process") -> None:
         if self.gate.open:
-            sim.schedule(0, sim._resume, proc, self.gate.value)
+            sim._ring.append((sim._resume, (proc, self.gate.value)))
         else:
             self.gate._waiters.append(proc)
 
@@ -172,7 +188,7 @@ class Resource:
     """
 
     __slots__ = ("name", "_busy", "_queue", "grants", "busy_cycles",
-                 "_acquired_at", "_sim")
+                 "_acquired_at", "_sim", "_acquire")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
@@ -182,6 +198,8 @@ class Resource:
         self.busy_cycles = 0
         self._acquired_at = 0
         self._sim: Optional["Simulator"] = None
+        # Acquire is stateless apart from its backref; reuse one instance
+        self._acquire = Acquire(self)
 
     @property
     def busy(self) -> bool:
@@ -193,7 +211,7 @@ class Resource:
 
     def acquire(self) -> "Acquire":
         """Yieldable: block until this process holds the resource."""
-        return Acquire(self)
+        return self._acquire
 
     def release(self) -> None:
         """Release; the longest-waiting process (if any) is granted next."""
@@ -206,7 +224,7 @@ class Resource:
             proc = self._queue.popleft()
             self.grants += 1
             self._acquired_at = sim.now
-            sim.schedule(0, sim._resume, proc, None)
+            sim._ring.append(proc._rn)
         else:
             self._busy = False
 
@@ -226,7 +244,7 @@ class Acquire:
             res._busy = True
             res.grants += 1
             res._acquired_at = sim.now
-            sim.schedule(0, sim._resume, proc, None)
+            sim._ring.append(proc._rn)
         else:
             res._queue.append(proc)
 
@@ -257,7 +275,7 @@ class FifoQueue:
         self.puts += 1
         if self._getters:
             proc = self._getters.popleft()
-            sim.schedule(0, sim._resume, proc, item)
+            sim._ring.append((sim._resume, (proc, item)))
         else:
             self._items.append(item)
             self.max_depth = max(self.max_depth, len(self._items))
@@ -277,7 +295,7 @@ class QueueGet:
         q = self.queue
         if q._items:
             item = q._items.popleft()
-            sim.schedule(0, sim._resume, proc, item)
+            sim._ring.append((sim._resume, (proc, item)))
         else:
             q._getters.append(proc)
 

@@ -36,25 +36,45 @@ class Process:
         The generator's ``return`` value (None until :attr:`done`).
     error:
         The exception that killed the process, if any.
+    gen:
+        The generator the kernel currently resumes — the innermost frame
+        when sub-coroutines are yielded directly (see :attr:`stack`).
+    stack:
+        Suspended caller generators, outermost first.  Populated when a
+        coroutine yields a sub-generator instead of delegating with
+        ``yield from``; the kernel's flattened trampoline drives only
+        :attr:`gen` and unwinds through this stack on return/raise, so a
+        resume costs one Python frame regardless of call depth.
     """
 
-    __slots__ = ("gen", "name", "sim", "done", "result", "error", "_waiters")
+    __slots__ = ("gen", "stack", "name", "sim", "done", "result", "error",
+                 "_waiters", "_rn")
 
     def __init__(self, gen: Generator, name: str, sim: "Simulator") -> None:
         self.gen = gen
+        self.stack: list[Generator] = []
         self.name = name or getattr(gen, "__name__", "process")
         self.sim = sim
         self.done = False
         self.result: Any = None
         self.error: Optional[BaseException] = None
         self._waiters: list[Process] = []
+        # Interned "resume with None" event.  A process is suspended on at
+        # most one primitive at a time, so the same tuple is never queued
+        # twice concurrently; every None-valued wake-up (spawn, Timeout,
+        # Acquire grant) reuses it instead of allocating two tuples.
+        self._rn = (sim._resume, (self, None))
 
     def _finish(self, result: Any) -> None:
         self.done = True
         self.result = result
-        waiters, self._waiters = self._waiters, []
-        for waiter in waiters:
-            self.sim.schedule(0, self.sim._resume, waiter, result)
+        waiters = self._waiters
+        if waiters:
+            self._waiters = []
+            ring = self.sim._ring
+            resume = self.sim._resume
+            for waiter in waiters:
+                ring.append((resume, (waiter, result)))
 
     def _fail(self, error: BaseException) -> None:
         self.done = True
@@ -86,6 +106,6 @@ class JoinCmd:
 
     def _arm(self, sim: "Simulator", proc: Process) -> None:
         if self.target.done:
-            sim.schedule(0, sim._resume, proc, self.target.result)
+            sim._ring.append((sim._resume, (proc, self.target.result)))
         else:
             self.target._waiters.append(proc)

@@ -74,13 +74,13 @@ class ArrayQueueLock:
         slot, rnd = self._slot_round(my)
         flag_addr = self.flags.word_addr(slot)
         if self.variant == "classic":
-            yield from proc.spin_until(flag_addr, lambda v: v >= 1)
+            yield proc.spin_until(flag_addr, lambda v: v >= 1)
             # Reset our slot for reuse after the sequencer wraps — a
             # coherent store on the acquire critical path.
             yield from coherent_release_store(
                 proc, self.mechanism, flag_addr, 0, delta=-1)
         else:
-            yield from proc.spin_until(flag_addr,
+            yield proc.spin_until(flag_addr,
                                        lambda v, rnd=rnd: v >= rnd)
         self._held_by[proc.cpu_id] = my
         self.acquisitions += 1

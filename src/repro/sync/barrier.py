@@ -77,7 +77,7 @@ class CentralizedBarrier:
             # The inc's old-value reply is unread — no stall on it.
             yield from proc.amo_inc(self.count_var.addr, test=target,
                                     wait_reply=False)
-            yield from proc.spin_until(self.count_var.addr,
+            yield proc.spin_until(self.count_var.addr,
                                        lambda v: v >= target)
             return
 
@@ -88,7 +88,7 @@ class CentralizedBarrier:
                 self.home_node, "fetchadd_notify",
                 (self.count_var.addr, 1, target,
                  self.spin_var.addr, episode + 1))
-            yield from proc.spin_until(self.spin_var.addr,
+            yield proc.spin_until(self.spin_var.addr,
                                        lambda v: v >= episode + 1)
             return
 
@@ -96,14 +96,14 @@ class CentralizedBarrier:
         if self.naive:
             # Figure 3(a): spin straight on the barrier variable.
             if old != target - 1:
-                yield from proc.spin_until(self.count_var.addr,
+                yield proc.spin_until(self.count_var.addr,
                                            lambda v: v >= target)
             return
         # Figure 3(b): last arriver releases through the spin variable.
         if old == target - 1:
             yield from proc.store(self.spin_var.addr, episode + 1)
         else:
-            yield from proc.spin_until(self.spin_var.addr,
+            yield proc.spin_until(self.spin_var.addr,
                                        lambda v: v >= episode + 1)
 
     # ------------------------------------------------------------------

@@ -76,7 +76,7 @@ class DisseminationBarrier:
             yield from coherent_release_store(
                 proc, self.mechanism,
                 self._flags[out][rnd].addr, episode + 1, delta=1)
-            yield from proc.spin_until(
+            yield proc.spin_until(
                 self._flags[me][rnd].addr,
                 lambda v, e=episode: v >= e + 1)
 

@@ -83,7 +83,7 @@ class McsLock:
             # link behind the predecessor...
             yield from proc.store(self._next[pred].addr, my_handle)
             # ...and spin on our own (node-local) flag
-            yield from proc.spin_until(self._locked[me].addr,
+            yield proc.spin_until(self._locked[me].addr,
                                        lambda v: v == GO)
         self._held_by.add(me)
         self.acquisitions += 1
@@ -103,7 +103,7 @@ class McsLock:
                 self._held_by.discard(me)
                 return                    # no successor: lock is free
             # somebody is mid-enqueue; wait for the link to appear
-            successor = yield from proc.spin_until(
+            successor = yield proc.spin_until(
                 self._next[me].addr, lambda v: v != NIL)
         succ_cpu = self._qnode_of(successor)
         yield from coherent_release_store(

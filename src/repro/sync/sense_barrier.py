@@ -62,7 +62,7 @@ class SenseReversingBarrier:
                 proc, self.mechanism, self.sense_var.addr, sense,
                 delta=1 if sense else -1)
         else:
-            yield from proc.spin_until(self.sense_var.addr,
+            yield proc.spin_until(self.sense_var.addr,
                                        lambda v, s=sense: v == s)
 
     def episodes_completed(self, cpu_id: int) -> int:

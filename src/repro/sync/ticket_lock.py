@@ -61,7 +61,7 @@ class TicketLock:
             distance = max(0, my - current)
             if distance > 1:
                 yield from proc.delay(distance * self.backoff)
-        yield from proc.spin_until(self.now_serving.addr,
+        yield proc.spin_until(self.now_serving.addr,
                                    lambda v, my=my: v >= my)
         self._held_by[proc.cpu_id] = my
         self.acquisitions += 1

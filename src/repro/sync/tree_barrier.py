@@ -90,11 +90,11 @@ class CombiningTreeBarrier:
             old = yield from proc.amo_inc(count)
             if old == g_target - 1:
                 yield from proc.amo_inc(self.root_count.addr, test=r_target)
-                yield from proc.spin_until(self.root_count.addr,
+                yield proc.spin_until(self.root_count.addr,
                                            lambda v: v >= r_target)
                 yield from proc.amo_fetchadd(release, 1, wait_reply=False)
             else:
-                yield from proc.spin_until(release,
+                yield proc.spin_until(release,
                                            lambda v: v >= episode + 1)
             return
 
@@ -106,11 +106,11 @@ class CombiningTreeBarrier:
                     self.root_count.home_node, "fetchadd_notify",
                     (self.root_count.addr, 1, r_target,
                      self.root_release.addr, episode + 1))
-                yield from proc.spin_until(self.root_release.addr,
+                yield proc.spin_until(self.root_release.addr,
                                            lambda v: v >= episode + 1)
                 yield from proc.store(release, episode + 1)
             else:
-                yield from proc.spin_until(release,
+                yield proc.spin_until(release,
                                            lambda v: v >= episode + 1)
             return
 
@@ -121,8 +121,8 @@ class CombiningTreeBarrier:
             if root_old == r_target - 1:
                 yield from proc.store(self.root_release.addr, episode + 1)
             else:
-                yield from proc.spin_until(self.root_release.addr,
+                yield proc.spin_until(self.root_release.addr,
                                            lambda v: v >= episode + 1)
             yield from proc.store(release, episode + 1)
         else:
-            yield from proc.spin_until(release, lambda v: v >= episode + 1)
+            yield proc.spin_until(release, lambda v: v >= episode + 1)

@@ -1,0 +1,107 @@
+"""Determinism-parity gate for the event-queue kernel.
+
+Three layers of protection for the invariant that kernel/protocol
+*performance* work must never change simulated *behaviour*:
+
+1. **Golden parity** — every mechanism's barrier and lock fingerprints
+   (total cycles, per-kind message counts, kernel events dispatched) at
+   32 CPUs must match ``golden/parity_32.json``, captured from the seed
+   (sequence-numbered-heap) kernel.  Any reordering introduced by the
+   two-tier dispatch queue, the bitmask directory, or the resume
+   trampoline shows up here as a cycle or message-count drift.
+2. **Run-twice identity** — the same configuration run twice in one
+   process produces byte-identical fingerprints *and* identical trace
+   spans, so there is no hidden dependence on iteration order of sets,
+   object ids, or allocation timing.
+3. **256-CPU smoke** (``slow``) — one barrier episode per mechanism at
+   the paper's full machine size completes and passes the coherence
+   cross-checks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.config.mechanism import Mechanism
+from repro.config.parameters import SystemConfig
+from repro.core.machine import Machine
+from repro.harness.parity import barrier_fingerprint, lock_fingerprint
+from repro.sync.barrier import CentralizedBarrier
+from repro.trace.recorder import TraceRecorder
+from repro.workloads.barrier import run_barrier_workload
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "golden" / "parity_32.json").read_text())
+
+MECHS = list(Mechanism)
+
+
+def _diff(golden: dict, got: dict) -> str:
+    lines = [f"  {k}: golden={golden[k]!r} got={got.get(k)!r}"
+             for k in golden if golden[k] != got.get(k)]
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("mech", MECHS, ids=[m.value for m in MECHS])
+def test_barrier_matches_golden(mech):
+    golden = GOLDEN["fingerprints"][mech.value]["barrier"]
+    got = barrier_fingerprint(mech, GOLDEN["n_processors"])
+    assert got == golden, (
+        f"{mech.value} barrier fingerprint drifted from the seed kernel:\n"
+        + _diff(golden, got))
+
+
+@pytest.mark.parametrize("mech", MECHS, ids=[m.value for m in MECHS])
+def test_lock_matches_golden(mech):
+    golden = GOLDEN["fingerprints"][mech.value]["lock"]
+    got = lock_fingerprint(mech, GOLDEN["n_processors"])
+    assert got == golden, (
+        f"{mech.value} lock fingerprint drifted from the seed kernel:\n"
+        + _diff(golden, got))
+
+
+def _traced_run(mech: Mechanism) -> tuple[dict, list]:
+    """One traced barrier run: (result fingerprint, full span list)."""
+    machine = Machine(SystemConfig.table1(32))
+    tracer = TraceRecorder.attach(machine, capture_messages=True)
+    barrier = CentralizedBarrier(machine, mech)
+
+    def thread(proc):
+        for _ in range(2):
+            yield from barrier.wait(proc)
+
+    machine.run_threads(thread)
+    spans = [(s.track, s.name, s.start, s.end, s.args)
+             for s in tracer.spans]
+    instants = [(i.track, i.name, i.time) for i in tracer.instants]
+    fp = {
+        "cycles": machine.last_completion_time,
+        "events": machine.sim.events_dispatched,
+        "messages": {k.value: v
+                     for k, v in machine.net.stats.messages.items()},
+        "local": {k.value: v
+                  for k, v in machine.net.stats.local_messages.items()},
+    }
+    return fp, (spans, instants)
+
+
+@pytest.mark.parametrize("mech", [Mechanism.AMO, Mechanism.LLSC],
+                         ids=["amo", "llsc"])
+def test_run_twice_is_identical_including_trace(mech):
+    fp1, spans1 = _traced_run(mech)
+    fp2, spans2 = _traced_run(mech)
+    assert fp1 == fp2
+    assert spans1 == spans2
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("mech", MECHS, ids=[m.value for m in MECHS])
+def test_paper_scale_smoke_256(mech):
+    """One barrier episode per mechanism at the paper's 256 CPUs."""
+    res = run_barrier_workload(256, mech, episodes=1, warmup_episodes=0)
+    assert res.episodes == 1
+    assert res.total_cycles > 0
+    assert res.events_dispatched > 0

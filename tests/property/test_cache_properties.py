@@ -97,7 +97,7 @@ def test_occupancy_never_exceeds_capacity(sequence):
         else:
             cache.lookup(addr)
         assert cache.occupancy() <= WAYS * SETS
-        for s in cache._sets:
+        for s in cache._sets.values():   # sets materialize lazily
             assert len(s) <= WAYS
 
 

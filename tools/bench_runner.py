@@ -44,7 +44,10 @@ def timed_pass(specs: list[RunSpec], **runner_kwargs) -> dict:
         "executed": stats.executed,
         "cache_hits": stats.cache_hits,
         "sim_events": stats.sim_events,
-        "events_per_second": round(stats.events_per_second),
+        # null rather than a misleading 0 when every point came from the
+        # cache and nothing was actually simulated
+        "events_per_second": (round(stats.events_per_second)
+                              if stats.executed else None),
     }
 
 
@@ -59,7 +62,8 @@ def main(argv=None) -> int:
                         help="output path, or - for stdout")
     args = parser.parse_args(argv)
 
-    jobs = args.jobs or multiprocessing.cpu_count()
+    host_cores = multiprocessing.cpu_count()
+    jobs = args.jobs or host_cores
     specs = build_specs(args.cpus, args.episodes)
 
     serial = timed_pass(specs, jobs=1)
@@ -75,19 +79,26 @@ def main(argv=None) -> int:
         "cpus": args.cpus,
         "episodes": args.episodes,
         "jobs": jobs,
-        "host_cores": multiprocessing.cpu_count(),
+        "host_cores": host_cores,
         "python": platform.python_version(),
         "serial": serial,
         "parallel": parallel,
         "cache_cold": cold,
         "cache_warm": warm,
+        # A serial-vs-parallel ratio only means something when the host
+        # can actually run workers side by side; on a single-core host
+        # it would just measure process-pool overhead, so it is omitted.
         "parallel_speedup": round(
             serial["elapsed_seconds"] / parallel["elapsed_seconds"], 2)
-        if parallel["elapsed_seconds"] else None,
+        if parallel["elapsed_seconds"] and host_cores >= 2 else None,
         "warm_speedup_over_serial": round(
             serial["elapsed_seconds"] / warm["elapsed_seconds"], 1)
         if warm["elapsed_seconds"] else None,
     }
+    if host_cores < 2:
+        payload["parallel_speedup_note"] = (
+            f"host has {host_cores} core(s); serial-vs-parallel wall-time "
+            "comparison is not meaningful here")
     text = json.dumps(payload, indent=2) + "\n"
     if args.out == "-":
         print(text, end="")

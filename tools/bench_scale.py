@@ -1,0 +1,223 @@
+#!/usr/bin/env python
+"""Kernel hot-path throughput at paper scale — writes ``BENCH_scale.json``.
+
+Measures simulator events/second over the two paper workloads (one
+barrier run and one ticket-lock run) for every mechanism at a ladder of
+machine sizes, up to the paper's 256 CPUs.  This is the proof artifact
+for the two-tier event-queue kernel: barrier episodes are dominated by
+the N-way fan-out waves (invalidations, word-update pushes) the bucket
+queue makes O(1)-per-event, lock runs by long same-cycle resume chains.
+
+Each cell is run ``--repeat`` times and the *fastest* wall time is kept
+(wall-clock noise on a shared host only ever adds time).  Event counts
+are asserted identical across repeats — a cheap determinism check on
+every benchmark run.
+
+Comparing against a baseline capture (e.g. one taken from the pre-PR
+kernel on the same host)::
+
+    PYTHONPATH=src python tools/bench_scale.py --out baseline.json
+    # ... switch kernels ...
+    PYTHONPATH=src python tools/bench_scale.py --baseline baseline.json
+
+With ``--baseline`` the output carries per-cell speedups plus two
+aggregates: the *geometric mean* of the per-cell speedups (the standard
+cross-workload summary) and the *events-weighted* speedup (total events
+divided by total wall time, dominated by the event-heaviest cells).
+
+``--quick`` shrinks the ladder for CI smoke runs; ``--floor`` fails the
+run when the events-weighted throughput of the largest machine size
+drops below a (generous) events/second floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.config.mechanism import Mechanism
+from repro.workloads.barrier import run_barrier_workload
+from repro.workloads.locks import run_lock_workload
+
+DEFAULT_CPUS = [32, 64, 128, 256]
+QUICK_CPUS = [32, 64]
+
+#: workload shapes — small but past warmup, so steady-state code paths
+#: (filled caches, armed spin gates) dominate the measurement
+BARRIER_EPISODES = 2
+BARRIER_WARMUP = 1
+LOCK_ACQUISITIONS = 1
+LOCK_WARMUP = 1
+
+
+def run_cell(workload: str, mechanism: Mechanism, n_processors: int,
+             repeat: int) -> dict:
+    """Best-of-``repeat`` measurement of one (workload, mechanism, P)."""
+    best = math.inf
+    events = None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        if workload == "barrier":
+            res = run_barrier_workload(n_processors, mechanism,
+                                       episodes=BARRIER_EPISODES,
+                                       warmup_episodes=BARRIER_WARMUP)
+        else:
+            res = run_lock_workload(n_processors, mechanism,
+                                    acquisitions_per_cpu=LOCK_ACQUISITIONS,
+                                    warmup_per_cpu=LOCK_WARMUP)
+        elapsed = time.perf_counter() - t0
+        if events is None:
+            events = res.events_dispatched
+        elif events != res.events_dispatched:
+            raise AssertionError(
+                f"nondeterministic event count for {workload}/"
+                f"{mechanism.value}@{n_processors}: "
+                f"{events} vs {res.events_dispatched}")
+        best = min(best, elapsed)
+    return {
+        "workload": workload,
+        "mechanism": mechanism.value,
+        "n_processors": n_processors,
+        "events": events,
+        "wall_seconds": round(best, 4),
+        "events_per_second": round(events / best),
+    }
+
+
+def cell_key(cell: dict) -> str:
+    return (f"{cell['workload']}/{cell['mechanism']}"
+            f"@{cell['n_processors']}")
+
+
+def aggregate(cells: list[dict]) -> dict:
+    """Events-weighted throughput per machine size and overall."""
+    by_p: dict[int, list[dict]] = {}
+    for cell in cells:
+        by_p.setdefault(cell["n_processors"], []).append(cell)
+    out = {}
+    for p, group in sorted(by_p.items()):
+        events = sum(c["events"] for c in group)
+        wall = sum(c["wall_seconds"] for c in group)
+        out[str(p)] = {"events": events, "wall_seconds": round(wall, 3),
+                       "events_per_second": round(events / wall)}
+    return out
+
+
+def compare(cells: list[dict], baseline_doc: dict) -> dict:
+    """Per-cell and aggregate speedups against a baseline capture."""
+    base = {cell_key(c): c for c in baseline_doc["cells"]}
+    per_cell = {}
+    ratios = []
+    ev_cur = wall_cur = ev_base = wall_base = 0.0
+    for cell in cells:
+        key = cell_key(cell)
+        ref = base.get(key)
+        if ref is None:
+            continue
+        if ref["events"] != cell["events"]:
+            raise AssertionError(
+                f"{key}: baseline simulated {ref['events']} events but "
+                f"this kernel simulated {cell['events']} — the runs are "
+                "not comparable (simulated behaviour changed)")
+        ratio = cell["events_per_second"] / ref["events_per_second"]
+        per_cell[key] = round(ratio, 2)
+        ratios.append(ratio)
+        ev_cur += cell["events"]
+        wall_cur += cell["wall_seconds"]
+        ev_base += ref["events"]
+        wall_base += ref["wall_seconds"]
+    if not ratios:
+        return {}
+    geomean = math.exp(sum(map(math.log, ratios)) / len(ratios))
+    weighted = (ev_cur / wall_cur) / (ev_base / wall_base)
+    return {
+        "baseline_host": baseline_doc.get("host"),
+        "per_cell": per_cell,
+        "geomean_speedup": round(geomean, 2),
+        "events_weighted_speedup": round(weighted, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cpus", type=int, nargs="+", default=None,
+                        help=f"machine sizes (default {DEFAULT_CPUS})")
+    parser.add_argument("--mechanisms", nargs="+", default=None,
+                        help="mechanism names (default: all five)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="runs per cell; fastest wall time kept")
+    parser.add_argument("--quick", action="store_true",
+                        help=f"CI smoke: cpus {QUICK_CPUS}, single repeat")
+    parser.add_argument("--baseline", default=None,
+                        help="earlier BENCH_scale.json to compute speedups "
+                             "against (same-host captures only)")
+    parser.add_argument("--floor", type=float, default=None,
+                        help="fail if events/s at the largest size falls "
+                             "below this floor")
+    parser.add_argument("--out", default="BENCH_scale.json",
+                        help="output path, or - for stdout")
+    args = parser.parse_args(argv)
+
+    cpus = args.cpus or (QUICK_CPUS if args.quick else DEFAULT_CPUS)
+    repeat = 1 if args.quick and args.repeat == 3 else args.repeat
+    mechs = ([Mechanism(m) for m in args.mechanisms]
+             if args.mechanisms else list(Mechanism))
+
+    cells = []
+    for p in cpus:
+        for mech in mechs:
+            for workload in ("barrier", "lock"):
+                cell = run_cell(workload, mech, p, repeat)
+                cells.append(cell)
+                print(f"{cell_key(cell):>24s}  {cell['events']:>9d} ev  "
+                      f"{cell['wall_seconds']:7.3f}s  "
+                      f"{cell['events_per_second']:>8d} ev/s", flush=True)
+
+    payload = {
+        "benchmark": "scale",
+        "cpus": cpus,
+        "repeat": repeat,
+        "barrier_episodes": BARRIER_EPISODES,
+        "lock_acquisitions_per_cpu": LOCK_ACQUISITIONS,
+        "host": {
+            "cores": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "cells": cells,
+        "aggregate_events_per_second": aggregate(cells),
+    }
+    if args.baseline:
+        baseline_doc = json.loads(Path(args.baseline).read_text())
+        payload["vs_baseline"] = compare(cells, baseline_doc)
+
+    text = json.dumps(payload, indent=2) + "\n"
+    if args.out == "-":
+        print(text, end="")
+    else:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    if "vs_baseline" in payload and payload["vs_baseline"]:
+        vs = payload["vs_baseline"]
+        print(f"speedup vs baseline: geomean {vs['geomean_speedup']}x, "
+              f"events-weighted {vs['events_weighted_speedup']}x")
+
+    if args.floor is not None:
+        largest = str(max(cpus))
+        got = payload["aggregate_events_per_second"][largest]
+        if got["events_per_second"] < args.floor:
+            print(f"FAIL: {got['events_per_second']} ev/s at {largest} "
+                  f"CPUs is below the floor of {args.floor:.0f}")
+            return 1
+        print(f"floor check OK: {got['events_per_second']} ev/s at "
+              f"{largest} CPUs (floor {args.floor:.0f})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

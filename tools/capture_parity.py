@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""(Re)capture the golden determinism-parity fingerprints.
+
+Writes ``tests/integration/golden/parity_32.json`` — the exact cycle
+counts, per-kind message counts, and kernel event counts every mechanism
+must reproduce (see :mod:`repro.harness.parity`).  Only rerun this when
+simulated *behaviour* intentionally changes; a pure performance change
+to the kernel or protocol data structures must leave the goldens alone.
+
+    PYTHONPATH=src python tools/capture_parity.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.harness.parity import capture_all
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / \
+    "tests" / "integration" / "golden" / "parity_32.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cpus", type=int, default=32)
+    parser.add_argument("--out", default=str(DEFAULT_OUT))
+    args = parser.parse_args(argv)
+
+    doc = capture_all(n_processors=args.cpus)
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out} ({len(doc['fingerprints'])} mechanisms)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
