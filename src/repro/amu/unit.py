@@ -76,8 +76,13 @@ class ActiveMemoryUnit:
                 new = op.apply(old, cmd.operand)
                 if cmd.test is not None and new == cmd.test:
                     self.test_matches += 1
+                push = cmd.should_push(new)
+                san = self.hub.machine.sanitizer
+                if san is not None:
+                    san.note_amu_op(self.node, word, old, new,
+                                    coherent=cmd.coherent, will_push=push)
                 yield from self.hub.home_engine.write_coherent_word(
-                    word, new, push_updates=cmd.should_push(new))
+                    word, new, push_updates=push)
             else:
                 entry = self.cache.lookup(word)
                 if entry is None:
@@ -92,7 +97,12 @@ class ActiveMemoryUnit:
                 entry.value = new
                 if cmd.test is not None and new == cmd.test:
                     self.test_matches += 1
-                if cmd.should_push(new):
+                push = cmd.should_push(new)
+                san = self.hub.machine.sanitizer
+                if san is not None:
+                    san.note_amu_op(self.node, word, old, new,
+                                    coherent=cmd.coherent, will_push=push)
+                if push:
                     self.puts_issued += 1
                     yield from self.hub.home_engine.write_coherent_word(
                         word, new, push_updates=True)

@@ -1,0 +1,56 @@
+"""Runtime correctness checking: coherence sanitizer + schedule fuzzer.
+
+Three layers, all off by default and zero-cost until attached:
+
+* :class:`CoherenceSanitizer` — an observer that subscribes to the
+  network's send hooks and to lightweight call-sites in the coherence
+  client, AMU, and home engine (each guarded by a single
+  ``machine.sanitizer is None`` test), asserting SWMR, directory/cache
+  agreement, put delivery, and data-value integrity against a
+  sequentially-replayed :class:`MemoryOracle`.
+* :mod:`repro.check.linearize` — offline verifiers for recorded
+  fetch-and-add, lock, and barrier histories.
+* :mod:`repro.check.fuzz` — seeded schedule exploration: run workloads
+  under :class:`~repro.network.faults.DelayInjector` timing universes
+  with the sanitizer armed, and shrink failures to minimal reproducers.
+
+See ``docs/checking.md`` for usage, and ``tools/fuzz_schedules.py`` for
+the sweep driver CI runs.
+"""
+
+from repro.check.fuzz import (
+    FUZZ_WORKLOADS,
+    load_artifact,
+    repro_command,
+    run_fuzz_schedule,
+    shrink_failure,
+    write_artifact,
+)
+from repro.check.linearize import (
+    BarrierRecord,
+    FetchAddEvent,
+    LockSpan,
+    check_barrier_epochs,
+    check_fetchadd_history,
+    check_mutual_exclusion,
+)
+from repro.check.oracle import MemoryOracle
+from repro.check.sanitizer import CoherenceSanitizer, CoherenceViolation
+
+__all__ = [
+    "BarrierRecord",
+    "CoherenceSanitizer",
+    "CoherenceViolation",
+    "FUZZ_WORKLOADS",
+    "FetchAddEvent",
+    "LockSpan",
+    "MemoryOracle",
+    "check_barrier_epochs",
+    "check_fetchadd_history",
+    "check_mutual_exclusion",
+    "load_artifact",
+    "repro_command",
+    "run_fuzz_schedule",
+    "shrink_failure",
+    "write_artifact",
+]

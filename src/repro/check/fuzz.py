@@ -1,0 +1,366 @@
+"""Seeded schedule-exploration fuzzing.
+
+One fuzz point = one (workload, mechanism, CPU count, seed, delay bound,
+kind filter) tuple: the workload runs under a
+:class:`~repro.network.faults.DelayInjector` timing universe with the
+:class:`~repro.check.sanitizer.CoherenceSanitizer` armed in ``collect``
+mode, its synchronization history is verified with
+:mod:`repro.check.linearize`, and the outcome is a plain picklable dict
+(so points sweep through :class:`~repro.runner.ParallelRunner` and cache
+like any other run kind — registered as kind ``"fuzz"``).
+
+On failure, :func:`shrink_failure` reduces the schedule to a minimal
+reproducer: binary-search the smallest failing delay bound, then
+delta-debug the message-kind subset.  :func:`repro_command` renders any
+point as a one-line ``repro-experiments fuzz`` invocation, and
+:func:`write_artifact`/:func:`load_artifact` round-trip the JSON repro
+artifact CI uploads.
+
+``inject_bug`` deliberately breaks the protocol (for testing the
+checker, never the default): ``"skip_invalidation"`` acknowledges one
+INVALIDATE without invalidating (leaving a stale cached copy — the
+classic directory-protocol bug class), ``"drop_word_update"`` silently
+drops one AMO put packet.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from repro.check.linearize import (
+    BarrierRecord,
+    FetchAddEvent,
+    LockSpan,
+    check_barrier_epochs,
+    check_fetchadd_history,
+    check_mutual_exclusion,
+)
+from repro.check.sanitizer import CoherenceSanitizer
+from repro.config.mechanism import Mechanism
+from repro.config.parameters import SystemConfig
+from repro.core.machine import Machine
+from repro.network.faults import DelayInjector
+from repro.network.message import MessageKind
+from repro.sim.kernel import SimulationError
+from repro.sync.barrier import CentralizedBarrier
+from repro.sync.rmw import fetch_add
+from repro.sync.ticket_lock import TicketLock
+
+FUZZ_WORKLOADS = ("counter", "barrier", "lock")
+
+INJECTABLE_BUGS = ("skip_invalidation", "drop_word_update")
+
+ARTIFACT_SCHEMA = 1
+
+#: simulated cycles inside / after the critical section in the lock workload
+_CS_CYCLES = 50
+_THINK_CYCLES = 120
+
+
+def _normalize_mechanism(mechanism: Any) -> Mechanism:
+    if isinstance(mechanism, Mechanism):
+        return mechanism
+    return Mechanism.from_name(str(mechanism))
+
+
+def _normalize_kinds(kinds: Any) -> Optional[tuple[str, ...]]:
+    """Canonical kind filter: None (all kinds) or a sorted value tuple."""
+    if kinds is None:
+        return None
+    values = []
+    for k in kinds:
+        values.append(k.value if isinstance(k, MessageKind) else str(k))
+    for v in values:
+        MessageKind(v)  # validate early, before a worker process chokes
+    return tuple(sorted(set(values)))
+
+
+def _arm_bug(machine: Machine, bug: str) -> None:
+    """Deliberately sabotage the protocol once (checker self-test)."""
+    if bug not in INJECTABLE_BUGS:
+        raise ValueError(f"unknown injectable bug {bug!r}; have {INJECTABLE_BUGS}")
+    net = machine.net
+    original_send = net.send
+    state = {"armed": True}
+    if bug == "skip_invalidation":
+
+        def send(msg):
+            if state["armed"] and msg.kind is MessageKind.INVALIDATE:
+                state["armed"] = False
+                # ack the home without touching the sharer's cache: the
+                # stale copy survives the invalidation wave
+                machine.sim.schedule(
+                    net.latency(msg.src_node, msg.dst_node),
+                    msg.payload.ack,
+                    machine.sim,
+                )
+                return
+            original_send(msg)
+
+    else:  # drop_word_update
+
+        def send(msg):
+            if state["armed"] and msg.kind is MessageKind.WORD_UPDATE:
+                state["armed"] = False
+                return  # the put silently vanishes; one spinner stays stale
+            original_send(msg)
+
+    net.send = send
+
+
+# ----------------------------------------------------------------------
+def run_fuzz_schedule(
+    n_processors: int = 8,
+    mechanism: Any = Mechanism.AMO,
+    workload: str = "counter",
+    seed: int = 0,
+    max_extra: int = 200,
+    kinds: Any = None,
+    episodes: int = 2,
+    ops_per_cpu: int = 3,
+    inject_bug: Optional[str] = None,
+    sanitize: bool = True,
+    max_events: Optional[int] = None,
+) -> dict:
+    """Run one fuzz point; returns a plain-dict outcome (picklable).
+
+    The outcome's ``"ok"`` is True iff the run completed without a
+    simulation error, sanitizer violation, or linearizability violation.
+    """
+    mech = _normalize_mechanism(mechanism)
+    kind_values = _normalize_kinds(kinds)
+    if workload not in FUZZ_WORKLOADS:
+        raise ValueError(f"unknown fuzz workload {workload!r}; have {FUZZ_WORKLOADS}")
+    machine = Machine(SystemConfig.table1(n_processors))
+    sanitizer = None
+    if sanitize:
+        sanitizer = CoherenceSanitizer.attach(machine, mode="collect")
+    kind_set = None if kind_values is None else {MessageKind(v) for v in kind_values}
+    DelayInjector.install(machine, seed, max_extra_cycles=max_extra, kinds=kind_set)
+    if inject_bug is not None:
+        _arm_bug(machine, inject_bug)
+
+    violations: list[str] = []
+    error: Optional[str] = None
+    try:
+        if workload == "counter":
+            violations += _run_counter(machine, mech, ops_per_cpu, max_events)
+        elif workload == "barrier":
+            violations += _run_barrier(machine, mech, episodes, max_events)
+        else:
+            violations += _run_lock(machine, mech, ops_per_cpu, max_events)
+    except (SimulationError, RuntimeError, AssertionError) as err:
+        error = f"{type(err).__name__}: {err}"
+    if sanitizer is not None:
+        if error is None:
+            sanitizer.finalize()
+        violations += sanitizer.violations
+        sanitizer.detach()
+    return {
+        "ok": error is None and not violations,
+        "workload": workload,
+        "mechanism": mech.value,
+        "n_processors": n_processors,
+        "seed": seed,
+        "max_extra": max_extra,
+        "kinds": None if kind_values is None else list(kind_values),
+        "episodes": episodes,
+        "ops_per_cpu": ops_per_cpu,
+        "inject_bug": inject_bug,
+        "error": error,
+        "violations": violations,
+        "events_dispatched": machine.sim.events_dispatched,
+        "cycles": machine.last_completion_time,
+    }
+
+
+# ----------------------------------------------------------------------
+# fuzz workloads: tiny drivers that record verifiable histories
+# ----------------------------------------------------------------------
+def _run_counter(machine, mech, ops_per_cpu, max_events) -> list[str]:
+    var = machine.alloc("fuzz.counter", home_node=0)
+    events: list[FetchAddEvent] = []
+
+    def thread(proc):
+        for _ in range(ops_per_cpu):
+            t0 = proc.sim.now
+            old = yield from fetch_add(proc, mech, var.addr, 1)
+            events.append(FetchAddEvent(proc.cpu_id, t0, proc.sim.now, old, 1))
+
+    machine.run_threads(thread, max_events=max_events)
+    total = machine.n_processors * ops_per_cpu
+    problems = check_fetchadd_history(events, initial=0, final=total)
+    final = machine.peek(var.addr)
+    if final != total:
+        problems.append(f"counter ended at {final}, expected {total}")
+    return problems
+
+
+def _run_barrier(machine, mech, episodes, max_events) -> list[str]:
+    barrier = CentralizedBarrier(machine, mech)
+    records: list[BarrierRecord] = []
+
+    def thread(proc):
+        for episode in range(episodes):
+            t0 = proc.sim.now
+            yield from barrier.wait(proc)
+            records.append(BarrierRecord(proc.cpu_id, episode, t0, proc.sim.now))
+
+    machine.run_threads(thread, max_events=max_events)
+    return check_barrier_epochs(records, machine.n_processors)
+
+
+def _run_lock(machine, mech, ops_per_cpu, max_events) -> list[str]:
+    lock = TicketLock(machine, mech)
+    spans: list[LockSpan] = []
+
+    def thread(proc):
+        for _ in range(ops_per_cpu):
+            ticket = yield from lock.acquire(proc)
+            acquired = proc.sim.now
+            yield from proc.delay(_CS_CYCLES)
+            spans.append(LockSpan(proc.cpu_id, ticket, acquired, proc.sim.now))
+            yield from lock.release(proc)
+            yield from proc.delay(_THINK_CYCLES)
+
+    machine.run_threads(thread, max_events=max_events)
+    problems = check_mutual_exclusion(spans)
+    expected = machine.n_processors * ops_per_cpu
+    if len(spans) != expected:
+        problems.append(f"{len(spans)} acquisitions recorded, expected {expected}")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# shrinking
+# ----------------------------------------------------------------------
+def _point_params(outcome_or_params: dict) -> dict:
+    """Extract the run parameters from an outcome dict (or pass through)."""
+    keys = (
+        "n_processors",
+        "mechanism",
+        "workload",
+        "seed",
+        "max_extra",
+        "kinds",
+        "episodes",
+        "ops_per_cpu",
+        "inject_bug",
+    )
+    return {k: outcome_or_params[k] for k in keys if k in outcome_or_params}
+
+
+def _fails(params: dict) -> bool:
+    return not run_fuzz_schedule(**params)["ok"]
+
+
+def shrink_failure(params: dict, log=None) -> tuple[dict, dict]:
+    """Shrink a failing fuzz point to a minimal reproducer.
+
+    Phase 1 binary-searches the smallest failing ``max_extra`` (0 means
+    the failure needs no timing perturbation at all); phase 2
+    delta-debugs the message-kind subset down to the kinds whose delays
+    actually matter.  Returns ``(shrunk_params, shrunk_outcome)``; the
+    returned parameters are re-verified to fail.
+    """
+    params = _point_params(params)
+
+    def note(text):
+        if log is not None:
+            log(text)
+
+    if not _fails(params):
+        raise ValueError(f"shrink_failure called on a passing point: {params}")
+    zero = dict(params, max_extra=0, kinds=[])
+    if _fails(zero):
+        note("fails with no delay injection at all")
+        params = zero
+    else:
+        lo, hi = 1, int(params["max_extra"])
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if _fails(dict(params, max_extra=mid)):
+                hi = mid
+            else:
+                lo = mid + 1
+        candidate = dict(params, max_extra=hi)
+        if _fails(candidate):  # guard: failure need not be monotone in bound
+            note(f"smallest failing delay bound: {hi}")
+            params = candidate
+        kinds = params.get("kinds") or [k.value for k in MessageKind]
+        kinds = list(kinds)
+        shrunk = True
+        while shrunk:
+            shrunk = False
+            for kind in list(kinds):
+                trial = [v for v in kinds if v != kind]
+                if _fails(dict(params, kinds=trial)):
+                    kinds = trial
+                    shrunk = True
+        note(f"minimal kind set: {kinds}")
+        params = dict(params, kinds=sorted(kinds))
+    outcome = run_fuzz_schedule(**params)
+    if outcome["ok"]:  # pragma: no cover - shrink steps re-verify above
+        raise RuntimeError(f"shrunk point no longer fails: {params}")
+    return _point_params(outcome), outcome
+
+
+# ----------------------------------------------------------------------
+# reproducers
+# ----------------------------------------------------------------------
+def repro_command(params: dict) -> str:
+    """One-line ``repro-experiments`` invocation replaying a fuzz point."""
+    params = _point_params(params)
+    mech = _normalize_mechanism(params.get("mechanism", Mechanism.AMO))
+    parts = [
+        "repro-experiments fuzz",
+        f"--workload {params.get('workload', 'counter')}",
+        f"--mechanism {mech.value}",
+        f"--cpus {params.get('n_processors', 8)}",
+        f"--fuzz-seed {params.get('seed', 0)}",
+        f"--fuzz-max-extra {params.get('max_extra', 0)}",
+        f"--episodes {params.get('episodes', 2)}",
+        f"--ops-per-cpu {params.get('ops_per_cpu', 3)}",
+    ]
+    kinds = params.get("kinds")
+    if kinds is not None:
+        parts.append(f"--fuzz-kinds {','.join(kinds) if kinds else 'none'}")
+    if params.get("inject_bug"):
+        parts.append(f"--inject-bug {params['inject_bug']}")
+    return " ".join(parts)
+
+
+def write_artifact(path, found: dict, shrunk: dict, outcome: dict) -> None:
+    """Write the JSON repro artifact for one shrunk failure."""
+    doc = {
+        "schema": ARTIFACT_SCHEMA,
+        "command": repro_command(shrunk),
+        "found": _jsonable(_point_params(found)),
+        "shrunk": _jsonable(_point_params(shrunk)),
+        "error": outcome.get("error"),
+        "violations": outcome.get("violations", []),
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+
+
+def load_artifact(path) -> dict:
+    """Load a repro artifact; returns the shrunk point's parameters."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != ARTIFACT_SCHEMA:
+        raise ValueError(f"unsupported fuzz artifact schema {doc.get('schema')!r}")
+    return _point_params(doc["shrunk"])
+
+
+def _jsonable(params: dict) -> dict:
+    out = {}
+    for key, value in params.items():
+        if isinstance(value, Mechanism):
+            value = value.value
+        elif isinstance(value, tuple):
+            value = list(value)
+        out[key] = value
+    return out

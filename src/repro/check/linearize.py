@@ -1,0 +1,157 @@
+"""Linearizability verifiers for recorded synchronization histories.
+
+The fuzz workloads (:mod:`repro.check.fuzz`) record what each thread
+*observed* — fetch-and-add return values, lock hold intervals, barrier
+entry/exit times — at zero simulated cost, and these functions decide
+offline whether a valid linearization exists.  They are deliberately
+history-shape-specific (fetch-and-add with known deltas, mutual
+exclusion, barrier epochs) rather than a general linearizability
+checker: for these shapes the check is exact and linear-ish, not
+exponential.
+
+All verifiers return a list of human-readable violation strings (empty
+means the history linearizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FetchAddEvent:
+    """One fetch-and-add invocation: real-time interval + observed old."""
+
+    cpu: int
+    start: int
+    end: int
+    old: int
+    delta: int = 1
+
+
+@dataclass(frozen=True)
+class LockSpan:
+    """One critical section: ``[acquired, released]`` in simulated time."""
+
+    cpu: int
+    ticket: int
+    acquired: int
+    released: int
+
+
+@dataclass(frozen=True)
+class BarrierRecord:
+    """One thread's passage through one barrier episode."""
+
+    cpu: int
+    episode: int
+    entered: int
+    exited: int
+
+
+# ----------------------------------------------------------------------
+def check_fetchadd_history(
+    events: list[FetchAddEvent],
+    initial: int = 0,
+    final: int | None = None,
+) -> list[str]:
+    """Verify a fetch-and-add history linearizes.
+
+    The only valid linearization order of fetch-and-adds is ascending
+    observed-old-value order, so the check is: the olds chain exactly
+    (``next.old == prev.old + prev.delta`` starting from ``initial``),
+    the chain ends at ``final`` when given, and the order respects
+    real time (an op that finished before another started must have
+    observed the smaller old value).
+    """
+    problems: list[str] = []
+    if not events:
+        return problems
+    order = sorted(events, key=lambda e: e.old)
+    expect = initial
+    for ev in order:
+        if ev.old != expect:
+            problems.append(
+                f"fetchadd chain broken: cpu{ev.cpu} observed old={ev.old}, "
+                f"the linearization requires {expect}"
+            )
+            expect = ev.old  # resynchronize to report further breaks once
+        expect += ev.delta
+    if final is not None and expect != final:
+        problems.append(f"fetchadd chain ends at {expect}, final value should be {final}")
+    olds = [e.old for e in events]
+    if len(set(olds)) != len(olds):
+        problems.append("fetchadd returned duplicate old values (lost update)")
+    for i, a in enumerate(events):
+        for b in events[i + 1 :]:
+            if a.end < b.start and a.old > b.old:
+                problems.append(
+                    f"real-time order violated: cpu{a.cpu}'s op finished at "
+                    f"t={a.end} before cpu{b.cpu}'s started at t={b.start}, "
+                    f"yet observed the larger old ({a.old} > {b.old})"
+                )
+            elif b.end < a.start and b.old > a.old:
+                problems.append(
+                    f"real-time order violated: cpu{b.cpu}'s op finished at "
+                    f"t={b.end} before cpu{a.cpu}'s started at t={a.start}, "
+                    f"yet observed the larger old ({b.old} > {a.old})"
+                )
+    return problems
+
+
+def check_mutual_exclusion(spans: list[LockSpan]) -> list[str]:
+    """Verify lock hold intervals never overlap and grant in ticket order."""
+    problems: list[str] = []
+    by_time = sorted(spans, key=lambda s: s.acquired)
+    for prev, cur in zip(by_time, by_time[1:]):
+        if cur.acquired < prev.released:
+            problems.append(
+                f"mutual exclusion violated: cpu{cur.cpu} acquired at "
+                f"t={cur.acquired} while cpu{prev.cpu} held the lock until "
+                f"t={prev.released}"
+            )
+    tickets = [s.ticket for s in by_time]
+    if tickets != sorted(tickets):
+        problems.append(
+            f"ticket order violated: grants in acquisition-time order "
+            f"carried tickets {tickets}"
+        )
+    if len(set(tickets)) != len(tickets):
+        problems.append(f"duplicate tickets granted: {tickets}")
+    return problems
+
+
+def check_barrier_epochs(
+    records: list[BarrierRecord],
+    n_cpus: int,
+) -> list[str]:
+    """Verify barrier semantics: no thread exits an episode before every
+    thread has entered it, and each thread's episodes are ordered."""
+    problems: list[str] = []
+    episodes: dict[int, list[BarrierRecord]] = {}
+    per_cpu: dict[int, list[BarrierRecord]] = {}
+    for rec in records:
+        episodes.setdefault(rec.episode, []).append(rec)
+        per_cpu.setdefault(rec.cpu, []).append(rec)
+    for episode, recs in sorted(episodes.items()):
+        if len(recs) != n_cpus:
+            problems.append(f"episode {episode} has {len(recs)} records for {n_cpus} CPUs")
+            continue
+        first_exit = min(recs, key=lambda r: r.exited)
+        last_enter = max(recs, key=lambda r: r.entered)
+        if first_exit.exited < last_enter.entered:
+            problems.append(
+                f"episode {episode}: cpu{first_exit.cpu} exited at "
+                f"t={first_exit.exited} before cpu{last_enter.cpu} entered "
+                f"at t={last_enter.entered}"
+            )
+    for cpu, recs in sorted(per_cpu.items()):
+        recs = sorted(recs, key=lambda r: r.episode)
+        for prev, cur in zip(recs, recs[1:]):
+            if cur.entered < prev.exited:
+                problems.append(
+                    f"cpu{cpu} entered episode {cur.episode} at "
+                    f"t={cur.entered} before exiting episode "
+                    f"{prev.episode} at t={prev.exited}"
+                )
+    return problems

@@ -1,0 +1,95 @@
+"""Sequential replay oracle for memory values.
+
+Every serialized mutation of a shared word — a coherent store to an
+EXCLUSIVE line, a successful store-conditional, a processor atomic, an
+AMU read-modify-write (AMO or MAO), an uncached write served at the home
+— reports to the oracle at its serialization point.  The oracle replays
+those mutations sequentially; because each report happens inside the
+event that performs the hardware write (no intervening yield), the
+oracle's order is exactly the machine's serialization order.
+
+Two checks fall out:
+
+* **chain integrity** — an RMW's observed old value must equal the
+  oracle's current value (a stale read here means a processor or the AMU
+  operated on a value that was never the latest serialized one);
+* **final-state integrity** — at quiescence, the machine's
+  coherent-best-effort view of every tracked word
+  (:meth:`repro.core.machine.Machine.peek`) must equal the oracle.
+
+Words are seeded lazily from the backing store on first touch, so
+workload initialization via :meth:`~repro.core.machine.Machine.poke`
+needs no special handling beyond the ``note_poke`` hook.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.mem.address import word_base
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.machine import Machine
+
+
+class MemoryOracle:
+    """Sequentially-replayed value of every tracked word."""
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        self._words: dict[int, int] = {}
+        self.writes = 0
+        self.rmws = 0
+
+    # ------------------------------------------------------------------
+    def tracked_words(self) -> list[int]:
+        """Word addresses the oracle has seen, ascending."""
+        return sorted(self._words)
+
+    def tracks(self, addr: int) -> bool:
+        return word_base(addr) in self._words
+
+    def value(self, addr: int) -> int:
+        """Current oracle value (lazily seeded from the backing store)."""
+        word = word_base(addr)
+        v = self._words.get(word)
+        if v is None:
+            v = self.machine.backing.read_word(word)
+            self._words[word] = v
+        return v
+
+    # ------------------------------------------------------------------
+    def write(self, addr: int, value: int) -> None:
+        """A blind serialized store (plain store, AM handler store)."""
+        self._words[word_base(addr)] = value
+        self.writes += 1
+
+    def rmw(self, addr: int, old: int, new: int, site: str = "") -> Optional[str]:
+        """A serialized read-modify-write; returns a violation or None.
+
+        ``old`` is what the hardware observed; it must equal the oracle's
+        current value, else some earlier serialized write was lost.
+        """
+        word = word_base(addr)
+        expect = self.value(word)
+        self._words[word] = new
+        self.rmws += 1
+        if old != expect:
+            return (
+                f"{site}: RMW at {word:#x} observed old value {old}, "
+                f"but the last serialized value was {expect}"
+            )
+        return None
+
+    def final_check(self) -> list[str]:
+        """Compare every tracked word against the machine's final view."""
+        problems = []
+        for word in self.tracked_words():
+            actual = self.machine.peek(word)
+            expect = self._words[word]
+            if actual != expect:
+                problems.append(
+                    f"final value of {word:#x} is {actual}, oracle replay "
+                    f"says {expect}"
+                )
+        return problems

@@ -1,0 +1,335 @@
+"""Runtime coherence sanitizer.
+
+An always-available, off-by-default observer.  :meth:`CoherenceSanitizer.attach`
+subscribes to the network's multi-hook send observation
+(:meth:`repro.network.fabric.Network.subscribe_send`) and sets
+``machine.sanitizer``; product code carries five lightweight call-sites
+(coherent store, SC success, processor atomic, AMU op, home coherent
+write) each guarded by a single ``machine.sanitizer is None`` test, so an
+unattached machine pays one attribute load per store-class operation and
+nothing per load, spin, or event.
+
+Checked invariants
+------------------
+* **SWMR** — at any instant, at most one cache holds a line EXCLUSIVE,
+  and never concurrently with SHARED copies elsewhere.  This holds
+  instantaneously in this protocol (owners invalidate/downgrade before
+  the new copy installs), so it is checked on every observed message.
+* **Directory/cache agreement** — whenever a line's directory entry is
+  *not* mid-transaction (its ``busy`` resource is free): the entry's own
+  state invariants hold (:meth:`DirectoryEntry.check`), an EXCLUSIVE
+  cache copy implies the directory records exactly that owner, and every
+  SHARED cache copy is tracked as a sharer.  The directory may legally
+  *over*-track (silent SHARED drops leave stale sharers); a cached copy
+  the directory does not know about is always a violation.
+* **Put delivery** — when the AMU decides an op triggers a put (always-
+  push op, forced push, or §3.2 test-value match), exactly one coherent
+  word write with pushes enabled must follow, carrying exactly the op's
+  result; WORD_UPDATE packets must carry the word's latest serialized
+  value at injection time; at quiescence no triggered put may remain
+  undelivered.
+* **Data-value integrity** — the :class:`~repro.check.oracle.MemoryOracle`
+  chain check at every RMW serialization point, plus final memory vs
+  sequential replay, plus (at quiescence) freshness of every SHARED
+  cache copy of a tracked word not currently under AMU caching.
+
+``mode="raise"`` raises :class:`CoherenceViolation` at the first
+violation (unit tests); ``mode="collect"`` records violations and lets
+the run continue (the fuzzer, which wants the full list plus the final
+sweep even after a mid-run failure).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.cache.state import LineState
+from repro.check.oracle import MemoryOracle
+from repro.coherence.directory import DirState
+from repro.mem.address import home_of, line_base, word_base
+from repro.network.message import Message, MessageKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.machine import Machine
+
+
+class CoherenceViolation(AssertionError):
+    """A checked protocol invariant was broken."""
+
+
+#: message kinds whose address names a line participating in the
+#: block-grained protocol — each observed send triggers a line check
+_LINE_KINDS = frozenset(
+    {
+        MessageKind.GET_S,
+        MessageKind.GET_X,
+        MessageKind.DATA_S,
+        MessageKind.DATA_X,
+        MessageKind.INVALIDATE,
+        MessageKind.INV_ACK,
+        MessageKind.INTERVENTION,
+        MessageKind.INTERVENTION_REPLY,
+        MessageKind.SHARING_WRITEBACK,
+        MessageKind.WRITEBACK,
+        MessageKind.WRITEBACK_ACK,
+        MessageKind.WORD_UPDATE,
+    }
+)
+
+
+class CoherenceSanitizer:
+    """Runtime invariant checker for one :class:`Machine`."""
+
+    def __init__(
+        self,
+        machine: "Machine",
+        mode: str = "raise",
+        full_sweep_every: int = 0,
+        max_violations: int = 64,
+    ) -> None:
+        if mode not in ("raise", "collect"):
+            raise ValueError(f"unknown sanitizer mode {mode!r}")
+        self.machine = machine
+        self.mode = mode
+        self.full_sweep_every = full_sweep_every
+        self.max_violations = max_violations
+        self.oracle = MemoryOracle(machine)
+        #: violations collected in ``collect`` mode (time-stamped strings)
+        self.violations: list[str] = []
+        #: total violations seen (may exceed ``len(violations)``)
+        self.violation_count = 0
+        self.messages_checked = 0
+        self.line_checks = 0
+        self.full_sweeps = 0
+        #: word -> queue of values whose put was triggered but not yet
+        #: delivered to the home's coherent write path
+        self._expected_puts: dict[int, deque[int]] = {}
+        self._controllers = [p.controller for p in machine.cpus]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(
+        cls,
+        machine: "Machine",
+        mode: str = "raise",
+        full_sweep_every: int = 0,
+    ) -> "CoherenceSanitizer":
+        """Arm the sanitizer on ``machine`` and return it."""
+        san = cls(machine, mode=mode, full_sweep_every=full_sweep_every)
+        machine.sanitizer = san
+        machine.net.subscribe_send(san._on_send)
+        return san
+
+    def detach(self) -> None:
+        """Disarm: unhook from the network and clear ``machine.sanitizer``."""
+        self.machine.net.unsubscribe_send(self._on_send)
+        if self.machine.sanitizer is self:
+            self.machine.sanitizer = None
+
+    @property
+    def ok(self) -> bool:
+        return self.violation_count == 0
+
+    # ------------------------------------------------------------------
+    def _violation(self, text: str) -> None:
+        self.violation_count += 1
+        stamped = f"t={self.machine.sim.now}: {text}"
+        if self.mode == "raise":
+            raise CoherenceViolation(stamped)
+        if len(self.violations) < self.max_violations:
+            self.violations.append(stamped)
+
+    # ------------------------------------------------------------------
+    # product-code hooks (all guarded by ``machine.sanitizer is None``)
+    # ------------------------------------------------------------------
+    def note_store(self, cpu: Optional[int], addr: int, value: int) -> None:
+        """A coherent store serialized (line held EXCLUSIVE at ``cpu``)."""
+        self.oracle.write(addr, value)
+
+    def note_rmw(self, cpu: int, addr: int, old: int, new: int, site: str) -> None:
+        """A processor-side RMW serialized (SC success / atomic)."""
+        problem = self.oracle.rmw(addr, old, new, site=f"cpu{cpu} {site}")
+        if problem is not None:
+            self._violation(problem)
+
+    def note_amu_op(
+        self,
+        node: int,
+        addr: int,
+        old: int,
+        new: int,
+        coherent: bool,
+        will_push: bool,
+    ) -> None:
+        """An AMU read-modify-write executed (AMO or MAO)."""
+        label = "amo" if coherent else "mao"
+        problem = self.oracle.rmw(addr, old, new, site=f"amu[{node}] {label}")
+        if problem is not None:
+            self._violation(problem)
+        if will_push:
+            word = word_base(addr)
+            queue = self._expected_puts.get(word)
+            if queue is None:
+                queue = self._expected_puts[word] = deque()
+            queue.append(new)
+
+    def note_coherent_write(self, addr: int, value: int, pushed: bool) -> None:
+        """The home wrote one word coherently (put, eviction, uncached)."""
+        word = word_base(addr)
+        queue = self._expected_puts.get(word)
+        if queue:
+            expect = queue.popleft()
+            if expect != value:
+                self._violation(
+                    f"put for {word:#x} delivered value {value}, the "
+                    f"triggering op produced {expect}"
+                )
+            if not pushed:
+                self._violation(
+                    f"triggered put for {word:#x} reached the home write "
+                    f"path with pushes disabled"
+                )
+        elif self.oracle.value(word) != value:
+            # not an AMU-originated write: an uncached write serializes here
+            self.oracle.write(word, value)
+
+    def note_poke(self, addr: int, value: int) -> None:
+        """Zero-time debug/init write bypassing the protocol."""
+        if self.oracle.tracks(addr):
+            self.oracle.write(addr, value)
+
+    # ------------------------------------------------------------------
+    # network observation
+    # ------------------------------------------------------------------
+    def _on_send(self, msg: Message, hops: int) -> None:
+        self.messages_checked += 1
+        kind = msg.kind
+        if kind is MessageKind.WORD_UPDATE:
+            word = word_base(msg.addr)
+            if self.oracle.tracks(word) and msg.value != self.oracle.value(word):
+                self._violation(
+                    f"WORD_UPDATE for {word:#x} carries {msg.value}, the "
+                    f"latest serialized value is {self.oracle.value(word)}"
+                )
+        if msg.addr is not None and kind in _LINE_KINDS:
+            self._check_line(line_base(msg.addr))
+        if self.full_sweep_every and self.messages_checked % self.full_sweep_every == 0:
+            self.check_now()
+
+    # ------------------------------------------------------------------
+    # state checks
+    # ------------------------------------------------------------------
+    def _check_line(self, line: int) -> None:
+        """SWMR always; directory agreement when the entry is not busy."""
+        self.line_checks += 1
+        exclusive = []
+        shared = []
+        for ctrl in self._controllers:
+            cached = ctrl.l2.probe(line)
+            if cached is None:
+                continue
+            if cached.state is LineState.EXCLUSIVE:
+                exclusive.append(ctrl.cpu_id)
+            else:
+                shared.append(ctrl.cpu_id)
+        if len(exclusive) > 1:
+            self._violation(f"SWMR: line {line:#x} EXCLUSIVE in caches {exclusive}")
+        if exclusive and shared:
+            self._violation(
+                f"SWMR: line {line:#x} EXCLUSIVE at cpu{exclusive[0]} "
+                f"concurrent with SHARED copies at {shared}"
+            )
+        home = self.machine.hubs[home_of(line)]
+        ent = home.home_engine.directory._entries.get(line)
+        if ent is None:
+            if exclusive or shared:
+                self._violation(
+                    f"line {line:#x} cached at {exclusive + shared} but the "
+                    f"home directory has no entry for it"
+                )
+            return
+        if ent.busy.busy:
+            return  # mid-transaction: agreement is only a retirement invariant
+        try:
+            ent.check()
+        except AssertionError as err:
+            self._violation(f"directory self-check: {err}")
+        if exclusive:
+            if ent.state is not DirState.EXCLUSIVE or ent.owner != exclusive[0]:
+                self._violation(
+                    f"line {line:#x} EXCLUSIVE in cpu{exclusive[0]}'s cache "
+                    f"but the directory says {ent!r}"
+                )
+        for cpu in shared:
+            if ent.state is DirState.EXCLUSIVE and ent.owner == cpu:
+                # upgrade grant in flight: the home already recorded the
+                # new owner, whose old SHARED copy survives until the
+                # DATA_X arrives and installs EXCLUSIVE
+                continue
+            if not (ent.has_sharer(cpu) and ent.state is DirState.SHARED):
+                self._violation(
+                    f"line {line:#x} SHARED in cpu{cpu}'s cache but "
+                    f"untracked by the directory: {ent!r}"
+                )
+
+    def check_now(self) -> None:
+        """Full sweep: every known line (directory entries + cache residents)."""
+        self.full_sweeps += 1
+        lines = set()
+        for hub in self.machine.hubs:
+            lines.update(hub.home_engine.directory._entries)
+        for ctrl in self._controllers:
+            for cached in ctrl.l2.resident_lines():
+                lines.add(cached.line_addr)
+        for line in sorted(lines):
+            self._check_line(line)
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """End-of-run checks, to be called at simulator quiescence."""
+        for hub in self.machine.hubs:
+            for ent in hub.home_engine.directory.known_entries():
+                if ent.busy.busy:
+                    self._violation(
+                        f"directory entry {ent.line_addr:#x} still busy at "
+                        f"quiescence"
+                    )
+        self.check_now()
+        for word, queue in sorted(self._expected_puts.items()):
+            if queue:
+                self._violation(
+                    f"{len(queue)} triggered put(s) for {word:#x} never "
+                    f"reached the home write path (lost values {list(queue)})"
+                )
+        for problem in self.oracle.final_check():
+            self._violation(problem)
+        self._check_shared_freshness()
+
+    def _check_shared_freshness(self) -> None:
+        """At quiescence, SHARED copies of tracked words match memory.
+
+        Release consistency makes sharer caches legally stale *while the
+        AMU holds a word* (§3.2 deferred visibility) — those words are
+        skipped.  Everything else must have been invalidated or patched.
+        """
+        backing = self.machine.backing
+        for ctrl in self._controllers:
+            for cached in ctrl.l2.resident_lines():
+                if cached.state is not LineState.SHARED:
+                    continue
+                home = self.machine.hubs[home_of(cached.line_addr)]
+                for word, value in sorted(cached.words.items()):
+                    if not self.oracle.tracks(word):
+                        continue
+                    if home.amu.peek(word) is not None:
+                        continue  # deferred-visibility window: stale is legal
+                    mem = backing.read_word(word)
+                    if value != mem:
+                        self._violation(
+                            f"cpu{ctrl.cpu_id} holds SHARED copy of "
+                            f"{word:#x} with stale value {value} "
+                            f"(memory has {mem}) at quiescence"
+                        )

@@ -154,6 +154,9 @@ class CacheController:
             self.l2.record_hit()
         l2_line.write_word(addr, value)
         l2_line.dirty = True
+        san = self.hub.machine.sanitizer
+        if san is not None:
+            san.note_store(self.cpu_id, addr, value)
         if fetched:
             self._release_rmw_lock(line_base(addr))
         self._fill_l1(addr, value)
@@ -196,10 +199,18 @@ class CacheController:
                 self._release_rmw_lock(line)
                 self.sc_failures += 1
                 return False
+            san = self.hub.machine.sanitizer
+            if san is not None:
+                san.note_rmw(self.cpu_id, addr, l2_line.read_word(addr),
+                             value, "sc")
             l2_line.write_word(addr, value)
             l2_line.dirty = True
             self._release_rmw_lock(line)
         else:
+            san = self.hub.machine.sanitizer
+            if san is not None:
+                san.note_rmw(self.cpu_id, addr, l2_line.read_word(addr),
+                             value, "sc")
             l2_line.write_word(addr, value)
             l2_line.dirty = True
         self._fill_l1(addr, value)
@@ -255,6 +266,9 @@ class CacheController:
             yield Timeout(2)  # ALU op on the loaded word
             old = l2_line.read_word(addr)
             new = fn(old)
+            san = self.hub.machine.sanitizer
+            if san is not None:
+                san.note_rmw(self.cpu_id, addr, old, new, "atomic")
             l2_line.write_word(addr, new)
             l2_line.dirty = True
         finally:

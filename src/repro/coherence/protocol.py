@@ -351,6 +351,9 @@ class HomeEngine:
                 ent.state = DirState.SHARED
             yield from self.dram.access_word()
             self.backing.write_word(addr, value)
+            san = self.hub.machine.sanitizer
+            if san is not None:
+                san.note_coherent_write(addr, value, push_updates)
             ent.version += 1
             if push_updates:
                 if ent.sharer_mask:

@@ -156,6 +156,8 @@ class Machine:
         self.tracer = None
         #: optional MachineMetrics (see repro.obs) — None = no metrics
         self.obs = None
+        #: optional CoherenceSanitizer (see repro.check) — None = unchecked
+        self.sanitizer = None
         for cpu_id in range(self.config.n_processors):
             hub = self.hubs[self.node_of_cpu(cpu_id)]
             proc = Processor(cpu_id, hub)
@@ -186,6 +188,8 @@ class Machine:
         known uncached; tests assert both usages.
         """
         self.backing.write_word(addr, value)
+        if self.sanitizer is not None:
+            self.sanitizer.note_poke(addr, value)
 
     def peek(self, addr: int) -> int:
         """Zero-time coherent-best-effort read: AMU cache, any exclusive

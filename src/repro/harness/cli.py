@@ -44,6 +44,42 @@ def _sizes(args, full_default, quick_default):
     return tuple(full_default) if args.full else tuple(quick_default)
 
 
+def _run_fuzz(args) -> int:
+    """Replay one fuzz schedule with the sanitizer armed; 0 = clean."""
+    from repro.check.fuzz import load_artifact, repro_command, run_fuzz_schedule
+
+    if args.repro:
+        params = load_artifact(args.repro)
+    else:
+        kinds = None
+        if args.fuzz_kinds is not None:
+            kinds = [k for k in args.fuzz_kinds.split(",")
+                     if k and k != "none"]
+        params = dict(
+            n_processors=(args.cpus or [8])[0],
+            mechanism=args.mechanism,
+            workload=args.workload,
+            seed=args.fuzz_seed,
+            max_extra=args.fuzz_max_extra,
+            kinds=kinds,
+            episodes=args.episodes,
+            ops_per_cpu=args.ops_per_cpu,
+            inject_bug=args.inject_bug,
+        )
+    print(f"# {repro_command(params)}", file=sys.stderr)
+    out = run_fuzz_schedule(**params)
+    verdict = "PASS" if out["ok"] else "FAIL"
+    print(f"{verdict} {out['workload']}/{out['mechanism']} "
+          f"P={out['n_processors']} seed={out['seed']} "
+          f"max_extra={out['max_extra']} "
+          f"({out['events_dispatched']} events, {out['cycles']} cycles)")
+    if out["error"]:
+        print(f"  error: {out['error']}")
+    for violation in out["violations"]:
+        print(f"  violation: {violation}")
+    return 0 if out["ok"] else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -52,7 +88,7 @@ def main(argv=None) -> int:
     parser.add_argument("experiment",
                         choices=["table2", "fig5", "table3", "fig6",
                                  "table4", "fig7", "fig1", "amo-model",
-                                 "amo-tree", "all"])
+                                 "amo-tree", "fuzz", "all"])
     parser.add_argument("--cpus", type=int, nargs="+",
                         help="processor counts to evaluate")
     parser.add_argument("--episodes", type=int, default=3,
@@ -90,9 +126,34 @@ def main(argv=None) -> int:
                         help="write the merged metrics export (JSON, "
                              "schema repro.obs.export/1) to PATH; "
                              "implies --metrics")
+    fz = parser.add_argument_group(
+        "fuzz", "options for the `fuzz` experiment (replay one schedule "
+                "with the coherence sanitizer armed; see docs/checking.md)")
+    fz.add_argument("--workload", default="counter",
+                    help="fuzz workload: counter, barrier, or lock")
+    fz.add_argument("--mechanism", default="amo",
+                    help="synchronization mechanism name (e.g. amo, llsc)")
+    fz.add_argument("--fuzz-seed", type=int, default=0,
+                    help="DelayInjector seed")
+    fz.add_argument("--fuzz-max-extra", type=int, default=200,
+                    metavar="CYCLES",
+                    help="upper bound on injected per-message delay")
+    fz.add_argument("--fuzz-kinds", metavar="KIND[,KIND...]",
+                    help="restrict delay injection to these message kinds "
+                         "('none' = no kinds, i.e. injector inert)")
+    fz.add_argument("--ops-per-cpu", type=int, default=3,
+                    help="counter/lock fuzz operations per CPU")
+    fz.add_argument("--inject-bug", metavar="NAME",
+                    help="deliberately break the protocol (checker "
+                         "self-test): skip_invalidation, drop_word_update")
+    fz.add_argument("--repro", metavar="PATH",
+                    help="replay the shrunk point from a fuzz artifact "
+                         "(overrides the other fuzz options)")
     args = parser.parse_args(argv)
     if args.metrics_out:
         args.metrics = True
+    if args.experiment == "fuzz":
+        return _run_fuzz(args)
 
     cache = None
     if not args.no_cache:

@@ -87,6 +87,26 @@ class RunSpec:
                 params["metrics_interval"] = metrics_interval
         return cls.make("lock", **params)
 
+    @classmethod
+    def fuzz(cls, n_processors: int, mechanism: Mechanism, workload: str,
+             seed: int, max_extra: int, kinds: Optional[tuple] = None,
+             episodes: int = 2, ops_per_cpu: int = 3,
+             inject_bug: Optional[str] = None) -> "RunSpec":
+        """A :func:`~repro.check.fuzz.run_fuzz_schedule` point.
+
+        The kind filter enters the spec only when restricted, and the bug
+        injection only when armed, so the common all-kinds clean sweep
+        keeps short canonical keys.
+        """
+        params = dict(n_processors=n_processors, mechanism=mechanism,
+                      workload=workload, seed=seed, max_extra=max_extra,
+                      episodes=episodes, ops_per_cpu=ops_per_cpu)
+        if kinds is not None:
+            params["kinds"] = tuple(sorted(kinds))
+        if inject_bug is not None:
+            params["inject_bug"] = inject_bug
+        return cls.make("fuzz", **params)
+
     # ------------------------------------------------------------------
     @property
     def kwargs(self) -> dict[str, Any]:
@@ -111,6 +131,10 @@ class RunSpec:
             bits.append(kw["lock_type"])
         if kw.get("tree_branching"):
             bits.append(f"b={kw['tree_branching']}")
+        if kw.get("workload"):
+            bits.append(kw["workload"])
+        if "seed" in kw:
+            bits.append(f"seed={kw['seed']}")
         return " ".join(bits)
 
 
@@ -146,16 +170,22 @@ def execute_spec(spec: RunSpec) -> RunRecord:
     t0 = time.perf_counter()
     result = fn(**spec.kwargs)
     wall = time.perf_counter() - t0
+    if isinstance(result, dict):
+        sim_events = result.get("events_dispatched", 0)
+    else:
+        sim_events = getattr(result, "events_dispatched", 0)
     return RunRecord(spec=spec, result=result,
-                     sim_events=getattr(result, "events_dispatched", 0),
+                     sim_events=sim_events,
                      wall_seconds=wall)
 
 
 def _register_builtin_kinds() -> None:
+    from repro.check.fuzz import run_fuzz_schedule
     from repro.workloads.barrier import run_barrier_workload
     from repro.workloads.locks import run_lock_workload
     register_kind("barrier", run_barrier_workload)
     register_kind("lock", run_lock_workload)
+    register_kind("fuzz", run_fuzz_schedule)
 
 
 _register_builtin_kinds()

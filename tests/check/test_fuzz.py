@@ -1,0 +1,150 @@
+"""Schedule fuzzer: clean runs, bug detection, shrinking, artifacts."""
+
+import pytest
+
+from repro.check.fuzz import (
+    load_artifact,
+    repro_command,
+    run_fuzz_schedule,
+    shrink_failure,
+    write_artifact,
+)
+from repro.config.mechanism import Mechanism
+from repro.runner.spec import RunSpec, execute_spec
+
+FAILING_POINT = dict(
+    n_processors=8,
+    mechanism="llsc",
+    workload="lock",
+    seed=0,
+    max_extra=100,
+    episodes=2,
+    ops_per_cpu=3,
+    inject_bug="skip_invalidation",
+)
+
+
+# ----------------------------------------------------------------------
+# clean schedules
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mechanism", list(Mechanism), ids=lambda m: m.value)
+@pytest.mark.parametrize("workload", ["counter", "barrier", "lock"])
+def test_clean_schedules(mechanism, workload):
+    out = run_fuzz_schedule(
+        n_processors=8,
+        mechanism=mechanism,
+        workload=workload,
+        seed=7,
+        max_extra=250,
+        episodes=2,
+        ops_per_cpu=2,
+    )
+    assert out["ok"], (out["error"], out["violations"])
+    assert out["events_dispatched"] > 0
+    assert out["cycles"] > 0
+
+
+def test_same_seed_reproduces_exactly():
+    kwargs = dict(n_processors=8, mechanism="amo", workload="lock",
+                  seed=3, max_extra=150)
+    a = run_fuzz_schedule(**kwargs)
+    b = run_fuzz_schedule(**kwargs)
+    assert a == b
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ValueError):
+        run_fuzz_schedule(workload="nope")
+
+
+def test_unknown_bug_rejected():
+    with pytest.raises(ValueError):
+        run_fuzz_schedule(inject_bug="nope")
+
+
+# ----------------------------------------------------------------------
+# injected protocol bugs are caught
+# ----------------------------------------------------------------------
+def test_skipped_invalidation_is_caught():
+    out = run_fuzz_schedule(**FAILING_POINT)
+    assert not out["ok"]
+    assert out["violations"]
+
+
+def test_dropped_word_update_is_caught():
+    out = run_fuzz_schedule(
+        n_processors=8,
+        mechanism="amo",
+        workload="barrier",
+        seed=0,
+        max_extra=100,
+        episodes=2,
+        inject_bug="drop_word_update",
+    )
+    assert not out["ok"]
+    assert out["error"] or out["violations"]
+
+
+# ----------------------------------------------------------------------
+# shrinking
+# ----------------------------------------------------------------------
+def test_shrink_converges_to_minimal_reproducer():
+    shrunk, outcome = shrink_failure(dict(FAILING_POINT))
+    # this bug needs no timing perturbation at all: minimal reproducer
+    # is the injector inert (bound 0, no kinds delayed)
+    assert shrunk["max_extra"] == 0
+    assert shrunk["kinds"] == []
+    assert not outcome["ok"]
+    # the shrunk point still replays to the same failure
+    replay = run_fuzz_schedule(**shrunk)
+    assert replay["violations"] == outcome["violations"]
+
+
+def test_shrink_refuses_passing_point():
+    good = dict(FAILING_POINT, inject_bug=None)
+    with pytest.raises(ValueError):
+        shrink_failure(good)
+
+
+# ----------------------------------------------------------------------
+# artifacts + repro commands
+# ----------------------------------------------------------------------
+def test_artifact_round_trip(tmp_path):
+    shrunk, outcome = shrink_failure(dict(FAILING_POINT))
+    path = tmp_path / "failure-0.json"
+    write_artifact(path, FAILING_POINT, shrunk, outcome)
+    params = load_artifact(path)
+    assert params == shrunk
+    replay = run_fuzz_schedule(**params)
+    assert not replay["ok"]
+
+
+def test_repro_command_is_one_line():
+    cmd = repro_command(FAILING_POINT)
+    assert "\n" not in cmd
+    assert cmd.startswith("repro-experiments fuzz ")
+    assert "--mechanism llsc" in cmd
+    assert "--inject-bug skip_invalidation" in cmd
+
+
+# ----------------------------------------------------------------------
+# runner integration: fuzz points are ordinary sweep specs
+# ----------------------------------------------------------------------
+def test_runspec_fuzz_canonical_and_executable():
+    spec = RunSpec.fuzz(8, Mechanism.AMO, "barrier", seed=4, max_extra=80)
+    again = RunSpec.fuzz(8, Mechanism.AMO, "barrier", seed=4, max_extra=80)
+    assert spec.canonical() == again.canonical()
+    assert "fuzz" in spec.label()
+    record = execute_spec(spec)
+    assert record.result["ok"]
+    assert record.sim_events == record.result["events_dispatched"] > 0
+
+
+def test_runspec_fuzz_optional_params_stay_out_of_key():
+    bare = RunSpec.fuzz(8, Mechanism.LLSC, "lock", seed=0, max_extra=10)
+    assert "kinds" not in bare.kwargs
+    assert "inject_bug" not in bare.kwargs
+    restricted = RunSpec.fuzz(8, Mechanism.LLSC, "lock", seed=0, max_extra=10,
+                              kinds=("word_update", "get_x"))
+    assert restricted.kwargs["kinds"] == ("get_x", "word_update")
+    assert bare.canonical() != restricted.canonical()

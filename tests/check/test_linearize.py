@@ -1,0 +1,145 @@
+"""Offline history verifiers: good histories pass, bad histories don't."""
+
+from repro.check.linearize import (
+    BarrierRecord,
+    FetchAddEvent,
+    LockSpan,
+    check_barrier_epochs,
+    check_fetchadd_history,
+    check_mutual_exclusion,
+)
+
+
+# ----------------------------------------------------------------------
+# fetch-and-add
+# ----------------------------------------------------------------------
+def test_fetchadd_clean_history():
+    events = [FetchAddEvent(cpu=i % 2, start=10 * i, end=10 * i + 5, old=i)
+              for i in range(6)]
+    assert check_fetchadd_history(events, initial=0, final=6) == []
+
+
+def test_fetchadd_clean_out_of_order_completion():
+    # overlapping intervals may observe olds in any order
+    events = [
+        FetchAddEvent(cpu=0, start=0, end=100, old=1),
+        FetchAddEvent(cpu=1, start=0, end=90, old=0),
+    ]
+    assert check_fetchadd_history(events, initial=0, final=2) == []
+
+
+def test_fetchadd_empty_history():
+    assert check_fetchadd_history([], initial=0, final=None) == []
+
+
+def test_fetchadd_lost_update():
+    # two ops observed the same old value — one increment was lost
+    events = [
+        FetchAddEvent(cpu=0, start=0, end=10, old=0),
+        FetchAddEvent(cpu=1, start=20, end=30, old=0),
+    ]
+    problems = check_fetchadd_history(events, initial=0, final=2)
+    assert any("duplicate" in p for p in problems)
+    assert any("chain" in p for p in problems)
+
+
+def test_fetchadd_broken_chain():
+    events = [
+        FetchAddEvent(cpu=0, start=0, end=10, old=0),
+        FetchAddEvent(cpu=1, start=20, end=30, old=5),
+    ]
+    problems = check_fetchadd_history(events, initial=0)
+    assert any("chain broken" in p for p in problems)
+
+
+def test_fetchadd_wrong_final():
+    events = [FetchAddEvent(cpu=0, start=0, end=10, old=0)]
+    problems = check_fetchadd_history(events, initial=0, final=5)
+    assert any("final value" in p for p in problems)
+
+
+def test_fetchadd_real_time_violation():
+    # cpu0 finished (t=10) before cpu1 started (t=20) yet saw the larger old
+    events = [
+        FetchAddEvent(cpu=0, start=0, end=10, old=1),
+        FetchAddEvent(cpu=1, start=20, end=30, old=0),
+    ]
+    problems = check_fetchadd_history(events, initial=0, final=2)
+    assert any("real-time" in p for p in problems)
+
+
+# ----------------------------------------------------------------------
+# mutual exclusion
+# ----------------------------------------------------------------------
+def test_lock_clean_spans():
+    spans = [LockSpan(cpu=i % 3, ticket=i, acquired=100 * i,
+                      released=100 * i + 50) for i in range(6)]
+    assert check_mutual_exclusion(spans) == []
+
+
+def test_lock_overlap_detected():
+    spans = [
+        LockSpan(cpu=0, ticket=0, acquired=0, released=100),
+        LockSpan(cpu=1, ticket=1, acquired=50, released=150),
+    ]
+    problems = check_mutual_exclusion(spans)
+    assert any("mutual exclusion" in p for p in problems)
+
+
+def test_lock_ticket_order_violation():
+    spans = [
+        LockSpan(cpu=0, ticket=1, acquired=0, released=10),
+        LockSpan(cpu=1, ticket=0, acquired=20, released=30),
+    ]
+    problems = check_mutual_exclusion(spans)
+    assert any("ticket order" in p for p in problems)
+
+
+def test_lock_duplicate_tickets():
+    spans = [
+        LockSpan(cpu=0, ticket=0, acquired=0, released=10),
+        LockSpan(cpu=1, ticket=0, acquired=20, released=30),
+    ]
+    problems = check_mutual_exclusion(spans)
+    assert any("duplicate tickets" in p for p in problems)
+
+
+# ----------------------------------------------------------------------
+# barrier epochs
+# ----------------------------------------------------------------------
+def _clean_barrier_records(n_cpus=4, episodes=3):
+    records = []
+    for episode in range(episodes):
+        base = 1000 * episode
+        for cpu in range(n_cpus):
+            records.append(BarrierRecord(cpu=cpu, episode=episode,
+                                         entered=base + 10 * cpu,
+                                         exited=base + 100 + cpu))
+    return records
+
+
+def test_barrier_clean():
+    assert check_barrier_epochs(_clean_barrier_records(), n_cpus=4) == []
+
+
+def test_barrier_early_exit():
+    # cpu0 exits episode 0 before cpu3 has entered it
+    records = _clean_barrier_records(n_cpus=4, episodes=1)
+    records[0] = BarrierRecord(cpu=0, episode=0, entered=0, exited=5)
+    problems = check_barrier_epochs(records, n_cpus=4)
+    assert any("exited" in p for p in problems)
+
+
+def test_barrier_missing_participant():
+    records = _clean_barrier_records(n_cpus=4, episodes=1)[:-1]
+    problems = check_barrier_epochs(records, n_cpus=4)
+    assert any("3 records" in p for p in problems)
+
+
+def test_barrier_episode_overlap_per_cpu():
+    records = _clean_barrier_records(n_cpus=2, episodes=2)
+    # cpu0 enters episode 1 before it exited episode 0
+    records = [r for r in records if not (r.cpu == 0 and r.episode == 1)]
+    records.append(BarrierRecord(cpu=0, episode=1, entered=50, exited=1200))
+    problems = check_barrier_epochs(records, n_cpus=2)
+    assert any("before exiting" in p for p in problems)

@@ -1,0 +1,187 @@
+"""Coherence sanitizer: arming, hooks, oracle, and zero-cost-off tests."""
+
+import pytest
+
+from repro.check import CoherenceSanitizer, CoherenceViolation, MemoryOracle
+from repro.config.mechanism import Mechanism
+from repro.config.parameters import SystemConfig
+from repro.core.machine import Machine
+from repro.sync.barrier import CentralizedBarrier
+from repro.sync.rmw import fetch_add
+from repro.sync.ticket_lock import TicketLock
+
+MECHANISMS = list(Mechanism)
+
+
+def _machine(n=8):
+    return Machine(SystemConfig.table1(n))
+
+
+# ----------------------------------------------------------------------
+# arming / disarming
+# ----------------------------------------------------------------------
+def test_unattached_machine_has_no_sanitizer():
+    assert _machine(4).sanitizer is None
+
+
+def test_attach_detach_lifecycle():
+    machine = _machine(4)
+    san = CoherenceSanitizer.attach(machine, mode="raise")
+    assert machine.sanitizer is san
+    assert san.ok
+    san.detach()
+    assert machine.sanitizer is None
+
+
+def test_bad_mode_rejected():
+    with pytest.raises(ValueError):
+        CoherenceSanitizer(_machine(4), mode="whatever")
+
+
+# ----------------------------------------------------------------------
+# clean runs stay clean, across every mechanism, with mode="raise"
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mechanism", MECHANISMS, ids=lambda m: m.value)
+def test_barrier_clean_under_sanitizer(mechanism):
+    machine = _machine(8)
+    san = CoherenceSanitizer.attach(machine, mode="raise")
+    barrier = CentralizedBarrier(machine, mechanism)
+
+    def thread(proc):
+        for _ in range(2):
+            yield from barrier.wait(proc)
+
+    machine.run_threads(thread)
+    san.finalize()
+    assert san.ok
+    assert san.messages_checked > 0
+    assert san.line_checks > 0
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS, ids=lambda m: m.value)
+def test_lock_clean_under_sanitizer(mechanism):
+    machine = _machine(8)
+    san = CoherenceSanitizer.attach(machine, mode="raise")
+    lock = TicketLock(machine, mechanism)
+
+    def thread(proc):
+        for _ in range(2):
+            yield from lock.acquire(proc)
+            yield from proc.delay(30)
+            yield from lock.release(proc)
+
+    machine.run_threads(thread)
+    san.finalize()
+    assert san.ok
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS, ids=lambda m: m.value)
+def test_counter_oracle_tracks_every_rmw(mechanism):
+    machine = _machine(8)
+    san = CoherenceSanitizer.attach(machine, mode="raise")
+    var = machine.alloc("ctr", home_node=0)
+
+    def thread(proc):
+        for _ in range(3):
+            yield from fetch_add(proc, mechanism, var.addr, 1)
+
+    machine.run_threads(thread)
+    san.finalize()
+    assert san.ok
+    assert san.oracle.tracks(var.addr)
+    assert san.oracle.value(var.addr) == 24
+    assert machine.peek(var.addr) == 24
+
+
+def test_full_sweep_every_message():
+    machine = _machine(4)
+    san = CoherenceSanitizer.attach(machine, mode="raise", full_sweep_every=1)
+    barrier = CentralizedBarrier(machine, Mechanism.AMO)
+
+    def thread(proc):
+        yield from barrier.wait(proc)
+
+    machine.run_threads(thread)
+    san.finalize()
+    assert san.ok
+    assert san.full_sweeps >= san.messages_checked
+
+
+# ----------------------------------------------------------------------
+# armed vs unarmed parity: observation must not perturb the simulation
+# ----------------------------------------------------------------------
+def test_sanitizer_does_not_perturb_timing():
+    def run(armed):
+        machine = _machine(8)
+        if armed:
+            CoherenceSanitizer.attach(machine, mode="raise")
+        lock = TicketLock(machine, Mechanism.AMO)
+
+        def thread(proc):
+            for _ in range(2):
+                yield from lock.acquire(proc)
+                yield from lock.release(proc)
+
+        machine.run_threads(thread)
+        return machine.last_completion_time, machine.sim.events_dispatched
+
+    assert run(False) == run(True)
+
+
+# ----------------------------------------------------------------------
+# violations are detected and reported
+# ----------------------------------------------------------------------
+def test_raise_mode_raises_on_oracle_break():
+    machine = _machine(4)
+    san = CoherenceSanitizer.attach(machine, mode="raise")
+    var = machine.alloc("x", home_node=0)
+    san.note_rmw(0, var.addr, old=0, new=1, site="test")
+    with pytest.raises(CoherenceViolation):
+        san.note_rmw(1, var.addr, old=0, new=1, site="test")
+
+
+def test_collect_mode_collects():
+    machine = _machine(4)
+    san = CoherenceSanitizer.attach(machine, mode="collect")
+    var = machine.alloc("x", home_node=0)
+    san.note_rmw(0, var.addr, old=0, new=1, site="test")
+    san.note_rmw(1, var.addr, old=0, new=1, site="test")
+    assert not san.ok
+    assert san.violation_count == 1
+    assert "observed old value 0" in san.violations[0]
+
+
+def test_undelivered_put_flagged_at_finalize():
+    machine = _machine(4)
+    san = CoherenceSanitizer.attach(machine, mode="collect")
+    var = machine.alloc("x", home_node=0)
+    san.note_amu_op(0, var.addr, old=0, new=1, coherent=True, will_push=True)
+    san.finalize()
+    assert any("never reached the home write path" in v
+               for v in san.violations)
+
+
+def test_poke_keeps_oracle_in_sync():
+    machine = _machine(4)
+    san = CoherenceSanitizer.attach(machine, mode="raise")
+    var = machine.alloc("x", home_node=0)
+    assert san.oracle.value(var.addr) == 0  # lazy-seeded from backing
+    machine.poke(var.addr, 7)
+    assert san.oracle.value(var.addr) == 7
+
+
+# ----------------------------------------------------------------------
+# oracle unit behavior
+# ----------------------------------------------------------------------
+def test_oracle_lazy_seed_and_final_check():
+    machine = _machine(4)
+    oracle = MemoryOracle(machine)
+    var = machine.alloc("y", home_node=0)
+    machine.poke(var.addr, 5)
+    assert oracle.value(var.addr) == 5
+    assert oracle.rmw(var.addr, old=5, new=6) is None
+    assert oracle.rmw(var.addr, old=5, new=7) is not None  # stale old
+    machine.poke(var.addr, 7)
+    assert oracle.final_check() == []
+    machine.poke(var.addr, 99)
+    assert len(oracle.final_check()) == 1
