@@ -48,7 +48,7 @@ def register_handler(name: str, fn: Optional[Callable] = None):
     return _install(fn) if fn is not None else _install
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingCall:
     """Home-side state for one logical (requester, seq) call."""
 
@@ -60,6 +60,9 @@ class _PendingCall:
 
 class ActiveMessageEndpoint:
     """Per-node active-message engine."""
+
+    __slots__ = ("hub", "sim", "node", "config", "handler_cpu", "_calls",
+                 "invocations", "duplicates_dropped", "replies_resent")
 
     def __init__(self, hub: "Hub") -> None:
         self.hub = hub

@@ -12,7 +12,6 @@ word lives *here* until a put or an eviction writes it back.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Optional
 
@@ -21,20 +20,26 @@ from repro.mem.address import line_base, word_base
 
 @dataclass
 class AmuCacheEntry:
+    __slots__ = ("word_addr", "value", "last_use")
     word_addr: int
     value: int
-    last_use: int = 0
+    last_use: int
 
 
 class AmuCache:
     """N-word fully-associative LRU cache inside the AMU."""
+
+    __slots__ = ("capacity", "_entries", "_stamp", "hits", "misses",
+                 "evictions")
 
     def __init__(self, capacity_words: int = 8) -> None:
         if capacity_words < 1:
             raise ValueError("AMU cache needs at least one word")
         self.capacity = capacity_words
         self._entries: dict[int, AmuCacheEntry] = {}
-        self._stamp = itertools.count(1)
+        # plain int LRU clock (not itertools.count: snapshot/restore
+        # must capture and rewind it)
+        self._stamp = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -48,7 +53,8 @@ class AmuCache:
             self.misses += 1
             return None
         self.hits += 1
-        entry.last_use = next(self._stamp)
+        self._stamp += 1
+        entry.last_use = self._stamp
         return entry
 
     def peek(self, addr: int) -> Optional[int]:
@@ -71,8 +77,9 @@ class AmuCache:
             raise RuntimeError(f"word {word:#x} already cached")
         if self.full:
             raise RuntimeError("insert into full AMU cache; evict first")
+        self._stamp += 1
         entry = AmuCacheEntry(word_addr=word, value=value,
-                              last_use=next(self._stamp))
+                              last_use=self._stamp)
         self._entries[word] = entry
         return entry
 

@@ -28,6 +28,10 @@ if TYPE_CHECKING:  # pragma: no cover
 class ActiveMemoryUnit:
     """AMU instance inside one hub."""
 
+    __slots__ = ("hub", "sim", "node", "config", "cache", "queue",
+                 "ops_executed", "puts_issued", "test_matches",
+                 "puts_deferred", "_dispatcher")
+
     def __init__(self, hub: "Hub") -> None:
         self.hub = hub
         self.sim = hub.sim

@@ -8,7 +8,6 @@ evicted if I bring this in".
 
 from __future__ import annotations
 
-import itertools
 from collections import defaultdict
 from typing import Optional
 
@@ -28,6 +27,10 @@ class SetAssociativeCache:
     4
     """
 
+    __slots__ = ("config", "name", "n_sets", "line_bytes", "_sets", "_stamp",
+                 "hits", "misses", "evictions", "invalidations",
+                 "word_updates")
+
     def __init__(self, config: CacheConfig, name: str = "") -> None:
         self.config = config
         self.name = name
@@ -38,7 +41,9 @@ class SetAssociativeCache:
         # holds ~half a million sets and a sync-heavy workload touches a
         # handful, so eager allocation used to dominate Machine() setup.
         self._sets: dict[int, dict[int, CacheLine]] = defaultdict(dict)
-        self._stamp = itertools.count(1)
+        # plain int LRU clock (not itertools.count: snapshot/restore
+        # must capture and rewind it)
+        self._stamp = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -66,7 +71,8 @@ class SetAssociativeCache:
         if line is None or line.state is LineState.INVALID:
             return None
         if touch:
-            line.last_use = next(self._stamp)
+            self._stamp += 1
+            line.last_use = self._stamp
         return line
 
     def probe(self, addr: int) -> Optional[CacheLine]:
@@ -89,15 +95,17 @@ class SetAssociativeCache:
             line.state = state
             if words is not None:
                 line.words.update(words)
-            line.last_use = next(self._stamp)
+            self._stamp += 1
+            line.last_use = self._stamp
             return line, None
         victim = None
         if len(entry) >= self.config.ways:
             victim_addr = min(entry, key=lambda a: entry[a].last_use)
             victim = entry.pop(victim_addr)
             self.evictions += 1
+        self._stamp += 1
         line = CacheLine(line_addr=base, state=state,
-                         words=dict(words or {}), last_use=next(self._stamp))
+                         words=dict(words or {}), last_use=self._stamp)
         entry[base] = line
         return line, victim
 

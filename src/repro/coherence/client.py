@@ -61,6 +61,12 @@ def _fill_done_of(mshr: dict) -> Signal:
 class CacheController:
     """Cache hierarchy + coherence client for one CPU."""
 
+    __slots__ = ("cpu_id", "hub", "sim", "node", "config", "net", "l1",
+                 "l2", "_reservation", "_meta", "_pending_writebacks",
+                 "_inflight", "_rmw_locks", "sc_failures", "sc_successes",
+                 "spin_wakeups", "_backoff_rng", "wb_race_interventions",
+                 "_t_l1", "_t_l2", "_name_inv", "_name_intervene")
+
     def __init__(self, cpu_id: int, hub: "Hub") -> None:
         self.cpu_id = cpu_id
         self.hub = hub

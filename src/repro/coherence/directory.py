@@ -65,7 +65,7 @@ def iter_sharers(mask: int) -> Iterator[int]:
         mask ^= low
 
 
-@dataclass
+@dataclass(slots=True)
 class DirectoryEntry:
     """Directory record for a single line.
 
@@ -127,6 +127,8 @@ class DirectoryEntry:
 
 class Directory:
     """All directory entries homed at one node."""
+
+    __slots__ = ("node", "_entries")
 
     def __init__(self, node: int) -> None:
         self.node = node

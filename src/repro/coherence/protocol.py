@@ -51,6 +51,12 @@ class AckLatch:
 class HomeEngine:
     """Directory + memory controller protocol engine for one home node."""
 
+    __slots__ = ("hub", "sim", "node", "config", "net", "dram", "backing",
+                 "directory", "transactions", "get_s_served", "get_x_served",
+                 "writebacks_served", "invalidations_sent",
+                 "interventions_sent", "word_updates_pushed", "_t_dir",
+                 "_name_get_s", "_name_get_x", "_name_wb", "_name_readfill")
+
     def __init__(self, hub: "Hub") -> None:
         self.hub = hub
         self.sim = hub.sim
@@ -191,12 +197,13 @@ class HomeEngine:
                     fanout = inv_mask.bit_count()
                     self._count_invalidations(fanout)
                     latch = AckLatch(fanout)
-                    for cpu in iter_sharers(inv_mask):
-                        node = self.hub.machine.node_of_cpu(cpu)
-                        yield from self.hub.egress_send(Message(
-                            kind=MessageKind.INVALIDATE,
-                            src_node=self.node, dst_node=node,
-                            addr=msg.addr, dst_cpu=cpu, payload=latch))
+                    node_of = self.hub.machine.node_of_cpu
+                    wave = [Message(
+                        kind=MessageKind.INVALIDATE,
+                        src_node=self.node, dst_node=node_of(cpu),
+                        addr=msg.addr, dst_cpu=cpu, payload=latch)
+                        for cpu in iter_sharers(inv_mask)]
+                    yield self.hub.egress_wave(wave).wait()
                     yield latch.signal.wait()
                 yield from self._reply_data_x(msg, ent)
         finally:
@@ -362,29 +369,32 @@ class HomeEngine:
                     obs = self.hub.machine.obs
                     if obs is not None:
                         obs.update_fanout.observe(fanout)
-                multicast = self.config.network.multicast_updates
-                for i, cpu in enumerate(iter_sharers(ent.sharer_mask)):
-                    node = self.hub.machine.node_of_cpu(cpu)
-                    update = Message(
+                    node_of = self.hub.machine.node_of_cpu
+                    word = word_base(addr)
+                    updates = [Message(
                         kind=MessageKind.WORD_UPDATE, src_node=self.node,
-                        dst_node=node, addr=word_base(addr), value=value,
+                        dst_node=node_of(cpu), addr=word, value=value,
                         dst_cpu=cpu)
-                    if multicast and i > 0:
+                        for cpu in iter_sharers(ent.sharer_mask)]
+                    if self.config.network.multicast_updates:
                         # hardware multicast (footnote 2): the routers
-                        # replicate the packet — one injection slot total
-                        self.net.send(update)
+                        # replicate the packet — one injection slot
+                        # total, batched lazy delivery for the replicas
+                        yield self.hub.egress_wave(updates[:1]).wait()
+                        self.net.send_multicast(updates[1:])
                     else:
-                        yield from self.hub.egress_send(update)
+                        yield self.hub.egress_wave(updates).wait()
             elif ent.sharer_mask:
                 fanout = ent.sharer_mask.bit_count()
                 self._count_invalidations(fanout)
                 latch = AckLatch(fanout)
-                for cpu in iter_sharers(ent.sharer_mask):
-                    node = self.hub.machine.node_of_cpu(cpu)
-                    yield from self.hub.egress_send(Message(
-                        kind=MessageKind.INVALIDATE, src_node=self.node,
-                        dst_node=node, addr=addr, dst_cpu=cpu,
-                        payload=latch))
+                node_of = self.hub.machine.node_of_cpu
+                wave = [Message(
+                    kind=MessageKind.INVALIDATE, src_node=self.node,
+                    dst_node=node_of(cpu), addr=addr, dst_cpu=cpu,
+                    payload=latch)
+                    for cpu in iter_sharers(ent.sharer_mask)]
+                yield self.hub.egress_wave(wave).wait()
                 yield latch.signal.wait()
                 ent.sharer_mask = 0
                 if not ent.amu_sharer:

@@ -35,11 +35,98 @@ from repro.mem.dram import Dram
 from repro.network.fabric import Network
 from repro.network.message import Message, MessageKind
 from repro.sim.kernel import Simulator
-from repro.sim.primitives import Resource, Timeout, all_of
+from repro.sim.primitives import Resource, Signal, Timeout, all_of
+
+
+class _EgressWave:
+    """One fan-out packet train through an egress port, one kernel event
+    per packet.
+
+    Behaviour-equivalent to a coroutine injecting the train with
+    sequential :meth:`Hub.egress_send` calls — same grant cycles, same
+    FIFO fairness with queued processes (after each packet a queued
+    waiter takes the port before the wave's next packet), same injection
+    times, same resource accounting — but the per-packet *acquire-grant*
+    and *occupancy-timeout* generator resumptions collapse into a single
+    expiry callback, which is what makes N-way invalidation waves and
+    word-update pushes O(1) kernel events per packet with no generator
+    frames at all.  ``done`` fires at the last packet's injection cycle;
+    callers must wait on it before proceeding (the legacy coroutine
+    could not proceed before its last injection either).
+
+    The wave joins the egress :class:`Resource`'s FIFO queue as a
+    duck-typed process: ``Resource.release`` resumes whatever it pops
+    via ``._rn``, so an object exposing that attribute can stand in
+    line with real processes.
+    """
+
+    __slots__ = ("hub", "sim", "res", "messages", "occ", "index", "done",
+                 "_rn", "_expiry")
+
+    def __init__(self, hub: "Hub", messages: list[Message], occ: int,
+                 done: Signal) -> None:
+        self.hub = hub
+        self.sim = hub.sim
+        self.res = hub._egress
+        self.messages = messages
+        self.occ = occ
+        self.index = 0
+        self.done = done
+        self._rn = (self._granted, ())
+        self._expiry = (self._expire, ())
+
+    def start(self) -> None:
+        res = self.res
+        res._sim = self.sim
+        if res._busy:
+            res._queue.append(self)
+        else:
+            res._busy = True
+            res.grants += 1
+            res._acquired_at = self.sim.now
+            self.sim._push_future(self.sim.now + self.occ, self._expiry)
+
+    def _granted(self) -> None:
+        # Resource.release already did the grant bookkeeping for us
+        self.sim._push_future(self.sim.now + self.occ, self._expiry)
+
+    def _expire(self) -> None:
+        sim, res = self.sim, self.res
+        now = sim.now
+        res.busy_cycles += now - res._acquired_at
+        msg = self.messages[self.index]
+        self.index += 1
+        more = self.index < len(self.messages)
+        if res._queue:
+            # grant the port to the queued process first; with packets
+            # left, rejoin at the tail (exactly where a re-acquiring
+            # coroutine would land)
+            waiter = res._queue.popleft()
+            res.grants += 1
+            res._acquired_at = now
+            sim._ring.append(waiter._rn)
+            if more:
+                res._queue.append(self)
+        elif more:
+            # immediate self re-grant (legacy: release, then re-acquire
+            # in the same cycle with nobody waiting)
+            res.grants += 1
+            res._acquired_at = now
+            sim._push_future(now + self.occ, self._expiry)
+        else:
+            res._busy = False
+        self.hub.net.send(msg)
+        if not more:
+            self.done.fire(sim)
 
 
 class Hub:
     """One node's hub chip (Figure 2): MC, directory, NI, AMU, AM endpoint."""
+
+    __slots__ = ("machine", "node", "sim", "config", "net", "backing",
+                 "dram", "_egress", "home_engine", "amu", "actmsg",
+                 "controllers", "_t_egress_update", "_t_egress_ctrl",
+                 "_t_egress_line", "_routes")
 
     def __init__(self, machine: "Machine", node: int) -> None:
         self.machine = machine
@@ -102,6 +189,27 @@ class Hub:
         finally:
             self._egress.release()
         self.net.send(msg)
+
+    def egress_wave(self, messages: list[Message]) -> Signal:
+        """Inject a same-kind packet train through this hub's egress port.
+
+        Cycle-equivalent to injecting each packet with
+        :meth:`egress_send` back to back, at one kernel event per packet
+        instead of three (see :class:`_EgressWave`).  Returns a signal
+        that fires at the last packet's injection; the caller must
+        ``yield`` its ``wait()`` before touching protocol state the wave
+        publishes — matching where the sequential coroutine resumed.
+        """
+        kind = messages[0].kind
+        if kind is MessageKind.WORD_UPDATE:
+            occ = self._t_egress_update.delay
+        elif kind.carries_line:
+            occ = self._t_egress_line.delay
+        else:
+            occ = self._t_egress_ctrl.delay
+        done = Signal(name=f"egress-wave[{self.node}]")
+        _EgressWave(self, messages, occ, done).start()
+        return done
 
     # ------------------------------------------------------------------
     def receive(self, msg: Message) -> None:
@@ -225,6 +333,33 @@ class Machine:
             return results
         return self.sim.run_process(_main(), name="run_threads",
                                     max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # snapshot / warm-start
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        """Checkpoint all mutable simulation state at quiescence.
+
+        The returned :class:`~repro.core.snapshot.MachineSnapshot` is
+        bound to this machine; :meth:`restore` rewinds to it in place.
+        Requires a fully drained event queue and no attached sanitizer
+        (see :mod:`repro.core.snapshot` for the full contract).
+        """
+        from repro.core.snapshot import MachineSnapshot
+        return MachineSnapshot(self)
+
+    def restore(self, snap) -> None:
+        """Rewind this machine to ``snap`` (in place, at quiescence).
+
+        A restored machine re-runs cycle-for-cycle identically to a
+        fresh build replayed from the same point — the determinism
+        parity suite pins this against golden fingerprints.
+        """
+        if snap.machine is not self:
+            raise ValueError(
+                "snapshot belongs to a different machine instance; "
+                "restore is in-place (live coroutines cannot be copied)")
+        snap.restore()
 
     def check_coherence_invariants(self) -> None:
         """Directory/cache cross-checks; used liberally by the test suite."""

@@ -29,6 +29,10 @@ if TYPE_CHECKING:  # pragma: no cover
 class Processor:
     """One simulated CPU."""
 
+    __slots__ = ("cpu_id", "hub", "node", "sim", "config", "machine",
+                 "controller", "mao_port", "_am_seq", "amo_ops",
+                 "_t_overhead")
+
     def __init__(self, cpu_id: int, hub: "Hub") -> None:
         self.cpu_id = cpu_id
         self.hub = hub

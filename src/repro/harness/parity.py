@@ -42,10 +42,17 @@ def _traffic_dict(traffic: TrafficStats) -> dict:
 
 
 def barrier_fingerprint(mechanism: Mechanism, n_processors: int,
-                        episodes: int = BARRIER_EPISODES) -> dict:
-    """Run one barrier configuration and reduce it to its fingerprint."""
+                        episodes: int = BARRIER_EPISODES,
+                        warm_cache=None) -> dict:
+    """Run one barrier configuration and reduce it to its fingerprint.
+
+    Passing a :class:`repro.workloads.warm.WarmCache` routes the run
+    through the snapshot/warm-start path; the fingerprint must come out
+    identical either way — that equivalence *is* the parity claim the
+    snapshot layer makes, and the golden suite pins it.
+    """
     res = run_barrier_workload(n_processors, mechanism, episodes=episodes,
-                               warmup_episodes=1)
+                               warmup_episodes=1, warm_cache=warm_cache)
     return {
         "workload": "barrier",
         "mechanism": mechanism.value,
@@ -57,11 +64,12 @@ def barrier_fingerprint(mechanism: Mechanism, n_processors: int,
 
 
 def lock_fingerprint(mechanism: Mechanism, n_processors: int,
-                     acquisitions: int = LOCK_ACQUISITIONS) -> dict:
+                     acquisitions: int = LOCK_ACQUISITIONS,
+                     warm_cache=None) -> dict:
     """Run one ticket-lock configuration and reduce it to a fingerprint."""
     res = run_lock_workload(n_processors, mechanism,
                             acquisitions_per_cpu=acquisitions,
-                            warmup_per_cpu=1)
+                            warmup_per_cpu=1, warm_cache=warm_cache)
     return {
         "workload": "lock",
         "mechanism": mechanism.value,
@@ -73,17 +81,52 @@ def lock_fingerprint(mechanism: Mechanism, n_processors: int,
 
 
 def capture_all(n_processors: int = 32,
-                mechanisms: Optional[list[Mechanism]] = None) -> dict:
-    """Fingerprint every mechanism (barrier + lock) at one machine size."""
+                mechanisms: Optional[list[Mechanism]] = None,
+                warm_cache=None, barrier_only: bool = False) -> dict:
+    """Fingerprint every mechanism (barrier + lock) at one machine size.
+
+    With a ``warm_cache`` every run goes through snapshot warm-start;
+    the document must be byte-identical to a cold capture (verified by
+    ``tools/capture_parity.py --verify --warm``).  ``barrier_only``
+    skips the lock fingerprints — on very large machines lock runs
+    serialize P acquisitions and dominate capture time.
+    """
     mechs = mechanisms or list(Mechanism)
-    return {
+    fingerprints = {}
+    for m in mechs:
+        fp = {"barrier": barrier_fingerprint(m, n_processors,
+                                             warm_cache=warm_cache)}
+        if not barrier_only:
+            fp["lock"] = lock_fingerprint(m, n_processors,
+                                          warm_cache=warm_cache)
+        fingerprints[m.value] = fp
+    doc = {
         "n_processors": n_processors,
         "barrier_episodes": BARRIER_EPISODES,
         "lock_acquisitions": LOCK_ACQUISITIONS,
-        "fingerprints": {
-            m.value: {
-                "barrier": barrier_fingerprint(m, n_processors),
-                "lock": lock_fingerprint(m, n_processors),
-            } for m in mechs
-        },
+        "fingerprints": fingerprints,
     }
+    if barrier_only:
+        doc["barrier_only"] = True
+    return doc
+
+
+def diff_documents(golden: dict, got: dict) -> list[str]:
+    """Human-readable drift report between two parity documents."""
+    lines = []
+    gf = golden.get("fingerprints", {})
+    of = got.get("fingerprints", {})
+    for mech in sorted(set(gf) | set(of)):
+        for workload in ("barrier", "lock"):
+            g = gf.get(mech, {}).get(workload)
+            o = of.get(mech, {}).get(workload)
+            if g == o:
+                continue
+            if g is None or o is None:
+                lines.append(f"{mech}/{workload}: present in only one side")
+                continue
+            for key in sorted(set(g) | set(o)):
+                if g.get(key) != o.get(key):
+                    lines.append(f"{mech}/{workload}.{key}: "
+                                 f"golden={g.get(key)!r} got={o.get(key)!r}")
+    return lines

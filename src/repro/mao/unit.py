@@ -23,6 +23,8 @@ if TYPE_CHECKING:  # pragma: no cover
 class MaoPort:
     """Issues memory-side atomic operations from one CPU."""
 
+    __slots__ = ("cpu_id", "hub", "sim", "ops_issued")
+
     def __init__(self, cpu_id: int, hub: "Hub") -> None:
         self.cpu_id = cpu_id
         self.hub = hub

@@ -20,6 +20,11 @@ from repro.sim.primitives import Resource, Timeout
 class Dram:
     """One home node's DRAM backend."""
 
+    __slots__ = ("sim", "node", "config", "_channel", "line_accesses",
+                 "word_accesses", "_t_line_occ", "_t_word_occ",
+                 "_line_residual", "_word_residual", "_t_line_res",
+                 "_t_word_res")
+
     def __init__(self, sim: Simulator, node: int,
                  config: DramConfig | None = None) -> None:
         self.sim = sim

@@ -23,7 +23,7 @@ from typing import Callable, Optional
 from repro.config.parameters import NetworkConfig
 from repro.network.message import Message
 from repro.network.stats import TrafficStats
-from repro.network.topology import FatTreeTopology
+from repro.network.topology import shared_topology
 from repro.sim.kernel import Simulator
 
 
@@ -34,7 +34,9 @@ class Network:
                  config: Optional[NetworkConfig] = None) -> None:
         self.sim = sim
         self.config = config or NetworkConfig()
-        self.topology = FatTreeTopology(n_nodes, radix=self.config.router_radix)
+        # interned: immutable distance tables shared across machines of
+        # the same shape (see repro.network.topology.shared_topology)
+        self.topology = shared_topology(n_nodes, radix=self.config.router_radix)
         self.stats = TrafficStats()
         # node -> delivery handler; dense, so a list beats a dict probe
         self._handlers: list[Optional[Callable[[Message], None]]] = \
@@ -166,6 +168,52 @@ class Network:
         self._downlink_free_at[msg.dst_node] = down_start + transfer
         self.link_busy_cycles += 2 * transfer
         self._schedule_delivery(msg, down_start + transfer)
+
+    def send_multicast(self, messages: list[Message]) -> None:
+        """Inject a router-replicated packet train (hardware multicast).
+
+        Statistics and send hooks observe every logical packet exactly
+        as with per-packet :meth:`send`, but delivery is batched: one
+        kernel event per *distinct arrival time* carrying the packets
+        due then, expanded lazily at delivery in injection order.  On a
+        fat tree the distinct hop counts grow with the tree's depth —
+        O(log P) — so a P-way word-update fan-out stops costing O(P)
+        host-side events.  Contention and fault-injection modes need
+        per-packet reservations/delays and fall back to :meth:`send`.
+        """
+        config = self.config
+        if (config.model_router_contention or config.model_link_contention
+                or self.delay_injector is not None):
+            for msg in messages:
+                self.send(msg)
+            return
+        sim = self.sim
+        now = sim.now
+        record = self.stats.record
+        hooks = self._send_hooks
+        groups: dict[int, list[Message]] = {}
+        for msg in messages:
+            hops, base_latency = self._route(msg.src_node, msg.dst_node)
+            record(now, msg, hops)
+            if hooks:
+                for hook in hooks:
+                    hook(msg, hops)
+            if base_latency:
+                group = groups.get(base_latency)
+                if group is None:
+                    # the event captures the list; packets grouped later
+                    # this cycle ride along for free
+                    groups[base_latency] = group = []
+                    sim._push_future(now + base_latency,
+                                     (self._deliver_group, (group,)))
+                group.append(msg)
+            else:
+                sim._ring.append((self._deliver, (msg,)))
+
+    def _deliver_group(self, messages: list[Message]) -> None:
+        deliver = self._deliver
+        for msg in messages:
+            deliver(msg)
 
     def _reserve_path(self, msg: Message) -> int:
         """Store-and-forward reservation of every link on the path.

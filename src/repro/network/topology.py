@@ -44,6 +44,9 @@ class FatTreeTopology:
     6
     """
 
+    __slots__ = ("n_nodes", "radix", "routers_per_level", "_hops",
+                 "_hops_rows")
+
     def __init__(self, n_nodes: int, radix: int = 8) -> None:
         if n_nodes < 1:
             raise ValueError("n_nodes must be positive")
@@ -159,3 +162,20 @@ class FatTreeTopology:
             links.append(("down", lvl, self.router_of(dst, lvl)))
         links.append(("node-down", dst))
         return links
+
+
+#: interned topologies, keyed by (n_nodes, radix).  A 512-node distance
+#: matrix plus its row-list mirror weighs megabytes; every Network for a
+#: given machine shape can share one immutable instance (nothing mutates
+#: a topology after construction), so sweeping many configurations or
+#: pooling machines pays the build cost once per shape per process.
+_SHARED: dict[tuple[int, int], FatTreeTopology] = {}
+
+
+def shared_topology(n_nodes: int, radix: int = 8) -> FatTreeTopology:
+    """Get-or-build the interned topology for ``(n_nodes, radix)``."""
+    key = (n_nodes, radix)
+    topo = _SHARED.get(key)
+    if topo is None:
+        topo = _SHARED[key] = FatTreeTopology(n_nodes, radix)
+    return topo

@@ -17,6 +17,7 @@ runnable in every worker.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
@@ -25,11 +26,41 @@ from repro.config.mechanism import Mechanism
 
 #: kind name -> driver callable taking the spec's kwargs
 _KIND_REGISTRY: dict[str, Callable[..., Any]] = {}
+#: kinds whose driver accepts ``warm_cache`` (snapshot warm-start)
+_WARMABLE_KINDS: set[str] = set()
 
 
-def register_kind(name: str, fn: Callable[..., Any]) -> None:
-    """Register (or replace) the driver function for a run kind."""
+def register_kind(name: str, fn: Callable[..., Any],
+                  warmable: bool = False) -> None:
+    """Register (or replace) the driver function for a run kind.
+
+    ``warmable`` marks drivers accepting a ``warm_cache`` keyword:
+    :func:`execute_spec` then routes them through the process-local
+    snapshot warm-start pool, so a sweep revisiting a machine shape
+    restores from a checkpoint instead of rebuilding and re-warming.
+    The warm path is fingerprint-identical to a cold run (pinned by the
+    determinism-parity suite), so cached results are unaffected.
+    """
     _KIND_REGISTRY[name] = fn
+    if warmable:
+        _WARMABLE_KINDS.add(name)
+    else:
+        _WARMABLE_KINDS.discard(name)
+
+
+#: lazily-built per-process warm cache (one per executor worker); set
+#: REPRO_WARM_START=0 to force every run to build its machine fresh
+_WARM_CACHE: Any = None
+
+
+def _process_warm_cache():
+    global _WARM_CACHE
+    if os.environ.get("REPRO_WARM_START", "1") == "0":
+        return None
+    if _WARM_CACHE is None:
+        from repro.workloads.warm import WarmCache
+        _WARM_CACHE = WarmCache()
+    return _WARM_CACHE
 
 
 def registered_kinds() -> tuple[str, ...]:
@@ -167,8 +198,13 @@ def execute_spec(spec: RunSpec) -> RunRecord:
         raise KeyError(
             f"unknown run kind {spec.kind!r}; registered: "
             f"{registered_kinds()}") from None
+    kwargs = spec.kwargs
+    if spec.kind in _WARMABLE_KINDS:
+        warm = _process_warm_cache()
+        if warm is not None:
+            kwargs["warm_cache"] = warm
     t0 = time.perf_counter()
-    result = fn(**spec.kwargs)
+    result = fn(**kwargs)
     wall = time.perf_counter() - t0
     if isinstance(result, dict):
         sim_events = result.get("events_dispatched", 0)
@@ -183,8 +219,8 @@ def _register_builtin_kinds() -> None:
     from repro.check.fuzz import run_fuzz_schedule
     from repro.workloads.barrier import run_barrier_workload
     from repro.workloads.locks import run_lock_workload
-    register_kind("barrier", run_barrier_workload)
-    register_kind("lock", run_lock_workload)
+    register_kind("barrier", run_barrier_workload, warmable=True)
+    register_kind("lock", run_lock_workload, warmable=True)
     register_kind("fuzz", run_fuzz_schedule)
 
 

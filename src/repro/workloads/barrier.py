@@ -66,7 +66,8 @@ def run_barrier_workload(n_processors: int, mechanism: Mechanism,
                          config: Optional[SystemConfig] = None,
                          home_node: int = 0,
                          metrics: bool = False,
-                         metrics_interval: int = 0) -> BarrierResult:
+                         metrics_interval: int = 0,
+                         warm_cache=None) -> BarrierResult:
     """Measure one (mechanism, P[, branching]) barrier configuration.
 
     ``tree_branching`` selects the two-level combining tree;
@@ -75,23 +76,38 @@ def run_barrier_workload(n_processors: int, mechanism: Mechanism,
     (:mod:`repro.obs`) and a tracer, returning a metrics snapshot with a
     per-episode critical-path breakdown on the result;
     ``metrics_interval`` > 0 also samples gauges on that cycle period.
+    ``warm_cache`` (a :class:`repro.workloads.warm.WarmCache`) amortizes
+    machine construction and warm-up across calls: the first call for a
+    shape builds, warms and checkpoints; later calls restore and replay
+    the measured episodes only, with identical cycles and event counts.
+    Metrics runs bypass the cache (observers hold per-run state).
     """
     cfg = config or SystemConfig.table1(n_processors)
     if cfg.n_processors != n_processors:
         cfg = cfg.replace(n_processors=n_processors)
-    machine = Machine(cfg)
+    warm = warm_cache is not None and not metrics
+    key = ("barrier", cfg, mechanism, tree_branching, naive, home_node,
+           warmup_episodes) if warm else None
+    ctx = warm_cache.lookup(key) if warm else None
     obs = tracer = None
-    if metrics:
-        obs = MachineMetrics.attach(machine,
-                                    sample_interval=metrics_interval)
-        tracer = TraceRecorder.attach(machine, capture_messages=False)
-    if tree_branching is not None:
-        barrier = CombiningTreeBarrier(machine, mechanism,
-                                       branching=tree_branching,
-                                       root_home=home_node)
+    if ctx is not None:
+        machine = ctx.machine
+        barrier = ctx.sync
+        machine.restore(ctx.snapshot)
+        barrier.load_state(ctx.sync_state)
     else:
-        barrier = CentralizedBarrier(machine, mechanism, naive=naive,
-                                     home_node=home_node)
+        machine = warm_cache.pool.acquire(cfg) if warm else Machine(cfg)
+        if metrics:
+            obs = MachineMetrics.attach(machine,
+                                        sample_interval=metrics_interval)
+            tracer = TraceRecorder.attach(machine, capture_messages=False)
+        if tree_branching is not None:
+            barrier = CombiningTreeBarrier(machine, mechanism,
+                                           branching=tree_branching,
+                                           root_home=home_node)
+        else:
+            barrier = CentralizedBarrier(machine, mechanism, naive=naive,
+                                         home_node=home_node)
 
     def make_thread(count: int, measured: bool = False):
         def thread(proc):
@@ -103,8 +119,12 @@ def run_barrier_workload(n_processors: int, mechanism: Mechanism,
                                     t0, proc.sim.now)
         return thread
 
-    if warmup_episodes:
-        machine.run_threads(make_thread(warmup_episodes))
+    if ctx is None:
+        if warmup_episodes:
+            machine.run_threads(make_thread(warmup_episodes))
+        if warm and hasattr(barrier, "save_state"):
+            warm_cache.store(key, machine, barrier, machine.snapshot(),
+                             barrier.save_state())
     start = machine.last_completion_time
     before = machine.net.stats.snapshot()
     if obs is not None and obs.sampler is not None:

@@ -76,30 +76,45 @@ def run_lock_workload(n_processors: int, mechanism: Mechanism,
                       config: Optional[SystemConfig] = None,
                       home_node: int = 0,
                       metrics: bool = False,
-                      metrics_interval: int = 0) -> LockResult:
+                      metrics_interval: int = 0,
+                      warm_cache=None) -> LockResult:
     """Measure one (mechanism, P, lock algorithm) configuration.
 
     ``metrics`` attaches the observability layer (:mod:`repro.obs`); the
     returned result then carries a metrics snapshot whose critical-path
     section attributes each acquire→release episode's latency.
+    ``warm_cache`` (a :class:`repro.workloads.warm.WarmCache`) amortizes
+    machine construction and warm-up across calls; see the barrier
+    driver.  Lock types without ``save_state`` support still share
+    pooled machines but re-run their warm-up each call.
     """
     cfg = config or SystemConfig.table1(n_processors)
     if cfg.n_processors != n_processors:
         cfg = cfg.replace(n_processors=n_processors)
-    machine = Machine(cfg)
+    warm = warm_cache is not None and not metrics
+    key = ("lock", cfg, mechanism, lock_type, home_node, warmup_per_cpu,
+           cs_cycles, think_cycles) if warm else None
+    ctx = warm_cache.lookup(key) if warm else None
     obs = tracer = None
-    if metrics:
-        obs = MachineMetrics.attach(machine,
-                                    sample_interval=metrics_interval)
-        tracer = TraceRecorder.attach(machine, capture_messages=False)
-    if lock_type == "ticket":
-        lock = TicketLock(machine, mechanism, home_node=home_node)
-    elif lock_type == "array":
-        lock = ArrayQueueLock(machine, mechanism, home_node=home_node)
-    elif lock_type == "mcs":
-        lock = McsLock(machine, mechanism, home_node=home_node)
+    if ctx is not None:
+        machine = ctx.machine
+        lock = ctx.sync
+        machine.restore(ctx.snapshot)
+        lock.load_state(ctx.sync_state)
     else:
-        raise ValueError(f"unknown lock type {lock_type!r}")
+        machine = warm_cache.pool.acquire(cfg) if warm else Machine(cfg)
+        if metrics:
+            obs = MachineMetrics.attach(machine,
+                                        sample_interval=metrics_interval)
+            tracer = TraceRecorder.attach(machine, capture_messages=False)
+        if lock_type == "ticket":
+            lock = TicketLock(machine, mechanism, home_node=home_node)
+        elif lock_type == "array":
+            lock = ArrayQueueLock(machine, mechanism, home_node=home_node)
+        elif lock_type == "mcs":
+            lock = McsLock(machine, mechanism, home_node=home_node)
+        else:
+            raise ValueError(f"unknown lock type {lock_type!r}")
 
     occupancy = {"n": 0}
     acquire_latency = LatencyStats(name=f"{lock_type}-acquire")
@@ -122,8 +137,12 @@ def run_lock_workload(n_processors: int, mechanism: Mechanism,
                 yield from proc.delay(think_cycles)
         return thread
 
-    if warmup_per_cpu:
-        machine.run_threads(make_thread(warmup_per_cpu, False))
+    if ctx is None:
+        if warmup_per_cpu:
+            machine.run_threads(make_thread(warmup_per_cpu, False))
+        if warm and hasattr(lock, "save_state"):
+            warm_cache.store(key, machine, lock, machine.snapshot(),
+                             lock.save_state())
     start = machine.last_completion_time
     before = machine.net.stats.snapshot()
     if obs is not None and obs.sampler is not None:

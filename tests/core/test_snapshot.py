@@ -1,0 +1,218 @@
+"""Snapshot/warm-start tests: restored machines replay exactly.
+
+The contract under test (see :mod:`repro.core.snapshot`): a machine
+restored from a checkpoint re-runs the same workload cycle-for-cycle,
+event-for-event, and trace-for-trace identically to a freshly built
+machine — and the coherence sanitizer finds a restored machine just as
+clean as a fresh one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.sanitizer import CoherenceSanitizer
+from repro.config.mechanism import Mechanism
+from repro.config.parameters import SystemConfig
+from repro.core.machine import Machine
+from repro.core.snapshot import MachinePool, SnapshotError
+from repro.sync.barrier import CentralizedBarrier
+from repro.sync.ticket_lock import TicketLock
+from repro.trace.recorder import TraceRecorder
+from repro.workloads.barrier import run_barrier_workload
+from repro.workloads.locks import run_lock_workload
+from repro.workloads.warm import WarmCache
+
+MECHS = list(Mechanism)
+IDS = [m.value for m in MECHS]
+
+
+def _barrier_threads(barrier, episodes):
+    def thread(proc):
+        for _ in range(episodes):
+            yield from barrier.wait(proc)
+    return thread
+
+
+def _fingerprint(machine):
+    return {
+        "cycles": machine.last_completion_time,
+        "events": machine.sim.events_dispatched,
+        "messages": dict(machine.net.stats.messages),
+        "local": dict(machine.net.stats.local_messages),
+        "memory_reads": machine.backing.reads,
+        "memory_writes": machine.backing.writes,
+    }
+
+
+# ----------------------------------------------------------------------
+# round-trip identity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mech", MECHS, ids=IDS)
+def test_restore_replays_barrier_identically(mech):
+    """Pristine-restored runs equal fresh runs for every mechanism."""
+    cfg = SystemConfig.table1(32)
+    fresh = Machine(cfg)
+    barrier = CentralizedBarrier(fresh, mech)
+    fresh.run_threads(_barrier_threads(barrier, 3))
+    reference = _fingerprint(fresh)
+    fresh.check_coherence_invariants()
+
+    machine = Machine(cfg)
+    machine.sim.run()  # park AMU dispatchers so the queue is drained
+    snap = machine.snapshot()
+    for _ in range(2):
+        machine.restore(snap)
+        barrier = CentralizedBarrier(machine, mech)
+        machine.run_threads(_barrier_threads(barrier, 3))
+        assert _fingerprint(machine) == reference
+        machine.check_coherence_invariants()
+
+
+@pytest.mark.parametrize("mech", [Mechanism.AMO, Mechanism.LLSC,
+                                  Mechanism.MAO],
+                         ids=["amo", "llsc", "mao"])
+def test_restore_replays_trace_identically(mech):
+    """Span/instant traces of a restored replay match the first run."""
+    machine = Machine(SystemConfig.table1(32))
+    tracer = TraceRecorder.attach(machine, capture_messages=True)
+    machine.sim.run()
+    snap = machine.snapshot()
+
+    def traced_run():
+        barrier = CentralizedBarrier(machine, mech)
+        machine.run_threads(_barrier_threads(barrier, 2))
+        spans = [(s.track, s.name, s.start, s.end, s.args)
+                 for s in tracer.spans]
+        instants = [(i.track, i.name, i.time) for i in tracer.instants]
+        return spans, instants, _fingerprint(machine)
+
+    first = traced_run()
+    tracer.spans.clear()
+    tracer.instants.clear()
+    machine.restore(snap)
+    assert traced_run() == first
+
+
+@pytest.mark.parametrize("mech", MECHS, ids=IDS)
+def test_warm_cache_matches_fresh_driver_runs(mech):
+    """Workload drivers give identical results warm and cold."""
+    warm = WarmCache()
+    for run in (
+        lambda wc: run_barrier_workload(32, mech, episodes=2,
+                                        warmup_episodes=1, warm_cache=wc),
+        lambda wc: run_lock_workload(32, mech, acquisitions_per_cpu=1,
+                                     warmup_per_cpu=1, warm_cache=wc),
+    ):
+        cold = run(None)
+        first, replay = run(warm), run(warm)
+        for got in (first, replay):
+            assert got.total_cycles == cold.total_cycles
+            assert got.events_dispatched == cold.events_dispatched
+            assert got.traffic.total_messages == cold.traffic.total_messages
+            assert got.traffic.total_bytes == cold.traffic.total_bytes
+    assert warm.hits == 2 and warm.misses == 2
+    assert len(warm.pool) == 1  # barrier and lock share the pooled machine
+
+
+def test_warm_context_replays_after_other_mechanism_ran():
+    """Restoring a context after a *different* workload used the pooled
+    machine must still replay exactly.
+
+    Regression: the restore path used to assume every line in the
+    checkpoint still had a live directory/meta entry, which holds when a
+    machine only moves forward but not when the pool rewound it and a
+    different mechanism touched a different set of lines in between.
+    """
+    warm = WarmCache()
+    run_a = lambda wc: run_barrier_workload(  # noqa: E731
+        8, Mechanism.LLSC, episodes=2, warmup_episodes=1, warm_cache=wc)
+    run_b = lambda wc: run_barrier_workload(  # noqa: E731
+        8, Mechanism.AMO, episodes=2, warmup_episodes=1, warm_cache=wc)
+    cold = run_a(None)
+    first = run_a(warm)       # miss: build + warm + checkpoint
+    run_b(warm)               # different mechanism reuses pooled machine
+    replay = run_a(warm)      # hit: restore across the other run's state
+    for got in (first, replay):
+        assert got.total_cycles == cold.total_cycles
+        assert got.events_dispatched == cold.events_dispatched
+        assert got.traffic.total_messages == cold.traffic.total_messages
+    assert warm.hits == 1 and warm.misses == 2
+
+
+def test_sanitizer_clean_on_restored_machine():
+    """Arming the sanitizer on a restored machine reports no violations."""
+    cfg = SystemConfig.table1(32)
+    machine = Machine(cfg)
+    machine.sim.run()
+    snap = machine.snapshot()
+
+    barrier = CentralizedBarrier(machine, Mechanism.AMO)
+    machine.run_threads(_barrier_threads(barrier, 2))
+
+    machine.restore(snap)
+    san = CoherenceSanitizer.attach(machine, mode="raise")
+    lock = TicketLock(machine, Mechanism.AMO)
+
+    def thread(proc):
+        yield from lock.acquire(proc)
+        yield from proc.delay(50)
+        yield from lock.release(proc)
+
+    machine.run_threads(thread)
+    san.finalize()
+    assert san.ok
+    san.detach()
+
+
+# ----------------------------------------------------------------------
+# machine pool
+# ----------------------------------------------------------------------
+def test_pool_memoizes_per_config():
+    pool = MachinePool()
+    cfg32 = SystemConfig.table1(32)
+    m1 = pool.acquire(cfg32)
+    m2 = pool.acquire(cfg32)
+    assert m1 is m2
+    m3 = pool.acquire(SystemConfig.table1(64))
+    assert m3 is not m1
+    assert len(pool) == 2
+
+
+def test_pool_acquire_rolls_back_address_space():
+    pool = MachinePool()
+    cfg = SystemConfig.table1(8)
+    machine = pool.acquire(cfg)
+    a = machine.alloc("warmtest.a", 0)
+    machine = pool.acquire(cfg)
+    b = machine.alloc("warmtest.b", 0)
+    assert a.addr == b.addr  # same pristine allocation point
+
+
+# ----------------------------------------------------------------------
+# error contract
+# ----------------------------------------------------------------------
+def test_snapshot_refuses_pending_events():
+    machine = Machine(SystemConfig.table1(8))
+    # AMU dispatcher start events are still queued right after build
+    with pytest.raises(SnapshotError, match="drained"):
+        machine.snapshot()
+
+
+def test_snapshot_refuses_attached_sanitizer():
+    machine = Machine(SystemConfig.table1(8))
+    machine.sim.run()
+    san = CoherenceSanitizer.attach(machine)
+    with pytest.raises(SnapshotError, match="sanitizer"):
+        machine.snapshot()
+    san.detach()
+    machine.snapshot()
+
+
+def test_restore_refuses_foreign_machine():
+    cfg = SystemConfig.table1(8)
+    machine, other = Machine(cfg), Machine(cfg)
+    machine.sim.run()
+    snap = machine.snapshot()
+    with pytest.raises(ValueError, match="different machine"):
+        other.restore(snap)

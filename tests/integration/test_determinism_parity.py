@@ -13,9 +13,15 @@ Three layers of protection for the invariant that kernel/protocol
    process produces byte-identical fingerprints *and* identical trace
    spans, so there is no hidden dependence on iteration order of sets,
    object ids, or allocation timing.
-3. **256-CPU smoke** (``slow``) — one barrier episode per mechanism at
-   the paper's full machine size completes and passes the coherence
-   cross-checks.
+3. **Snapshot-restored parity** — the same fingerprints produced through
+   the warm-start path (machine restored from a
+   :class:`repro.core.snapshot.MachineSnapshot` instead of built fresh)
+   must match the goldens byte-for-byte; the second call per
+   configuration replays from the post-warmup snapshot and is the run
+   that actually exercises restore.
+4. **Large-machine parity** (``slow``) — the full golden suite repeated
+   at 512 CPUs against ``golden/parity_512.json`` (beyond the paper's
+   256), plus a 256-CPU barrier smoke per mechanism.
 """
 
 from __future__ import annotations
@@ -32,9 +38,12 @@ from repro.harness.parity import barrier_fingerprint, lock_fingerprint
 from repro.sync.barrier import CentralizedBarrier
 from repro.trace.recorder import TraceRecorder
 from repro.workloads.barrier import run_barrier_workload
+from repro.workloads.warm import WarmCache
 
 GOLDEN = json.loads(
     (Path(__file__).parent / "golden" / "parity_32.json").read_text())
+GOLDEN_512 = json.loads(
+    (Path(__file__).parent / "golden" / "parity_512.json").read_text())
 
 MECHS = list(Mechanism)
 
@@ -97,6 +106,45 @@ def test_run_twice_is_identical_including_trace(mech):
     assert spans1 == spans2
 
 
+@pytest.fixture(scope="module")
+def warm_cache():
+    """One warm cache for the whole module: the pooled machine is built
+    once per config and every subsequent run goes through restore."""
+    return WarmCache()
+
+
+@pytest.mark.parametrize("mech", MECHS, ids=[m.value for m in MECHS])
+def test_snapshot_restored_barrier_matches_golden(mech, warm_cache):
+    golden = GOLDEN["fingerprints"][mech.value]["barrier"]
+    # first call misses (build + warm + snapshot), second replays from
+    # the snapshot — both must land exactly on the fresh-built golden
+    first = barrier_fingerprint(mech, GOLDEN["n_processors"],
+                                warm_cache=warm_cache)
+    restored = barrier_fingerprint(mech, GOLDEN["n_processors"],
+                                   warm_cache=warm_cache)
+    assert first == golden, (
+        f"{mech.value} warm-start (miss path) drifted:\n"
+        + _diff(golden, first))
+    assert restored == golden, (
+        f"{mech.value} snapshot-restored run drifted from golden:\n"
+        + _diff(golden, restored))
+
+
+@pytest.mark.parametrize("mech", MECHS, ids=[m.value for m in MECHS])
+def test_snapshot_restored_lock_matches_golden(mech, warm_cache):
+    golden = GOLDEN["fingerprints"][mech.value]["lock"]
+    first = lock_fingerprint(mech, GOLDEN["n_processors"],
+                             warm_cache=warm_cache)
+    restored = lock_fingerprint(mech, GOLDEN["n_processors"],
+                                warm_cache=warm_cache)
+    assert first == golden, (
+        f"{mech.value} warm-start (miss path) drifted:\n"
+        + _diff(golden, first))
+    assert restored == golden, (
+        f"{mech.value} snapshot-restored run drifted from golden:\n"
+        + _diff(golden, restored))
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("mech", MECHS, ids=[m.value for m in MECHS])
 def test_paper_scale_smoke_256(mech):
@@ -105,3 +153,37 @@ def test_paper_scale_smoke_256(mech):
     assert res.episodes == 1
     assert res.total_cycles > 0
     assert res.events_dispatched > 0
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("mech", MECHS, ids=[m.value for m in MECHS])
+def test_barrier_matches_golden_512(mech):
+    golden = GOLDEN_512["fingerprints"][mech.value]["barrier"]
+    got = barrier_fingerprint(mech, GOLDEN_512["n_processors"])
+    assert got == golden, (
+        f"{mech.value} barrier fingerprint drifted at 512 CPUs:\n"
+        + _diff(golden, got))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("mech", MECHS, ids=[m.value for m in MECHS])
+def test_lock_matches_golden_512(mech):
+    golden = GOLDEN_512["fingerprints"][mech.value]["lock"]
+    got = lock_fingerprint(mech, GOLDEN_512["n_processors"])
+    assert got == golden, (
+        f"{mech.value} lock fingerprint drifted at 512 CPUs:\n"
+        + _diff(golden, got))
+
+
+@pytest.mark.slow
+def test_snapshot_restored_matches_golden_512(warm_cache):
+    """Snapshot-restored parity at 512 CPUs (one mechanism bounds time:
+    the full warm sweep is covered by ``capture_parity --verify --warm``
+    in CI's perf-smoke job)."""
+    golden = GOLDEN_512["fingerprints"][Mechanism.AMO.value]["barrier"]
+    first = barrier_fingerprint(Mechanism.AMO, GOLDEN_512["n_processors"],
+                                warm_cache=warm_cache)
+    restored = barrier_fingerprint(Mechanism.AMO, GOLDEN_512["n_processors"],
+                                   warm_cache=warm_cache)
+    assert first == golden, _diff(golden, first)
+    assert restored == golden, _diff(golden, restored)

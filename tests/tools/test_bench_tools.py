@@ -1,0 +1,122 @@
+"""Unit tests for the benchmark CLI tools (argument validation and the
+trajectory-report merge), no simulation involved."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).parent.parent.parent / "tools"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(name, TOOLS / f"{name}.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+bench_scale = _load("bench_scale")
+bench_report = _load("bench_report")
+
+
+# ----------------------------------------------------------------------
+# bench_scale --cpus validation
+# ----------------------------------------------------------------------
+def test_parse_cpus_accepts_powers_of_two():
+    assert bench_scale.parse_cpus(["32", "64"]) == [32, 64]
+    assert bench_scale.parse_cpus(["32,64,128"]) == [32, 64, 128]
+    assert bench_scale.parse_cpus(["32", "64,128", " 256 "]) == \
+        [32, 64, 128, 256]
+    assert bench_scale.parse_cpus(["2"]) == [2]
+    assert bench_scale.parse_cpus(["1024"]) == [1024]
+
+
+@pytest.mark.parametrize("bad", ["48", "100", "3", "1", "0", "-32"])
+def test_parse_cpus_rejects_non_powers_of_two(bad):
+    with pytest.raises(SystemExit, match="power of two"):
+        bench_scale.parse_cpus([bad])
+
+
+def test_parse_cpus_rejects_garbage():
+    with pytest.raises(SystemExit, match="expected an integer"):
+        bench_scale.parse_cpus(["many"])
+
+
+def test_main_rejects_non_power_of_two_cpus(capsys):
+    with pytest.raises(SystemExit, match="power of two"):
+        bench_scale.main(["--cpus", "48", "--out", "-"])
+
+
+# ----------------------------------------------------------------------
+# bench_report merge
+# ----------------------------------------------------------------------
+def _write(path: Path, doc: dict) -> None:
+    path.write_text(json.dumps(doc))
+
+
+def test_build_report_merges_all_sources(tmp_path):
+    _write(tmp_path / "BENCH_runner.json", {
+        "serial": {"events_per_second": 200000},
+        "parallel": {"events_per_second": 100000},
+        "cache_cold": {"events_per_second": 150000},
+        "cache_warm": {"events_per_second": None},
+    })
+    _write(tmp_path / "BENCH_obs.json", {
+        "off": {"events_per_second": 250000},
+        "metrics": {"events_per_second": 240000},
+    })
+    _write(tmp_path / "BENCH_scale.json", {
+        "cells": [
+            {"workload": "barrier", "mechanism": "amo", "n_processors": 32,
+             "events_per_second": 400000},
+            {"workload": "lock", "mechanism": "amo", "n_processors": 32,
+             "events_per_second": 100000},
+        ],
+        "aggregate_events_per_second": {"32": {"events_per_second": 160000}},
+        "vs_baseline": {"geomean_speedup": 2.0},
+    })
+    report = bench_report.build_report(tmp_path, {})
+    sources = report["sources"]
+    assert all(sources[n]["present"] for n in ("runner", "obs", "scale"))
+    # warm cache-mode carries no events/s and must not produce a sample
+    assert set(sources["runner"]["samples"]) == \
+        {"serial", "parallel", "cache_cold"}
+    # geomean of 400k and 100k is 200k
+    assert sources["scale"]["geomean_events_per_second"] == 200000
+    assert sources["scale"]["vs_baseline"]["geomean_speedup"] == 2.0
+    assert report["geomean_events_per_second"] > 0
+    assert set(sources["scale"]["samples"]) == \
+        {"barrier/amo@32", "lock/amo@32"}
+
+
+def test_build_report_tolerates_missing_sources(tmp_path):
+    _write(tmp_path / "BENCH_obs.json", {
+        "off": {"events_per_second": 250000},
+    })
+    report = bench_report.build_report(tmp_path, {})
+    assert report["sources"]["runner"] == {
+        "file": str(tmp_path / "BENCH_runner.json"), "present": False}
+    assert report["sources"]["obs"]["present"]
+    assert report["geomean_events_per_second"] == 250000
+
+
+def test_build_report_all_missing(tmp_path):
+    report = bench_report.build_report(tmp_path, {})
+    assert report["geomean_events_per_second"] is None
+    assert not any(s["present"] for s in report["sources"].values())
+
+
+def test_report_cli_writes_document(tmp_path):
+    _write(tmp_path / "BENCH_obs.json", {
+        "off": {"events_per_second": 123456},
+    })
+    out = tmp_path / "BENCH_trajectory.json"
+    assert bench_report.main(["--repo", str(tmp_path),
+                              "--out", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["benchmark"] == "trajectory"
+    assert doc["geomean_events_per_second"] == 123456

@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Merge the per-subsystem bench artifacts into ``BENCH_trajectory.json``.
+
+Each performance PR leaves behind its own proof artifact — the sweep
+runner (``BENCH_runner.json``), the observability overhead benchmark
+(``BENCH_obs.json``), and the kernel scale ladder (``BENCH_scale.json``).
+This tool folds whichever of them exist into one trajectory document:
+per-source events/second samples, a geometric-mean throughput per
+source, and one overall geomean — a single number a CI trend line (or a
+human skimming the repo) can follow across PRs, keyed by the git commit
+it was measured at.
+
+    PYTHONPATH=src python tools/bench_report.py --out BENCH_trajectory.json
+
+Missing inputs are tolerated and recorded as absent so the report can be
+generated at any point in the repo's history.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import subprocess
+from pathlib import Path
+
+
+def _geomean(values: list[float]) -> float | None:
+    vals = [v for v in values if v and v > 0]
+    if not vals:
+        return None
+    return round(math.exp(sum(map(math.log, vals)) / len(vals)))
+
+
+def _git_sha(repo: Path) -> str | None:
+    try:
+        out = subprocess.run(["git", "rev-parse", "HEAD"], cwd=repo,
+                             capture_output=True, text=True, timeout=10)
+    except OSError:
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def extract_runner(doc: dict) -> dict:
+    """Throughput samples from the sweep-runner benchmark (one per
+    execution mode; the warm-cache mode executes nothing, so it carries
+    no meaningful events/s and is skipped)."""
+    samples = {
+        mode: doc[mode]["events_per_second"]
+        for mode in ("serial", "parallel", "cache_cold")
+        if isinstance(doc.get(mode), dict)
+        and doc[mode].get("events_per_second")
+    }
+    return {"samples": samples,
+            "geomean_events_per_second": _geomean(list(samples.values()))}
+
+
+def extract_obs(doc: dict) -> dict:
+    """Throughput samples from the observability overhead benchmark."""
+    samples = {
+        mode: doc[mode]["events_per_second"]
+        for mode in ("off", "metrics", "metrics_sampler")
+        if isinstance(doc.get(mode), dict)
+        and doc[mode].get("events_per_second")
+    }
+    return {"samples": samples,
+            "geomean_events_per_second": _geomean(list(samples.values()))}
+
+
+def extract_scale(doc: dict) -> dict:
+    """Per-cell samples plus the ladder's own aggregates and (when the
+    capture was taken against a baseline) its speedup summary."""
+    samples = {
+        f"{c['workload']}/{c['mechanism']}@{c['n_processors']}":
+            c["events_per_second"]
+        for c in doc.get("cells", [])
+    }
+    out = {"samples": samples,
+           "geomean_events_per_second": _geomean(list(samples.values())),
+           "aggregate_events_per_second":
+               doc.get("aggregate_events_per_second")}
+    if doc.get("vs_baseline"):
+        out["vs_baseline"] = doc["vs_baseline"]
+    return out
+
+
+EXTRACTORS = {
+    "runner": ("BENCH_runner.json", extract_runner),
+    "obs": ("BENCH_obs.json", extract_obs),
+    "scale": ("BENCH_scale.json", extract_scale),
+}
+
+
+def build_report(repo: Path, inputs: dict[str, Path]) -> dict:
+    sources = {}
+    all_samples: list[float] = []
+    for name, (default, extract) in EXTRACTORS.items():
+        path = inputs.get(name, repo / default)
+        if not path.exists():
+            sources[name] = {"file": str(path), "present": False}
+            continue
+        doc = json.loads(path.read_text())
+        entry = {"file": str(path), "present": True, **extract(doc)}
+        sources[name] = entry
+        all_samples.extend(entry["samples"].values())
+    return {
+        "benchmark": "trajectory",
+        "git_sha": _git_sha(repo),
+        "sources": sources,
+        "geomean_events_per_second": _geomean(all_samples),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo", default=str(Path(__file__).parent.parent),
+                        help="repo root to find artifacts in")
+    for name, (default, _) in EXTRACTORS.items():
+        parser.add_argument(f"--{name}", default=None,
+                            help=f"path to {default} (default: <repo>/"
+                                 f"{default})")
+    parser.add_argument("--out", default="BENCH_trajectory.json",
+                        help="output path, or - for stdout")
+    args = parser.parse_args(argv)
+
+    repo = Path(args.repo)
+    inputs = {name: Path(getattr(args, name))
+              for name in EXTRACTORS if getattr(args, name)}
+    report = build_report(repo, inputs)
+
+    text = json.dumps(report, indent=2) + "\n"
+    if args.out == "-":
+        print(text, end="")
+    else:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    present = [n for n, s in report["sources"].items() if s["present"]]
+    print(f"sources: {', '.join(present) or 'none'}; overall geomean "
+          f"{report['geomean_events_per_second']} events/s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

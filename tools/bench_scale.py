@@ -1,17 +1,23 @@
 #!/usr/bin/env python
-"""Kernel hot-path throughput at paper scale — writes ``BENCH_scale.json``.
+"""Kernel hot-path throughput at and past paper scale — ``BENCH_scale.json``.
 
 Measures simulator events/second over the two paper workloads (one
 barrier run and one ticket-lock run) for every mechanism at a ladder of
-machine sizes, up to the paper's 256 CPUs.  This is the proof artifact
-for the two-tier event-queue kernel: barrier episodes are dominated by
-the N-way fan-out waves (invalidations, word-update pushes) the bucket
-queue makes O(1)-per-event, lock runs by long same-cycle resume chains.
+machine sizes, from 32 CPUs up to 1024 — four times the paper's largest
+machine.  This is the proof artifact for the kernel/protocol performance
+work: barrier episodes are dominated by the N-way fan-out waves
+(invalidations, word-update pushes), lock runs by long same-cycle resume
+chains, and the sweep as a whole by per-point machine construction and
+re-simulated warm-up — which the snapshot/warm-start path amortizes.
 
 Each cell is run ``--repeat`` times and the *fastest* wall time is kept
-(wall-clock noise on a shared host only ever adds time).  Event counts
-are asserted identical across repeats — a cheap determinism check on
-every benchmark run.
+(wall-clock noise on a shared host only ever adds time).  The first run
+of a cell builds and warms the machine; subsequent runs restore the
+warm snapshot and replay only the measured episodes, exactly how the
+sweep runner replays points.  Event counts *and* steady-state cycle
+counts are asserted identical across repeats — every benchmark run is
+also a determinism check, and in particular proves snapshot-restored
+runs are cycle-for-cycle equivalent to the fresh-built first run.
 
 Comparing against a baseline capture (e.g. one taken from the pre-PR
 kernel on the same host)::
@@ -24,6 +30,11 @@ With ``--baseline`` the output carries per-cell speedups plus two
 aggregates: the *geometric mean* of the per-cell speedups (the standard
 cross-workload summary) and the *events-weighted* speedup (total events
 divided by total wall time, dominated by the event-heaviest cells).
+Simulated *cycles* must match the baseline cell for cell — a speedup
+over different simulated behaviour is meaningless.  (Kernel event
+counts may legitimately differ between kernel generations — batched
+fan-out delivery dispatches fewer events for the same cycles — so they
+are reported but not compared.)
 
 ``--quick`` shrinks the ladder for CI smoke runs; ``--floor`` fails the
 run when the events-weighted throughput of the largest machine size
@@ -44,7 +55,12 @@ from repro.config.mechanism import Mechanism
 from repro.workloads.barrier import run_barrier_workload
 from repro.workloads.locks import run_lock_workload
 
-DEFAULT_CPUS = [32, 64, 128, 256]
+try:  # the warm-start cache arrived with the snapshot/restore work
+    from repro.workloads.warm import WarmCache
+except ImportError:  # pragma: no cover - pre-snapshot kernels (baselines)
+    WarmCache = None
+
+DEFAULT_CPUS = [32, 64, 128, 256, 512, 1024]
 QUICK_CPUS = [32, 64]
 
 #: workload shapes — small but past warmup, so steady-state code paths
@@ -55,35 +71,75 @@ LOCK_ACQUISITIONS = 1
 LOCK_WARMUP = 1
 
 
+def parse_cpus(values: list[str]) -> list[int]:
+    """Flatten ``--cpus`` operands (space- and/or comma-separated) and
+    validate each is a power of two — the fat-tree/tree-barrier
+    topologies require it, and a non-power-of-two silently produces a
+    lopsided tree instead of the machine the cell claims to measure."""
+    cpus: list[int] = []
+    for value in values:
+        for part in str(value).split(","):
+            part = part.strip()
+            if not part:
+                continue
+            try:
+                p = int(part)
+            except ValueError:
+                raise SystemExit(
+                    f"error: --cpus got {part!r}; expected an integer")
+            if p < 2 or p & (p - 1):
+                raise SystemExit(
+                    f"error: --cpus {p} is not a power of two >= 2; the "
+                    "fat-tree topology and tree-barrier shapes require "
+                    "power-of-two machine sizes (try 32 64 128 256 512 1024)")
+            cpus.append(p)
+    return cpus
+
+
 def run_cell(workload: str, mechanism: Mechanism, n_processors: int,
-             repeat: int) -> dict:
-    """Best-of-``repeat`` measurement of one (workload, mechanism, P)."""
+             repeat: int, warm_cache=None) -> dict:
+    """Best-of-``repeat`` measurement of one (workload, mechanism, P).
+
+    With a ``warm_cache``, the first repeat builds + warms the machine
+    and snapshots it; later repeats restore and replay the measured
+    phase only.  Events and cycles must match across all repeats.
+    """
     best = math.inf
     events = None
+    cycles = None
     for _ in range(repeat):
         t0 = time.perf_counter()
         if workload == "barrier":
             res = run_barrier_workload(n_processors, mechanism,
                                        episodes=BARRIER_EPISODES,
-                                       warmup_episodes=BARRIER_WARMUP)
+                                       warmup_episodes=BARRIER_WARMUP,
+                                       warm_cache=warm_cache)
         else:
             res = run_lock_workload(n_processors, mechanism,
                                     acquisitions_per_cpu=LOCK_ACQUISITIONS,
-                                    warmup_per_cpu=LOCK_WARMUP)
+                                    warmup_per_cpu=LOCK_WARMUP,
+                                    warm_cache=warm_cache)
         elapsed = time.perf_counter() - t0
         if events is None:
             events = res.events_dispatched
+            cycles = res.total_cycles
         elif events != res.events_dispatched:
             raise AssertionError(
                 f"nondeterministic event count for {workload}/"
                 f"{mechanism.value}@{n_processors}: "
                 f"{events} vs {res.events_dispatched}")
+        elif cycles != res.total_cycles:
+            raise AssertionError(
+                f"nondeterministic cycle count for {workload}/"
+                f"{mechanism.value}@{n_processors}: "
+                f"{cycles} vs {res.total_cycles}")
         best = min(best, elapsed)
     return {
         "workload": workload,
         "mechanism": mechanism.value,
         "n_processors": n_processors,
         "events": events,
+        "cycles": cycles,
         "wall_seconds": round(best, 4),
         "events_per_second": round(events / best),
     }
@@ -109,7 +165,14 @@ def aggregate(cells: list[dict]) -> dict:
 
 
 def compare(cells: list[dict], baseline_doc: dict) -> dict:
-    """Per-cell and aggregate speedups against a baseline capture."""
+    """Per-cell and aggregate speedups against a baseline capture.
+
+    Simulated cycle counts must match cell for cell when both captures
+    carry them — the determinism contract a speedup claim rests on.
+    Kernel event counts may differ across kernel generations (batched
+    delivery dispatches fewer events for identical cycles), so they are
+    not compared.
+    """
     base = {cell_key(c): c for c in baseline_doc["cells"]}
     per_cell = {}
     ratios = []
@@ -119,10 +182,11 @@ def compare(cells: list[dict], baseline_doc: dict) -> dict:
         ref = base.get(key)
         if ref is None:
             continue
-        if ref["events"] != cell["events"]:
+        if (ref.get("cycles") is not None and cell.get("cycles") is not None
+                and ref["cycles"] != cell["cycles"]):
             raise AssertionError(
-                f"{key}: baseline simulated {ref['events']} events but "
-                f"this kernel simulated {cell['events']} — the runs are "
+                f"{key}: baseline simulated {ref['cycles']} cycles but "
+                f"this kernel simulated {cell['cycles']} — the runs are "
                 "not comparable (simulated behaviour changed)")
         ratio = cell["events_per_second"] / ref["events_per_second"]
         per_cell[key] = round(ratio, 2)
@@ -145,14 +209,18 @@ def compare(cells: list[dict], baseline_doc: dict) -> dict:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--cpus", type=int, nargs="+", default=None,
-                        help=f"machine sizes (default {DEFAULT_CPUS})")
+    parser.add_argument("--cpus", nargs="+", default=None,
+                        help=f"machine sizes, space- or comma-separated "
+                             f"powers of two (default {DEFAULT_CPUS})")
     parser.add_argument("--mechanisms", nargs="+", default=None,
                         help="mechanism names (default: all five)")
     parser.add_argument("--repeat", type=int, default=3,
                         help="runs per cell; fastest wall time kept")
     parser.add_argument("--quick", action="store_true",
                         help=f"CI smoke: cpus {QUICK_CPUS}, single repeat")
+    parser.add_argument("--no-warm", action="store_true",
+                        help="disable snapshot warm-start between repeats "
+                             "(every repeat builds and warms from scratch)")
     parser.add_argument("--baseline", default=None,
                         help="earlier BENCH_scale.json to compute speedups "
                              "against (same-host captures only)")
@@ -163,16 +231,20 @@ def main(argv=None) -> int:
                         help="output path, or - for stdout")
     args = parser.parse_args(argv)
 
-    cpus = args.cpus or (QUICK_CPUS if args.quick else DEFAULT_CPUS)
+    cpus = (parse_cpus(args.cpus) if args.cpus
+            else (QUICK_CPUS if args.quick else DEFAULT_CPUS))
     repeat = 1 if args.quick and args.repeat == 3 else args.repeat
     mechs = ([Mechanism(m) for m in args.mechanisms]
              if args.mechanisms else list(Mechanism))
+    warm = (WarmCache is not None) and not args.no_warm
 
     cells = []
     for p in cpus:
+        warm_cache = WarmCache() if warm else None
         for mech in mechs:
             for workload in ("barrier", "lock"):
-                cell = run_cell(workload, mech, p, repeat)
+                cell = run_cell(workload, mech, p, repeat,
+                                warm_cache=warm_cache)
                 cells.append(cell)
                 print(f"{cell_key(cell):>24s}  {cell['events']:>9d} ev  "
                       f"{cell['wall_seconds']:7.3f}s  "
@@ -182,6 +254,7 @@ def main(argv=None) -> int:
         "benchmark": "scale",
         "cpus": cpus,
         "repeat": repeat,
+        "warm_start": warm,
         "barrier_episodes": BARRIER_EPISODES,
         "lock_acquisitions_per_cpu": LOCK_ACQUISITIONS,
         "host": {

@@ -1,13 +1,24 @@
 #!/usr/bin/env python
-"""(Re)capture the golden determinism-parity fingerprints.
+"""(Re)capture or verify the golden determinism-parity fingerprints.
 
-Writes ``tests/integration/golden/parity_32.json`` — the exact cycle
-counts, per-kind message counts, and kernel event counts every mechanism
-must reproduce (see :mod:`repro.harness.parity`).  Only rerun this when
-simulated *behaviour* intentionally changes; a pure performance change
-to the kernel or protocol data structures must leave the goldens alone.
+Capture writes ``tests/integration/golden/parity_<P>.json`` — the exact
+cycle counts, per-kind message counts, and kernel event counts every
+mechanism must reproduce (see :mod:`repro.harness.parity`).  Only rerun
+a capture when simulated *behaviour* intentionally changes; a pure
+performance change to the kernel or protocol data structures must leave
+the cycle and message fingerprints alone (batched delivery may shrink
+``events_dispatched`` — that field documents the kernel generation).
 
     PYTHONPATH=src python tools/capture_parity.py
+    PYTHONPATH=src python tools/capture_parity.py --cpus 512 --barrier-only
+
+``--verify`` re-runs every fingerprint and compares against the golden
+file instead of overwriting it, exiting non-zero on drift.  Combined
+with ``--warm`` the runs go through the snapshot/warm-start path, which
+makes the check prove that snapshot-restored machines replay
+cycle-for-cycle identically to the fresh-built goldens::
+
+    PYTHONPATH=src python tools/capture_parity.py --verify --warm
 """
 
 from __future__ import annotations
@@ -16,20 +27,54 @@ import argparse
 import json
 from pathlib import Path
 
-from repro.harness.parity import capture_all
+from repro.harness.parity import capture_all, diff_documents
 
-DEFAULT_OUT = Path(__file__).resolve().parent.parent / \
-    "tests" / "integration" / "golden" / "parity_32.json"
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / \
+    "tests" / "integration" / "golden"
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--cpus", type=int, default=32)
-    parser.add_argument("--out", default=str(DEFAULT_OUT))
+    parser.add_argument("--out", default=None,
+                        help="golden path (default: tests/integration/"
+                             "golden/parity_<cpus>.json)")
+    parser.add_argument("--barrier-only", action="store_true",
+                        help="fingerprint barriers only (large machines: "
+                             "lock runs serialize P acquisitions and "
+                             "dominate capture time)")
+    parser.add_argument("--verify", action="store_true",
+                        help="compare a fresh capture against the golden "
+                             "file instead of overwriting it")
+    parser.add_argument("--warm", action="store_true",
+                        help="run through the snapshot warm-start path "
+                             "(proves restored == fresh when verifying)")
     args = parser.parse_args(argv)
 
-    doc = capture_all(n_processors=args.cpus)
-    out = Path(args.out)
+    out = Path(args.out) if args.out else \
+        GOLDEN_DIR / f"parity_{args.cpus}.json"
+
+    warm_cache = None
+    if args.warm:
+        from repro.workloads.warm import WarmCache
+        warm_cache = WarmCache()
+
+    doc = capture_all(n_processors=args.cpus, warm_cache=warm_cache,
+                      barrier_only=args.barrier_only)
+
+    if args.verify:
+        golden = json.loads(out.read_text())
+        drift = diff_documents(golden, doc)
+        label = "warm-start" if args.warm else "fresh"
+        if drift:
+            print(f"FAIL: {label} capture drifted from {out}:")
+            for line in drift:
+                print(f"  {line}")
+            return 1
+        n = len(doc["fingerprints"])
+        print(f"OK: {label} capture matches {out} ({n} mechanisms)")
+        return 0
+
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out} ({len(doc['fingerprints'])} mechanisms)")
