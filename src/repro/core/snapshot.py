@@ -126,7 +126,7 @@ class MachineSnapshot:
         net = machine.net
         self.net = (list(net._uplink_free_at), list(net._downlink_free_at),
                     net.link_busy_cycles, dict(net._link_free_at),
-                    dict(net._last_delivery))
+                    dict(net._last_delivery), list(net._inj_seq))
         st = net.stats
         self.stats = (st.snapshot(), st.trace_enabled, list(st.trace))
 
@@ -220,11 +220,12 @@ class MachineSnapshot:
 
         net = machine.net
         (uplink, downlink, net.link_busy_cycles, link_free,
-         last_delivery) = self.net
+         last_delivery, inj_seq) = self.net
         net._uplink_free_at = list(uplink)
         net._downlink_free_at = list(downlink)
         net._link_free_at = dict(link_free)
         net._last_delivery = dict(last_delivery)
+        net._inj_seq = list(inj_seq)
         counters, trace_enabled, trace = self.stats
         st = net.stats
         st.messages = type(st.messages)(counters.messages)

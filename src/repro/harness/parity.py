@@ -43,16 +43,29 @@ def _traffic_dict(traffic: TrafficStats) -> dict:
 
 def barrier_fingerprint(mechanism: Mechanism, n_processors: int,
                         episodes: int = BARRIER_EPISODES,
-                        warm_cache=None) -> dict:
+                        warm_cache=None, shards: int = 1) -> dict:
     """Run one barrier configuration and reduce it to its fingerprint.
 
     Passing a :class:`repro.workloads.warm.WarmCache` routes the run
     through the snapshot/warm-start path; the fingerprint must come out
     identical either way — that equivalence *is* the parity claim the
-    snapshot layer makes, and the golden suite pins it.
+    snapshot layer makes, and the golden suite pins it.  ``shards > 1``
+    instead partitions the run across worker processes
+    (:func:`repro.shard.session.run_sharded`); cycles and messages must
+    again come out identical, ``events_dispatched`` excepted (compare
+    with ``diff_documents(..., ignore=SHARD_EXEMPT_KEYS)``).
     """
-    res = run_barrier_workload(n_processors, mechanism, episodes=episodes,
-                               warmup_episodes=1, warm_cache=warm_cache)
+    if shards > 1:
+        if warm_cache is not None:
+            raise ValueError("warm_cache and shards are mutually exclusive")
+        from repro.shard.session import run_sharded
+        res = run_sharded("barrier", dict(
+            n_processors=n_processors, mechanism=mechanism,
+            episodes=episodes, warmup_episodes=1), shards)
+    else:
+        res = run_barrier_workload(n_processors, mechanism,
+                                   episodes=episodes,
+                                   warmup_episodes=1, warm_cache=warm_cache)
     return {
         "workload": "barrier",
         "mechanism": mechanism.value,
@@ -65,11 +78,19 @@ def barrier_fingerprint(mechanism: Mechanism, n_processors: int,
 
 def lock_fingerprint(mechanism: Mechanism, n_processors: int,
                      acquisitions: int = LOCK_ACQUISITIONS,
-                     warm_cache=None) -> dict:
+                     warm_cache=None, shards: int = 1) -> dict:
     """Run one ticket-lock configuration and reduce it to a fingerprint."""
-    res = run_lock_workload(n_processors, mechanism,
-                            acquisitions_per_cpu=acquisitions,
-                            warmup_per_cpu=1, warm_cache=warm_cache)
+    if shards > 1:
+        if warm_cache is not None:
+            raise ValueError("warm_cache and shards are mutually exclusive")
+        from repro.shard.session import run_sharded
+        res = run_sharded("lock", dict(
+            n_processors=n_processors, mechanism=mechanism,
+            acquisitions_per_cpu=acquisitions, warmup_per_cpu=1), shards)
+    else:
+        res = run_lock_workload(n_processors, mechanism,
+                                acquisitions_per_cpu=acquisitions,
+                                warmup_per_cpu=1, warm_cache=warm_cache)
     return {
         "workload": "lock",
         "mechanism": mechanism.value,
@@ -82,23 +103,29 @@ def lock_fingerprint(mechanism: Mechanism, n_processors: int,
 
 def capture_all(n_processors: int = 32,
                 mechanisms: Optional[list[Mechanism]] = None,
-                warm_cache=None, barrier_only: bool = False) -> dict:
+                warm_cache=None, barrier_only: bool = False,
+                shards: int = 1) -> dict:
     """Fingerprint every mechanism (barrier + lock) at one machine size.
 
     With a ``warm_cache`` every run goes through snapshot warm-start;
     the document must be byte-identical to a cold capture (verified by
     ``tools/capture_parity.py --verify --warm``).  ``barrier_only``
     skips the lock fingerprints — on very large machines lock runs
-    serialize P acquisitions and dominate capture time.
+    serialize P acquisitions and dominate capture time.  ``shards > 1``
+    runs every fingerprint through sharded execution; the document is
+    stamped with the shard count and must match the single-process
+    golden up to :data:`SHARD_EXEMPT_KEYS`.
     """
     mechs = mechanisms or list(Mechanism)
     fingerprints = {}
     for m in mechs:
         fp = {"barrier": barrier_fingerprint(m, n_processors,
-                                             warm_cache=warm_cache)}
+                                             warm_cache=warm_cache,
+                                             shards=shards)}
         if not barrier_only:
             fp["lock"] = lock_fingerprint(m, n_processors,
-                                          warm_cache=warm_cache)
+                                          warm_cache=warm_cache,
+                                          shards=shards)
         fingerprints[m.value] = fp
     doc = {
         "n_processors": n_processors,
@@ -108,16 +135,35 @@ def capture_all(n_processors: int = 32,
     }
     if barrier_only:
         doc["barrier_only"] = True
+    if shards > 1:
+        doc["shards"] = shards
     return doc
 
 
-def diff_documents(golden: dict, got: dict) -> list[str]:
-    """Human-readable drift report between two parity documents."""
+#: fingerprint keys a sharded run may legitimately change:
+#: events_dispatched counts *host-side* kernel events — each shard runs
+#: its own run_threads main, and a multicast fan-out group split across
+#: shards costs one delivery event per shard instead of one total
+SHARD_EXEMPT_KEYS = frozenset({"events_dispatched"})
+
+
+def diff_documents(golden: dict, got: dict,
+                   ignore: frozenset = frozenset()) -> list[str]:
+    """Human-readable drift report between two parity documents.
+
+    ``ignore`` names per-fingerprint keys excluded from the comparison
+    (pass :data:`SHARD_EXEMPT_KEYS` when ``got`` is a sharded capture).
+    """
     lines = []
     gf = golden.get("fingerprints", {})
     of = got.get("fingerprints", {})
+    # a barrier-only capture legitimately lacks lock fingerprints; compare
+    # the intersection rather than flagging the locks as missing
+    workloads = ("barrier",) if (golden.get("barrier_only")
+                                 or got.get("barrier_only")) \
+        else ("barrier", "lock")
     for mech in sorted(set(gf) | set(of)):
-        for workload in ("barrier", "lock"):
+        for workload in workloads:
             g = gf.get(mech, {}).get(workload)
             o = of.get(mech, {}).get(workload)
             if g == o:
@@ -125,7 +171,7 @@ def diff_documents(golden: dict, got: dict) -> list[str]:
             if g is None or o is None:
                 lines.append(f"{mech}/{workload}: present in only one side")
                 continue
-            for key in sorted(set(g) | set(o)):
+            for key in sorted((set(g) | set(o)) - ignore):
                 if g.get(key) != o.get(key):
                     lines.append(f"{mech}/{workload}.{key}: "
                                  f"golden={g.get(key)!r} got={o.get(key)!r}")

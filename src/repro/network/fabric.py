@@ -55,6 +55,13 @@ class Network:
         #: delivery times while preserving per-(src,dst) FIFO order
         self.delay_injector = None
         self._last_delivery: dict[tuple[int, int], int] = {}
+        #: per-source injection sequence numbers — the ``(src, seq)``
+        #: delivery-phase keys (see Simulator._push_delivery) that give
+        #: same-cycle arrivals a canonical, shard-independent order
+        self._inj_seq = [0] * n_nodes
+        #: ShardContext when this machine is one shard of a partitioned
+        #: run (see repro.shard); None = ordinary single-process machine
+        self.shard = None
         # (src, dst) -> (hops, base_latency): route metrics are static,
         # so the send fast path pays one dict probe instead of a
         # topology matrix walk plus a latency recomputation per packet
@@ -146,14 +153,27 @@ class Network:
             return
         if not config.model_link_contention or hops == 0:
             # fast path: latency-only delivery, no reservations; the
-            # scheduling is inlined (one bucket push) — this is every
+            # scheduling is inlined (one phase push) — this is every
             # packet's path in the paper-default configuration
             if self.delay_injector is None:
                 sim = self.sim
                 if base_latency:
-                    sim._push_future(sim.now + base_latency,
-                                     (self._deliver, (msg,)))
+                    src = msg.src_node
+                    seqs = self._inj_seq
+                    seq = seqs[src]
+                    seqs[src] = seq + 1
+                    shard = self.shard
+                    if shard is not None and \
+                            not shard.owns_node(msg.dst_node):
+                        shard.export_unicast(sim.now + base_latency,
+                                             src, seq, msg)
+                    else:
+                        sim._push_delivery(sim.now + base_latency,
+                                           (src, seq),
+                                           (self._deliver, (msg,)))
                 else:
+                    # zero-latency implies src == dst (node-local), so
+                    # never cross-shard; plain FIFO ring order
                     sim._ring.append((self._deliver, (msg,)))
             else:
                 self._schedule_delivery(msg, self.sim.now + base_latency)
@@ -191,7 +211,17 @@ class Network:
         now = sim.now
         record = self.stats.record
         hooks = self._send_hooks
-        groups: dict[int, list[Message]] = {}
+        seqs = self._inj_seq
+        shard = self.shard
+        # latency -> (local-member list, group id); the group id is the
+        # injection seq of the group's *first* packet, making the whole
+        # group one delivery-phase entry keyed like a unicast send.  All
+        # of a group's seqs are contiguous (nothing else injects inside
+        # this loop), so any member's seq orders the group correctly
+        # against every other same-cycle injection from this source —
+        # which is why a shard-split subgroup keyed by the same gid
+        # dispatches in exactly the single-process position.
+        groups: dict[int, tuple[list, int]] = {}
         for msg in messages:
             hops, base_latency = self._route(msg.src_node, msg.dst_node)
             record(now, msg, hops)
@@ -199,14 +229,24 @@ class Network:
                 for hook in hooks:
                     hook(msg, hops)
             if base_latency:
-                group = groups.get(base_latency)
-                if group is None:
-                    # the event captures the list; packets grouped later
-                    # this cycle ride along for free
-                    groups[base_latency] = group = []
-                    sim._push_future(now + base_latency,
-                                     (self._deliver_group, (group,)))
-                group.append(msg)
+                src = msg.src_node
+                seq = seqs[src]
+                seqs[src] = seq + 1
+                entry = groups.get(base_latency)
+                if entry is None:
+                    groups[base_latency] = entry = ([], seq)
+                local, gid = entry
+                if shard is not None and \
+                        not shard.owns_node(msg.dst_node):
+                    shard.export_group_member(now + base_latency, src, gid,
+                                              msg)
+                else:
+                    if not local:
+                        # the event captures the list; packets grouped
+                        # later this cycle ride along for free
+                        sim._push_delivery(now + base_latency, (src, gid),
+                                           (self._deliver_group, (local,)))
+                    local.append(msg)
             else:
                 sim._ring.append((self._deliver, (msg,)))
 
@@ -237,6 +277,11 @@ class Network:
         """Schedule delivery at ``when`` (+ any injected fault delay),
         preserving per-(src,dst) FIFO order — the point-to-point ordering
         the interconnect hardware guarantees and the protocol assumes."""
+        if self.shard is not None:
+            raise RuntimeError(
+                "sharded execution supports only the latency-only fast "
+                "path; disable contention modelling and fault injection "
+                "or run single-process")
         if self.delay_injector is not None:
             when += self.delay_injector.extra_delay(msg)
             pair = (msg.src_node, msg.dst_node)

@@ -14,9 +14,17 @@ Failure model
 * A worker-process *crash* (segfault, OOM kill, ``os._exit``) tears down
   the pool; the runner rebuilds it and resubmits every unfinished point,
   charging each one attempt, until ``retries`` extra attempts are spent.
-* Per-run timeouts are enforced inside the worker with ``SIGALRM`` so a
-  wedged simulation cannot hold a pool slot forever (POSIX only; without
-  ``SIGALRM`` the timeout is not enforced).
+* Per-run timeouts are enforced inside the worker with ``SIGALRM`` where
+  available, backed by a parent-side *watchdog* on the pool's result
+  wait: a task still running past ``timeout * 1.25 + 1`` seconds has its
+  pool terminated and fails with a timeout (not retried — timeouts are
+  deterministic here).  The watchdog is what enforces timeouts on
+  platforms without ``SIGALRM`` (no POSIX signals, or spawn-started
+  workers where the interpreter embedding masks signal delivery);
+  before it existed such runs could hold a pool slot forever.
+* Sharded specs (``spec.shards > 1``) always execute in the calling
+  process — each one manages its own worker-process group, and nesting
+  that inside a pool worker would oversubscribe the host.
 
 With ``jobs=1`` everything executes serially in the calling process —
 no pool, no pickling — which is the determinism-test path and the
@@ -26,10 +34,11 @@ default for library callers.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import signal
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence, Union
 
@@ -66,8 +75,15 @@ Outcome = Union[RunRecord, RunFailure]
 
 
 def _execute_with_timeout(spec: RunSpec, timeout: Optional[float]) -> RunRecord:
-    """Run one spec, bounding wall time with an interval timer."""
+    """Run one spec, bounding wall time with an interval timer.
+
+    ``REPRO_DISABLE_SIGALRM=1`` skips the timer (the pool watchdog is
+    then the only enforcement) — set by tests to exercise the watchdog
+    path on platforms that *do* have ``SIGALRM``.
+    """
     if not timeout:
+        return execute_spec(spec)
+    if os.environ.get("REPRO_DISABLE_SIGALRM", "0") == "1":
         return execute_spec(spec)
 
     def _alarm(_signum, _frame):
@@ -178,10 +194,17 @@ class ParallelRunner:
 
         unique = [(key, specs[index_groups[key][0]]) for key in order]
         if unique:
-            if self.jobs == 1:
-                resolved = self._run_serial(unique)
-            else:
-                resolved = self._run_pool(unique)
+            # sharded specs own a process group each: run them inline
+            # regardless of --jobs (nesting them in pool workers would
+            # oversubscribe the host and complicate crash recovery)
+            inline = [(k, s) for k, s in unique if s.shards > 1]
+            pooled = [(k, s) for k, s in unique if s.shards <= 1]
+            resolved = self._run_serial(inline) if inline else {}
+            if pooled:
+                if self.jobs == 1:
+                    resolved.update(self._run_serial(pooled))
+                else:
+                    resolved.update(self._run_pool(pooled))
             for key, (outcome, n_attempts) in resolved.items():
                 if isinstance(outcome, RunRecord) and self.cache is not None:
                     self.cache.store(outcome)
@@ -267,20 +290,7 @@ class ParallelRunner:
                         # unresolved and go into the next rebuild round
                         break
                     futures[fut] = uid
-                for fut in as_completed(futures):
-                    try:
-                        uid, status, payload = fut.result()
-                    except Exception:
-                        # BrokenProcessPool: a worker died. Remaining
-                        # futures fail the same way; rebuild and resubmit
-                        # everything still unresolved.
-                        continue
-                    if status == "ok":
-                        resolved[uid] = payload
-                    else:
-                        resolved[uid] = RunFailure(
-                            spec=unique[uid][1], error=payload,
-                            attempts=attempts[uid])
+                self._drain_pool(pool, futures, unique, attempts, resolved)
 
         out: dict[str, tuple[Outcome, int]] = {}
         for uid, (key, _spec) in enumerate(unique):
@@ -289,3 +299,59 @@ class ParallelRunner:
                 outcome.attempts = attempts[uid]
             out[key] = (outcome, attempts[uid])
         return out
+
+    def _drain_pool(self, pool, futures: dict, unique, attempts: dict,
+                    resolved: dict) -> None:
+        """Collect pool results, enforcing the per-run timeout from the
+        parent (the watchdog) as well.
+
+        The in-worker ``SIGALRM`` timer normally fires first and returns
+        a clean per-run timeout without disturbing the pool.  If it
+        cannot (no ``SIGALRM`` on the platform, or a worker wedged in C
+        code), any task observed *running* for longer than
+        ``timeout * 1.25 + 1`` seconds is failed as a timeout here and
+        the pool's processes are terminated; tasks that were merely
+        queued behind it stay unresolved and are resubmitted by the
+        rebuild loop.  Timeout failures are terminal — deterministic
+        runs time out again — so they are never retried.
+        """
+        grace = None if not self.timeout else self.timeout * 1.25 + 1.0
+        deadlines: dict = {}
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending,
+                                 timeout=None if grace is None else 0.05)
+            for fut in done:
+                try:
+                    uid, status, payload = fut.result()
+                except Exception:
+                    # BrokenProcessPool: a worker died. Remaining
+                    # futures fail the same way; rebuild and resubmit
+                    # everything still unresolved.
+                    continue
+                if status == "ok":
+                    resolved[uid] = payload
+                else:
+                    resolved[uid] = RunFailure(
+                        spec=unique[uid][1], error=payload,
+                        attempts=attempts[uid])
+            if grace is None:
+                continue
+            now = time.monotonic()
+            for fut in pending:
+                if fut not in deadlines and fut.running():
+                    deadlines[fut] = now + grace
+            expired = [fut for fut in pending
+                       if fut in deadlines and now >= deadlines[fut]]
+            if expired:
+                for fut in expired:
+                    uid = futures[fut]
+                    resolved[uid] = RunFailure(
+                        spec=unique[uid][1],
+                        error=(f"run exceeded {self.timeout}s "
+                               "(pool watchdog): "
+                               f"{unique[uid][1].label()}"),
+                        attempts=attempts[uid])
+                for proc in list(pool._processes.values()):
+                    proc.terminate()
+                return

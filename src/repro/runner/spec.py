@@ -19,7 +19,7 @@ from __future__ import annotations
 import json
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Optional
 
 from repro.config.mechanism import Mechanism
@@ -74,6 +74,12 @@ class RunSpec:
     kind: str
     #: sorted ``(name, value)`` pairs — hashable and order-independent
     params: tuple[tuple[str, Any], ...]
+    #: execute across N shard worker processes (:mod:`repro.shard`).
+    #: An execution detail, not semantics — sharded runs are cycle- and
+    #: message-identical — so it is excluded from equality and from
+    #: :meth:`canonical` (the cache key): a cached single-process result
+    #: answers a sharded spec and vice versa.
+    shards: int = field(default=1, compare=False)
 
     @classmethod
     def make(cls, kind: str, **params: Any) -> "RunSpec":
@@ -84,12 +90,17 @@ class RunSpec:
                 episodes: int = 4, warmup_episodes: int = 1,
                 tree_branching: Optional[int] = None, naive: bool = False,
                 home_node: int = 0, metrics: bool = False,
-                metrics_interval: int = 0) -> "RunSpec":
+                metrics_interval: int = 0, shards: int = 1) -> "RunSpec":
         """A :func:`~repro.workloads.barrier.run_barrier_workload` point.
 
         Metrics parameters enter the spec (and hence the cache key) only
         when enabled, so metered and unmetered sweeps cache separately
-        and pre-existing cache entries keep their keys.
+        and pre-existing cache entries keep their keys.  ``shards > 1``
+        partitions the run across worker processes (:mod:`repro.shard`);
+        since sharded results are cycle- and message-identical to
+        single-process, the parameter stays *out* of the cache key — a
+        cached single-process result answers a sharded spec and vice
+        versa (``events_dispatched``, a host-side metric, may differ).
         """
         params = dict(n_processors=n_processors, mechanism=mechanism,
                       episodes=episodes, warmup_episodes=warmup_episodes,
@@ -99,14 +110,17 @@ class RunSpec:
             params["metrics"] = True
             if metrics_interval:
                 params["metrics_interval"] = metrics_interval
-        return cls.make("barrier", **params)
+        spec = cls.make("barrier", **params)
+        if shards > 1:
+            spec = replace(spec, shards=shards)
+        return spec
 
     @classmethod
     def lock(cls, n_processors: int, mechanism: Mechanism,
              lock_type: str = "ticket", acquisitions_per_cpu: int = 4,
              warmup_per_cpu: int = 1, home_node: int = 0,
              metrics: bool = False,
-             metrics_interval: int = 0) -> "RunSpec":
+             metrics_interval: int = 0, shards: int = 1) -> "RunSpec":
         """A :func:`~repro.workloads.locks.run_lock_workload` point."""
         params = dict(n_processors=n_processors, mechanism=mechanism,
                       lock_type=lock_type,
@@ -116,7 +130,10 @@ class RunSpec:
             params["metrics"] = True
             if metrics_interval:
                 params["metrics_interval"] = metrics_interval
-        return cls.make("lock", **params)
+        spec = cls.make("lock", **params)
+        if shards > 1:
+            spec = replace(spec, shards=shards)
+        return spec
 
     @classmethod
     def fuzz(cls, n_processors: int, mechanism: Mechanism, workload: str,
@@ -153,6 +170,8 @@ class RunSpec:
         """Short human label for progress lines."""
         kw = self.kwargs
         bits = [self.kind]
+        if self.shards > 1:
+            bits.append(f"x{self.shards}shards")
         if "n_processors" in kw:
             bits.append(f"P={kw['n_processors']}")
         mech = kw.get("mechanism")
@@ -199,12 +218,16 @@ def execute_spec(spec: RunSpec) -> RunRecord:
             f"unknown run kind {spec.kind!r}; registered: "
             f"{registered_kinds()}") from None
     kwargs = spec.kwargs
-    if spec.kind in _WARMABLE_KINDS:
-        warm = _process_warm_cache()
-        if warm is not None:
-            kwargs["warm_cache"] = warm
     t0 = time.perf_counter()
-    result = fn(**kwargs)
+    if spec.shards > 1:
+        from repro.shard.session import run_sharded
+        result = run_sharded(spec.kind, kwargs, spec.shards)
+    else:
+        if spec.kind in _WARMABLE_KINDS:
+            warm = _process_warm_cache()
+            if warm is not None:
+                kwargs["warm_cache"] = warm
+        result = fn(**kwargs)
     wall = time.perf_counter() - t0
     if isinstance(result, dict):
         sim_events = result.get("events_dispatched", 0)

@@ -1,0 +1,20 @@
+"""Sharded parallel discrete-event execution of one machine.
+
+One simulated machine is partitioned into contiguous node blocks
+(:mod:`repro.shard.plan`); each block runs in its own worker process as
+a full deterministic replica of the machine that simulates *only* its
+own nodes' CPUs and hubs.  Workers advance in conservative time windows
+derived from the minimum cross-shard hop latency and exchange
+cross-shard messages at window boundaries (null-message style, see
+:mod:`repro.shard.session`).  The result is **cycle- and
+message-identical** to the single-process run — the same golden parity
+fingerprints, minus ``events_dispatched`` which counts host-side kernel
+events and legitimately differs when one fan-out group is split across
+shards (see ``docs/performance.md``).
+"""
+
+from repro.shard.plan import PartitionPlan, lookahead_window
+from repro.shard.session import SHARDABLE_KINDS, run_sharded
+
+__all__ = ["PartitionPlan", "lookahead_window", "run_sharded",
+           "SHARDABLE_KINDS"]

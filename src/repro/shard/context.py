@@ -1,0 +1,197 @@
+"""Per-worker shard state: ownership, egress buffering, window loop.
+
+A :class:`ShardContext` binds to the worker's :class:`Machine` replica
+(every worker builds the *full* machine deterministically — SPMD — but
+simulates only its own nodes).  It intercepts the network fast path for
+messages whose destination node lives on another shard
+(:meth:`export_unicast` / :meth:`export_group_member`), and replaces
+:meth:`Machine.run_threads` with the conservative-window loop
+(:meth:`run_threads`): run the local kernel up to the window horizon,
+hand buffered egress to the parent router, receive the arrivals routed
+here, advance to the next globally-agreed window.
+
+Egress entries carry their arrival time, injecting source node and the
+delivery-phase key material (``seq`` / group id), so the receiving
+shard replays each arrival through
+:meth:`~repro.sim.kernel.Simulator._push_delivery` with *exactly* the
+key the single-process kernel would have used — that, plus the keys
+depending only on sender-local history, is the whole determinism
+argument (see ``docs/performance.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.shard.plan import PartitionPlan
+from repro.shard.wire import (ExportTable, decode_message, encode_message)
+from repro.sim.kernel import SimulationError
+from repro.sim.primitives import all_of
+
+#: worker -> parent message tags
+SYNC = "sync"
+#: parent -> worker message tags
+RUN = "run"
+STOP = "stop"
+DEADLOCK = "deadlock"
+
+#: context the next-constructed Machine in this process binds to
+_ACTIVE: Optional["ShardContext"] = None
+
+
+def activate(ctx: "ShardContext") -> None:
+    global _ACTIVE
+    _ACTIVE = ctx
+
+
+def maybe_bind(machine) -> None:
+    """Called from ``Machine.__init__``: adopt the machine being built
+    by the active shard worker (no-op in ordinary processes)."""
+    global _ACTIVE
+    if _ACTIVE is not None and _ACTIVE.machine is None:
+        ctx, _ACTIVE = _ACTIVE, None
+        ctx.bind(machine)
+
+
+class ShardContext:
+    """One worker's view of a partitioned run."""
+
+    def __init__(self, shard_id: int, plan: PartitionPlan, window: int,
+                 conn) -> None:
+        self.shard_id = shard_id
+        self.plan = plan
+        #: conservative window width (cycles); 0 = single shard, no cap
+        self.window = window
+        self.conn = conn
+        self.exports = ExportTable(shard_id)
+        self.machine = None
+        self._lo = plan.bounds[shard_id]
+        self._hi = plan.bounds[shard_id + 1]
+        self._cpu_lo = self._cpu_hi = 0
+        #: buffered cross-shard sends for the current window, in
+        #: injection order: ("u", arrival, src, seq, msg) unicasts and
+        #: ("g", arrival, src, gid, msg) multicast group members
+        self._egress: list[tuple] = []
+        #: run_threads invocations so far (lockstep check across shards)
+        self.phase = 0
+
+    # ------------------------------------------------------------------
+    # ownership
+    # ------------------------------------------------------------------
+    def owns_node(self, node: int) -> bool:
+        return self._lo <= node < self._hi
+
+    def owns_cpu(self, cpu_id: int) -> bool:
+        return self._cpu_lo <= cpu_id < self._cpu_hi
+
+    def bind(self, machine) -> None:
+        if machine.config.network.model_link_contention or \
+                machine.config.network.model_router_contention:
+            raise SimulationError(
+                "sharded execution supports only the latency-only "
+                "network fast path (contention modelling is per-packet "
+                "and order-dependent across shards)")
+        self.machine = machine
+        cpn = machine.config.cpus_per_node
+        self._cpu_lo = self._lo * cpn
+        self._cpu_hi = self._hi * cpn
+        machine.shard = self
+        machine.net.shard = self
+
+    # ------------------------------------------------------------------
+    # egress (called from Network.send / send_multicast fast paths)
+    # ------------------------------------------------------------------
+    def export_unicast(self, arrival: int, src: int, seq: int, msg) -> None:
+        self._egress.append(
+            ("u", arrival, src, seq, encode_message(msg, self.exports)))
+
+    def export_group_member(self, arrival: int, src: int, gid: int,
+                            msg) -> None:
+        self._egress.append(
+            ("g", arrival, src, gid, encode_message(msg, self.exports)))
+
+    # ------------------------------------------------------------------
+    # ingress
+    # ------------------------------------------------------------------
+    def inject(self, entries: list[tuple]) -> None:
+        """Replay arrivals routed here, reconstructing delivery-phase
+        keys and multicast grouping exactly as the sender's kernel
+        would have pushed them."""
+        sim = self.machine.sim
+        net = self.machine.net
+        groups: dict[tuple[int, int, int], list] = {}
+        for tag, arrival, src, seq, wire_msg in entries:
+            msg = decode_message(wire_msg, self.exports)
+            if tag == "u":
+                sim._push_delivery(arrival, (src, seq),
+                                   (net._deliver, (msg,)))
+            else:
+                key = (arrival, src, seq)
+                group = groups.get(key)
+                if group is None:
+                    groups[key] = group = []
+                    sim._push_delivery(arrival, (src, seq),
+                                       (net._deliver_group, (group,)))
+                group.append(msg)
+
+    # ------------------------------------------------------------------
+    # the conservative-window loop
+    # ------------------------------------------------------------------
+    def run_threads(self, machine, thread_fn, cpus=None,
+                    max_events=None) -> list:
+        """Windowed replacement for :meth:`Machine.run_threads`.
+
+        Spawns threads only on this shard's CPUs, then alternates
+        *sync* rounds with the parent router and bounded kernel runs
+        until every shard is drained.  On return, ``sim.now`` and
+        ``machine.last_completion_time`` equal the single-process
+        values (the parent broadcasts the global maxima), so the next
+        phase of an SPMD driver starts from identical state.
+        """
+        if max_events is not None:
+            raise SimulationError(
+                "max_events is not supported under sharded execution")
+        sim = machine.sim
+        self.phase += 1
+        targets = machine.cpus if cpus is None \
+            else [machine.cpus[i] for i in cpus]
+        targets = [p for p in targets if self.owns_cpu(p.cpu_id)]
+        completion: dict[str, int] = {}
+
+        def _main():
+            procs = [sim.spawn(thread_fn(p), name=f"thread-cpu{p.cpu_id}")
+                     for p in targets]
+            results = yield from all_of(sim, procs)
+            completion["t"] = sim.now
+            return results
+
+        proc = sim.spawn(_main(), name=f"run_threads[shard{self.shard_id}]")
+        window = self.window
+        while True:
+            egress, self._egress = self._egress, []
+            self.conn.send((SYNC, self.phase, sim.next_event_time(),
+                            egress, proc.done, completion.get("t"),
+                            sim.now))
+            tag, *rest = self.conn.recv()
+            if tag == RUN:
+                start, deliveries = rest
+                self.inject(deliveries)
+                # single-shard plans have no cross traffic: no horizon
+                sim.run(until=None if window == 0 else start + window - 1)
+            elif tag == STOP:
+                global_now, global_completion = rest
+                # align the clock with the single-process drain point
+                # (safe: every queue is empty at STOP)
+                sim.now = max(sim.now, global_now)
+                machine.last_completion_time = global_completion
+                break
+            else:  # DEADLOCK
+                (live,) = rest
+                raise SimulationError(
+                    f"deadlock: {live} thread group(s) still blocked "
+                    f"across shards at t={sim.now}")
+        if not proc.done:
+            raise SimulationError(
+                f"shard {self.shard_id}: run_threads main still blocked "
+                f"at t={sim.now}")
+        return proc.result

@@ -1,0 +1,104 @@
+"""Partitioning one machine's nodes across shards, and the lookahead.
+
+A :class:`PartitionPlan` assigns each *node* (hub + its CPUs) to exactly
+one shard as a contiguous block.  Contiguity matters twice over: it
+keeps each shard's CPUs dense (the SPMD drivers spawn threads in CPU
+order), and on the fat tree it maximizes the *lookahead* — the minimum
+latency of any cross-shard message, which bounds how far a shard may
+simulate ahead of its peers without risk of a late arrival (the
+conservative-window guarantee).
+
+For contiguous blocks the minimum cross-shard hop count is attained by
+a boundary-adjacent node pair: any subtree of the fat tree covers a
+contiguous node range, so a subtree containing nodes on both sides of a
+boundary ``b`` also contains ``b - 1`` and ``b``.  The lookahead scan
+is therefore O(shards), not O(nodes²); tests brute-force small machines
+to pin this.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.network.topology import shared_topology
+
+
+class ShardPlanError(ValueError):
+    """An invalid shard count or partition for the given machine."""
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Contiguous assignment of ``n_nodes`` nodes to ``n_shards`` shards.
+
+    ``bounds`` has ``n_shards + 1`` entries; shard ``s`` owns nodes
+    ``range(bounds[s], bounds[s + 1])``.
+    """
+
+    n_nodes: int
+    n_shards: int
+    bounds: tuple[int, ...]
+
+    @classmethod
+    def contiguous(cls, n_nodes: int, n_shards: int) -> "PartitionPlan":
+        """Even contiguous split (the first shards absorb any remainder)."""
+        if n_shards < 1:
+            raise ShardPlanError(f"need at least one shard, got {n_shards}")
+        if n_shards > n_nodes:
+            raise ShardPlanError(
+                f"{n_shards} shards for {n_nodes} nodes: every shard "
+                "must own at least one node (hub)")
+        base, extra = divmod(n_nodes, n_shards)
+        bounds = [0]
+        for s in range(n_shards):
+            bounds.append(bounds[-1] + base + (1 if s < extra else 0))
+        return cls(n_nodes=n_nodes, n_shards=n_shards, bounds=tuple(bounds))
+
+    def validate(self) -> None:
+        b = self.bounds
+        if (len(b) != self.n_shards + 1 or b[0] != 0
+                or b[-1] != self.n_nodes
+                or any(b[i] >= b[i + 1] for i in range(self.n_shards))):
+            raise ShardPlanError(f"malformed bounds {b!r}")
+
+    def shard_of_node(self, node: int) -> int:
+        return bisect_right(self.bounds, node) - 1
+
+    def nodes_of(self, shard: int) -> range:
+        return range(self.bounds[shard], self.bounds[shard + 1])
+
+    def cpus_of(self, shard: int, cpus_per_node: int) -> range:
+        return range(self.bounds[shard] * cpus_per_node,
+                     self.bounds[shard + 1] * cpus_per_node)
+
+    def min_cross_shard_hops(self, radix: int) -> int:
+        """Fewest hops any cross-shard message can travel.
+
+        Boundary-adjacent pairs attain the minimum for contiguous
+        blocks (see module docstring).
+        """
+        if self.n_shards == 1:
+            return 0
+        topo = shared_topology(self.n_nodes, radix=radix)
+        return min(topo.hops(b - 1, b) for b in self.bounds[1:-1])
+
+
+def lookahead_window(plan: PartitionPlan, network_config) -> int:
+    """Conservative window width in cycles: the minimum latency of any
+    cross-shard message.  A message injected at time ``t`` inside the
+    window ``[T, T + W)`` arrives no earlier than ``t + W >= T + W``,
+    i.e. never inside the window that produced it — so shards can run a
+    whole window without hearing from each other.  Returns 0 for a
+    single-shard plan (no cross traffic: windows are unbounded).
+    """
+    if plan.n_shards == 1:
+        return 0
+    hops = plan.min_cross_shard_hops(network_config.router_radix)
+    window = hops * network_config.hop_latency_cycles
+    if window < 1:
+        raise ShardPlanError(
+            "cross-shard lookahead is zero (hop latency "
+            f"{network_config.hop_latency_cycles}); sharded execution "
+            "needs a positive minimum cross-shard latency")
+    return window

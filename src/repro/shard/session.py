@@ -1,0 +1,230 @@
+"""The parent-side shard session: spawn, route, synchronize, merge.
+
+:func:`run_sharded` runs one workload driver (``barrier`` or ``lock``)
+partitioned across ``shards`` worker processes.  Every worker executes
+the *same* driver (SPMD) on a full deterministic replica of the machine
+but simulates only its own contiguous node block; the parent is a pure
+star router that never simulates anything:
+
+1. gather one SYNC message per worker — its next local event time, its
+   buffered cross-shard egress, and whether its thread group finished;
+2. route each egress entry to the shard owning its destination node;
+3. compute the next global window start ``T`` = min(next event times,
+   in-flight arrival times) and broadcast RUN(T, deliveries) — each
+   worker then simulates ``[T, T + W)`` without further coordination;
+4. when no events remain anywhere: broadcast STOP with the global
+   maximum clock/completion time (so every replica's next SPMD phase
+   starts from single-process-identical state), or DEADLOCK if thread
+   groups are still blocked.
+
+One round trip per window, messages exchanged only at boundaries — the
+classic conservative null-message discipline, with the lookahead ``W``
+coming from the minimum cross-shard hop latency
+(:func:`repro.shard.plan.lookahead_window`).
+
+Workers' results are merged by summing per-shard traffic counters and
+event counts (each packet is recorded exactly once, on its sender's
+shard) and concatenating latency samples in shard order; global scalars
+(cycles, episode counts) are asserted identical across shards — any
+mismatch means the determinism contract broke and is raised loudly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections import Counter
+from dataclasses import replace
+from typing import Any, Optional
+
+from repro.config.parameters import SystemConfig
+from repro.network.stats import TrafficStats
+from repro.shard.context import DEADLOCK, RUN, STOP, SYNC
+from repro.shard.plan import PartitionPlan, ShardPlanError, lookahead_window
+from repro.shard.worker import worker_main
+from repro.sim.kernel import SimulationError
+from repro.stats.collector import LatencyStats
+
+#: run kinds whose drivers are SPMD-replicable (pure thread-spawning
+#: drivers with no cross-CPU host-side state besides the merged stats)
+SHARDABLE_KINDS = frozenset({"barrier", "lock"})
+
+#: driver kwargs that cannot cross a process boundary or require
+#: single-process execution (observers hold per-run host state; custom
+#: configs may enable contention modelling mid-flight)
+_UNSHARDABLE_KWARGS = ("metrics", "metrics_interval", "config",
+                       "warm_cache", "max_events")
+
+
+class ShardSessionError(SimulationError):
+    """A sharded run broke its protocol or determinism contract."""
+
+
+def _mp_context(name: Optional[str] = None):
+    if name is not None:
+        return multiprocessing.get_context(name)
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def run_sharded(kind: str, kwargs: dict[str, Any], shards: int,
+                mp_context: Optional[str] = None) -> Any:
+    """Execute one driver run partitioned across ``shards`` processes.
+
+    Returns the same result object the single-process driver returns,
+    with cycle- and message-identical contents (``events_dispatched``
+    excepted — it counts host-side kernel events, which legitimately
+    differ when a multicast fan-out group is split across shards).
+    """
+    if kind not in SHARDABLE_KINDS:
+        raise ShardSessionError(
+            f"run kind {kind!r} is not shardable (supported: "
+            f"{sorted(SHARDABLE_KINDS)})")
+    for bad in _UNSHARDABLE_KWARGS:
+        if kwargs.get(bad):
+            raise ShardSessionError(
+                f"driver option {bad!r} is not supported under sharded "
+                "execution; run single-process")
+    cfg = SystemConfig.table1(kwargs["n_processors"])
+    try:
+        plan = PartitionPlan.contiguous(cfg.n_nodes, shards)
+        plan.validate()
+        window = lookahead_window(plan, cfg.network)
+    except ShardPlanError as exc:
+        raise ShardSessionError(str(exc)) from exc
+
+    ctx = _mp_context(mp_context)
+    conns = []
+    procs = []
+    try:
+        for s in range(shards):
+            parent_end, child_end = ctx.Pipe()
+            proc = ctx.Process(
+                target=worker_main,
+                args=(child_end, s, plan, window, kind, kwargs),
+                name=f"repro-shard-{s}", daemon=True)
+            proc.start()
+            child_end.close()
+            conns.append(parent_end)
+            procs.append(proc)
+        results = _route(conns, plan)
+    finally:
+        for conn in conns:
+            conn.close()
+        for proc in procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - cleanup path
+                proc.terminate()
+                proc.join()
+    return _merge_results(kind, results)
+
+
+# ----------------------------------------------------------------------
+# the star router
+# ----------------------------------------------------------------------
+def _route(conns: list, plan: PartitionPlan) -> list:
+    """Relay window-boundary rounds until every worker returns a result."""
+    shards = len(conns)
+    results: list = [None] * shards
+    while True:
+        msgs = [conn.recv() for conn in conns]
+        tags = {m[0] for m in msgs}
+        if "error" in tags:
+            failed = [(s, m[1]) for s, m in enumerate(msgs)
+                      if m[0] == "error"]
+            detail = "\n".join(f"--- shard {s} ---\n{tb}"
+                               for s, tb in failed)
+            raise ShardSessionError(
+                f"{len(failed)} shard worker(s) failed:\n{detail}")
+        if tags == {"result"}:
+            for s, m in enumerate(msgs):
+                results[s] = m[1]
+            return results
+        if tags != {SYNC}:
+            raise ShardSessionError(
+                f"shards desynchronized: mixed round tags {sorted(tags)}")
+        phases = {m[1] for m in msgs}
+        if len(phases) > 1:
+            raise ShardSessionError(
+                f"shards desynchronized: run_threads phases {sorted(phases)}")
+
+        # gather: next event times, in-flight arrivals, liveness
+        next_t: Optional[int] = None
+        all_done = True
+        max_now = 0
+        max_completion: Optional[int] = None
+        deliveries: list[list] = [[] for _ in range(shards)]
+        for _, _, local_next, egress, done, completion, now in msgs:
+            if local_next is not None and (next_t is None
+                                           or local_next < next_t):
+                next_t = local_next
+            all_done = all_done and done
+            if now > max_now:
+                max_now = now
+            if completion is not None and (max_completion is None
+                                           or completion > max_completion):
+                max_completion = completion
+            for entry in egress:
+                # entry = (tag, arrival, src, seq, wire_msg)
+                arrival = entry[1]
+                if next_t is None or arrival < next_t:
+                    next_t = arrival
+                deliveries[plan.shard_of_node(entry[4].dst_node)]\
+                    .append(entry)
+
+        if next_t is None:
+            if all_done:
+                for conn in conns:
+                    conn.send((STOP, max_now, max_completion))
+            else:
+                for conn in conns:
+                    conn.send((DEADLOCK, sum(1 for m in msgs if not m[4])))
+        else:
+            for s, conn in enumerate(conns):
+                conn.send((RUN, next_t, deliveries[s]))
+
+
+# ----------------------------------------------------------------------
+# result merging
+# ----------------------------------------------------------------------
+def _merge_traffic(parts: list[TrafficStats]) -> TrafficStats:
+    out = TrafficStats()
+    for part in parts:
+        out.messages.update(part.messages)
+        out.bytes.update(part.bytes)
+        out.hop_bytes.update(part.hop_bytes)
+        out.local_messages.update(part.local_messages)
+        out.retransmits += part.retransmits
+    # drop zero-count keys Counter.update may leave behind so the merged
+    # counters compare equal to a single-process run's
+    for counter in (out.messages, out.bytes, out.hop_bytes,
+                    out.local_messages):
+        for key in [k for k, v in counter.items() if not v]:
+            del counter[key]
+    return out
+
+
+def _merge_results(kind: str, results: list) -> Any:
+    base = results[0]
+    if len(results) == 1:
+        return base
+    cycles = {r.total_cycles for r in results}
+    if len(cycles) > 1:
+        raise ShardSessionError(
+            "shards disagree on total_cycles "
+            f"({sorted(cycles)}): determinism contract violated")
+    traffic = _merge_traffic([r.traffic for r in results])
+    events = sum(r.events_dispatched for r in results)
+    if kind == "barrier":
+        return replace(base, traffic=traffic, events_dispatched=events)
+    latency = LatencyStats(name=base.acquire_latency.name)
+    for r in results:
+        latency.extend(r.acquire_latency._samples)
+    acquisitions = sum(
+        len(r.acquire_latency._samples) for r in results)
+    if acquisitions != base.acquisitions:
+        raise ShardSessionError(
+            f"sharded acquisition count {acquisitions} != expected "
+            f"{base.acquisitions}: some CPU ran on no shard or twice")
+    return replace(base, traffic=traffic, events_dispatched=events,
+                   acquire_latency=latency)

@@ -1,0 +1,149 @@
+"""Cross-shard message encoding: plain data travels, identities don't.
+
+Messages crossing a shard boundary are pickled over a pipe, which is
+fine for value-like fields (ints, strings, enums, word dicts,
+:class:`~repro.amu.ops.AmoCommand`) but wrong for *identity-bearing*
+objects: a :class:`~repro.sim.primitives.Signal` a requester is blocked
+on, the ``AckLatch`` counting an invalidation wave's acks, the
+``(requester_msg, done)`` pair riding an INTERVENTION.  Pickling those
+would produce useless copies — firing a copy resumes nobody.
+
+The codec therefore replaces any non-plain object with a
+:class:`RemoteRef` tagged with its *origin shard* and an index into
+that shard's export table (the table keeps the object alive, so the
+index stays valid for the whole run).  Refs travel opaquely — a remote
+shard can copy one into a reply's ``reply_to`` or forward it inside a
+payload, exactly as the protocol copies the live objects — and are
+resolved back to the original object only when a message carrying them
+is decoded *at the origin shard*.  The protocol guarantees that is the
+only place they are ever used: replies deliver where their signal
+lives, INV_ACKs deliver at the wave's home, interventions' ``done``
+fires at the home that created it.  A ref used anywhere else fails
+loudly (``AttributeError`` on a ``RemoteRef``), never silently.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.amu.ops import AmoCommand
+from repro.network.message import Message
+
+#: types that cross the wire by value, as themselves
+_PLAIN = (int, str, bool, float, bytes, type(None))
+
+
+class RemoteRef:
+    """Opaque stand-in for an identity-bearing object on another shard."""
+
+    __slots__ = ("shard", "idx")
+
+    def __init__(self, shard: int, idx: int) -> None:
+        self.shard = shard
+        self.idx = idx
+
+    def __reduce__(self):
+        return (RemoteRef, (self.shard, self.idx))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RemoteRef shard={self.shard} #{self.idx}>"
+
+
+class ExportTable:
+    """Per-shard registry of exported identity-bearing objects.
+
+    Holds a strong reference to every exported object, so ``id()``
+    keys stay unique and refs stay resolvable for the whole run.
+    """
+
+    def __init__(self, shard: int) -> None:
+        self.shard = shard
+        self._objects: list[Any] = []
+        self._index: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def ref(self, obj: Any) -> RemoteRef:
+        idx = self._index.get(id(obj))
+        if idx is None:
+            idx = len(self._objects)
+            self._objects.append(obj)
+            self._index[id(obj)] = idx
+        return RemoteRef(self.shard, idx)
+
+    def resolve(self, ref: RemoteRef) -> Any:
+        if ref.shard != self.shard:
+            raise LookupError(
+                f"{ref!r} belongs to shard {ref.shard}, not {self.shard}")
+        return self._objects[ref.idx]
+
+
+def encode_value(value: Any, table: ExportTable) -> Any:
+    """Recursively replace identity-bearing objects with refs."""
+    if isinstance(value, _PLAIN) or isinstance(value, enum.Enum):
+        return value
+    if isinstance(value, RemoteRef) or isinstance(value, AmoCommand):
+        # already a ref (forwarded), or pure value data: travels as-is
+        return value
+    if isinstance(value, Message):
+        return encode_message(value, table)
+    if isinstance(value, tuple):
+        return tuple(encode_value(v, table) for v in value)
+    if isinstance(value, list):
+        return [encode_value(v, table) for v in value]
+    if isinstance(value, dict):
+        return {k: encode_value(v, table) for k, v in value.items()}
+    return table.ref(value)
+
+
+def decode_value(value: Any, table: ExportTable) -> Any:
+    """Resolve refs that originated *here*; foreign refs stay opaque."""
+    if isinstance(value, _PLAIN) or isinstance(value, enum.Enum):
+        return value
+    if isinstance(value, RemoteRef):
+        return table.resolve(value) if value.shard == table.shard else value
+    if isinstance(value, AmoCommand):
+        return value
+    if isinstance(value, Message):
+        return decode_message(value, table)
+    if isinstance(value, tuple):
+        return tuple(decode_value(v, table) for v in value)
+    if isinstance(value, list):
+        return [decode_value(v, table) for v in value]
+    if isinstance(value, dict):
+        return {k: decode_value(v, table) for k, v in value.items()}
+    return value
+
+
+def encode_message(msg: Message, table: ExportTable) -> Message:
+    """A shallow copy of ``msg`` whose live-object fields became refs.
+
+    ``msg_id`` is preserved (it is a host-side debug id; re-numbering
+    would burn the global counter differently per shard).
+    """
+    out = Message.__new__(Message)
+    out.kind = msg.kind
+    out.src_node = msg.src_node
+    out.dst_node = msg.dst_node
+    out.addr = msg.addr
+    out.value = encode_value(msg.value, table)
+    out.payload = encode_value(msg.payload, table)
+    out.reply_to = None if msg.reply_to is None \
+        else encode_value(msg.reply_to, table)
+    out.requester = msg.requester
+    out.dst_cpu = msg.dst_cpu
+    out.is_retransmit = msg.is_retransmit
+    out.size_bytes = msg.size_bytes
+    out.msg_id = msg.msg_id
+    return out
+
+
+def decode_message(msg: Message, table: ExportTable) -> Message:
+    """In-place resolution of this shard's refs (the copy is private)."""
+    msg.value = decode_value(msg.value, table)
+    msg.payload = decode_value(msg.payload, table)
+    if msg.reply_to is not None:
+        msg.reply_to = decode_value(msg.reply_to, table)
+    return msg

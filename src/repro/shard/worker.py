@@ -1,0 +1,44 @@
+"""Shard worker entry point: run the whole driver, simulate one block.
+
+Each worker process activates a :class:`~repro.shard.context.ShardContext`
+and then runs the *unmodified* workload driver.  The first
+:class:`~repro.core.machine.Machine` the driver builds binds to the
+context (see :func:`repro.shard.context.maybe_bind`); from then on the
+machine's ``run_threads`` is the conservative-window loop and its
+network exports cross-shard packets instead of delivering them.
+
+Running the full driver everywhere (SPMD) rather than carving the
+driver up is what keeps the replicas deterministic: every shard builds
+the identical machine, performs the identical warm-up/measure phase
+structure, and computes the identical global scalars — only the set of
+CPUs it *simulates* differs.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+
+def worker_main(conn, shard_id: int, plan, window: int, kind: str,
+                kwargs: dict) -> None:
+    """Process target: execute ``kind``'s driver as shard ``shard_id``."""
+    try:
+        # registers the builtin kinds on import — needed under "spawn"
+        from repro.runner.spec import _KIND_REGISTRY
+        from repro.shard.context import ShardContext, activate
+
+        ctx = ShardContext(shard_id, plan, window, conn)
+        activate(ctx)
+        result = _KIND_REGISTRY[kind](**kwargs)
+        if ctx.machine is None:
+            raise RuntimeError(
+                f"driver {kind!r} finished without building a Machine; "
+                "nothing was sharded")
+        conn.send(("result", result))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:  # pragma: no cover - parent already gone
+            pass
+    finally:
+        conn.close()

@@ -16,16 +16,27 @@ CPython's tuple free list makes them cheaper than any pooled record
 object — and drained buckets are cleared and recycled, so steady-state
 scheduling allocates almost nothing.
 
-Dispatch order is identical to the classic sequence-numbered heap: strict
-time order, FIFO within a cycle (ring order == schedule order).  Every
-run remains fully deterministic — a property the test suite leans on
-heavily (identical configurations must produce identical cycle counts,
-message traces, and ``events_dispatched``; see
+Dispatch order is strict time order; within one cycle, events fire in
+two phases:
+
+1. the **delivery phase** — network deliveries scheduled through
+   :meth:`Simulator._push_delivery`, dispatched in ``(src, seq)`` key
+   order, where ``src`` is the injecting node and ``seq`` a per-source
+   injection sequence number.  The key depends only on the *sender's*
+   own history, never on global event interleaving, which is what makes
+   a sharded run (see :mod:`repro.shard`) dispatch same-cycle arrivals
+   in exactly the order the single-process kernel does;
+2. everything else, FIFO in schedule order (ring order == push order).
+
+Every run remains fully deterministic — a property the test suite leans
+on heavily (identical configurations must produce identical cycle
+counts, message traces, and ``events_dispatched``; see
 ``tests/integration/test_determinism_parity.py``).
 
-Only two things ever enter the queue: plain callbacks scheduled with
-:meth:`Simulator.schedule`, and coroutine resumptions scheduled internally
-by the waitable primitives in :mod:`repro.sim.primitives`.
+Only three things ever enter the queue: plain callbacks scheduled with
+:meth:`Simulator.schedule`, coroutine resumptions scheduled internally
+by the waitable primitives in :mod:`repro.sim.primitives`, and network
+deliveries keyed through :meth:`Simulator._push_delivery`.
 """
 
 from __future__ import annotations
@@ -76,6 +87,9 @@ class Simulator:
         self._times: list[int] = []
         #: recycled (cleared) bucket lists
         self._bucket_pool: list[list] = []
+        #: future time -> list of ``(key, event)`` delivery-phase entries,
+        #: sorted by key and dispatched *before* the regular bucket
+        self._phase: dict[int, list] = {}
         self._running = False
         self.trace = trace
         self.trace_log: list[tuple[int, str]] = []
@@ -117,6 +131,27 @@ class Simulator:
             self._buckets[when] = bucket
             heapq.heappush(self._times, when)
         bucket.append(ev)
+
+    def _push_delivery(self, when: int, key: tuple, ev: tuple) -> None:
+        """Queue a network delivery for the cycle-start delivery phase.
+
+        ``key`` must be ``(src, seq)`` with ``seq`` strictly increasing
+        per ``src`` — unique keys, totally ordered, derived only from
+        the sender's own injection history.  Deliveries at ``when`` fire
+        before that cycle's regular bucket, in key order; this is the
+        canonical arrival order that sharded execution reproduces.
+        """
+        if when <= self.now:
+            raise SimulationError(
+                f"delivery must be in the future ({when} <= {self.now})")
+        if self._buckets.get(when) is None:
+            pool = self._bucket_pool
+            self._buckets[when] = pool.pop() if pool else []
+            heapq.heappush(self._times, when)
+        phase = self._phase.get(when)
+        if phase is None:
+            self._phase[when] = phase = []
+        phase.append((key, ev))
 
     # ------------------------------------------------------------------
     # processes
@@ -220,6 +255,7 @@ class Simulator:
         buckets = self._buckets
         times = self._times
         bucket_pool = self._bucket_pool
+        phase_map = self._phase
         heappop = heapq.heappop
         # -1 == unbounded (``dispatched`` only ever equals a non-negative bound)
         max_ev = -1 if max_events is None else max_events
@@ -249,6 +285,12 @@ class Simulator:
                     break
                 heappop(times)
                 self.now = when
+                phase = phase_map.pop(when, None)
+                if phase is not None:
+                    # delivery phase: canonical (src, seq) arrival order
+                    if len(phase) > 1:
+                        phase.sort()
+                    ring.extend(entry[1] for entry in phase)
                 bucket = buckets.pop(when)
                 ring.extend(bucket)
                 bucket.clear()
@@ -276,4 +318,18 @@ class Simulator:
 
     def pending_events(self) -> int:
         """Number of events currently queued (diagnostic)."""
-        return len(self._ring) + sum(len(b) for b in self._buckets.values())
+        return (len(self._ring)
+                + sum(len(b) for b in self._buckets.values())
+                + sum(len(p) for p in self._phase.values()))
+
+    def next_event_time(self) -> Optional[int]:
+        """Earliest time any queued event is due, or ``None`` if drained.
+
+        Used by the sharded window loop to propose the next global
+        window start; ring events are due *now*.
+        """
+        if self._ring:
+            return self.now
+        if self._times:
+            return self._times[0]
+        return None

@@ -163,6 +163,29 @@ def test_per_run_timeout_enforced_serially():
     assert "exceeded" in outcomes[0].error
 
 
+@needs_fork
+def test_pool_watchdog_enforces_timeout_without_sigalrm(monkeypatch):
+    """On platforms where SIGALRM doesn't fire inside pool workers the
+    parent-side watchdog must still kill a runaway run.  The env knob
+    forces that path so the watchdog is exercised on every host."""
+    monkeypatch.setenv("REPRO_DISABLE_SIGALRM", "1")
+    runner = ParallelRunner(jobs=2, timeout=0.3, retries=0)
+    start = time.monotonic()
+    outcomes = runner.run_outcomes([RunSpec.make("t-sleep", seconds=30)])
+    elapsed = time.monotonic() - start
+    assert isinstance(outcomes[0], RunFailure)
+    assert "watchdog" in outcomes[0].error
+    assert outcomes[0].attempts == 1        # timeouts are terminal
+    assert elapsed < 10                     # killed, not waited out
+
+
+@needs_fork
+def test_pool_watchdog_leaves_fast_runs_alone(monkeypatch):
+    monkeypatch.setenv("REPRO_DISABLE_SIGALRM", "1")
+    runner = ParallelRunner(jobs=2, timeout=5.0)
+    assert runner.run([RunSpec.make("t-echo", value=11)]) == [11]
+
+
 # ---------------------------------------------------------------------------
 # observability
 # ---------------------------------------------------------------------------

@@ -1,0 +1,82 @@
+"""Partition planning: total coverage, lookahead soundness, errors."""
+
+import pytest
+
+from repro.config.parameters import NetworkConfig
+from repro.network.topology import shared_topology
+from repro.shard.plan import (PartitionPlan, ShardPlanError,
+                              lookahead_window)
+
+
+@pytest.mark.parametrize("n_nodes,n_shards", [
+    (2, 2), (8, 2), (8, 4), (16, 2), (16, 3), (16, 4), (16, 16),
+    (7, 3), (128, 4), (256, 5),
+])
+def test_every_node_assigned_exactly_once(n_nodes, n_shards):
+    plan = PartitionPlan.contiguous(n_nodes, n_shards)
+    plan.validate()
+    seen = []
+    for s in range(n_shards):
+        seen.extend(plan.nodes_of(s))
+    assert seen == list(range(n_nodes))
+    for node in range(n_nodes):
+        s = plan.shard_of_node(node)
+        assert node in plan.nodes_of(s)
+
+
+@pytest.mark.parametrize("cpus_per_node", [2, 4])
+def test_every_cpu_assigned_exactly_once(cpus_per_node):
+    plan = PartitionPlan.contiguous(16, 3)
+    seen = []
+    for s in range(plan.n_shards):
+        seen.extend(plan.cpus_of(s, cpus_per_node))
+    assert seen == list(range(16 * cpus_per_node))
+
+
+def test_remainder_goes_to_first_shards():
+    plan = PartitionPlan.contiguous(10, 4)
+    sizes = [len(plan.nodes_of(s)) for s in range(4)]
+    assert sizes == [3, 3, 2, 2]
+
+
+def test_invalid_shard_counts():
+    with pytest.raises(ShardPlanError):
+        PartitionPlan.contiguous(8, 0)
+    with pytest.raises(ShardPlanError):
+        PartitionPlan.contiguous(8, 9)
+
+
+@pytest.mark.parametrize("n_nodes,n_shards", [
+    (8, 2), (16, 2), (16, 4), (16, 3), (32, 4), (64, 8),
+])
+def test_min_hops_matches_brute_force(n_nodes, n_shards):
+    """The boundary-adjacent scan must equal the true minimum over every
+    cross-shard node pair (the contiguity argument, pinned)."""
+    plan = PartitionPlan.contiguous(n_nodes, n_shards)
+    radix = NetworkConfig().router_radix
+    topo = shared_topology(n_nodes, radix=radix)
+    brute = min(topo.hops(a, b)
+                for a in range(n_nodes) for b in range(n_nodes)
+                if plan.shard_of_node(a) != plan.shard_of_node(b))
+    assert plan.min_cross_shard_hops(radix) == brute
+
+
+@pytest.mark.parametrize("n_nodes,n_shards", [(16, 2), (16, 4), (64, 4)])
+def test_cross_shard_latency_never_below_window(n_nodes, n_shards):
+    """The conservative-window guarantee: every cross-shard message
+    travels at least ``window`` cycles."""
+    plan = PartitionPlan.contiguous(n_nodes, n_shards)
+    net = NetworkConfig()
+    window = lookahead_window(plan, net)
+    assert window >= net.hop_latency_cycles
+    topo = shared_topology(n_nodes, radix=net.router_radix)
+    for a in range(n_nodes):
+        for b in range(n_nodes):
+            if plan.shard_of_node(a) != plan.shard_of_node(b):
+                assert topo.hops(a, b) * net.hop_latency_cycles >= window
+
+
+def test_single_shard_window_is_unbounded():
+    plan = PartitionPlan.contiguous(16, 1)
+    assert plan.min_cross_shard_hops(NetworkConfig().router_radix) == 0
+    assert lookahead_window(plan, NetworkConfig()) == 0

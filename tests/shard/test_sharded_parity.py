@@ -1,0 +1,117 @@
+"""Sharded execution parity: partitioned runs equal single-process.
+
+The contract: a run partitioned across N worker processes is cycle- and
+message-identical to the same run in one process.  ``events_dispatched``
+is exempt — it counts host-side kernel events (each shard runs its own
+``run_threads`` main, and a multicast fan-out group split across shards
+costs one delivery event per shard) — except for the degenerate
+one-shard plan, which must match event for event.
+
+CI additionally verifies full golden parity at 32 CPUs on every PR and
+at 512 CPUs nightly (``tools/capture_parity.py --verify --shards N``).
+"""
+
+import pytest
+
+from repro.config.mechanism import Mechanism
+from repro.runner.spec import RunSpec, execute_spec
+from repro.shard.session import ShardSessionError, run_sharded
+from repro.workloads.barrier import run_barrier_workload
+from repro.workloads.locks import run_lock_workload
+
+BARRIER_KW = dict(n_processors=32, episodes=2, warmup_episodes=1)
+LOCK_KW = dict(n_processors=32, acquisitions_per_cpu=2, warmup_per_cpu=1)
+
+
+def _assert_traffic_equal(got, ref):
+    assert got.messages == ref.messages
+    assert got.bytes == ref.bytes
+    assert got.hop_bytes == ref.hop_bytes
+    assert got.local_messages == ref.local_messages
+    assert got.retransmits == ref.retransmits
+
+
+def test_degenerate_single_shard_is_event_identical():
+    """A one-shard plan has no windows and no cross traffic: the worker
+    must replay the exact single-process kernel schedule, down to the
+    host-side event count."""
+    kwargs = dict(BARRIER_KW, mechanism=Mechanism.AMO)
+    ref = run_barrier_workload(**kwargs)
+    got = run_sharded("barrier", kwargs, shards=1)
+    assert got.total_cycles == ref.total_cycles
+    assert got.events_dispatched == ref.events_dispatched
+    _assert_traffic_equal(got.traffic, ref.traffic)
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+@pytest.mark.parametrize("mechanism", [Mechanism.AMO, Mechanism.LLSC])
+def test_sharded_barrier_matches_single_process(mechanism, shards):
+    kwargs = dict(BARRIER_KW, mechanism=mechanism)
+    ref = run_barrier_workload(**kwargs)
+    got = run_sharded("barrier", kwargs, shards=shards)
+    assert got.total_cycles == ref.total_cycles
+    _assert_traffic_equal(got.traffic, ref.traffic)
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_sharded_lock_matches_single_process(shards):
+    """Locks exercise the cross-shard identity machinery hardest: the
+    lock word's home node serves CPUs from every shard, and acquire
+    latencies are recorded per-CPU on whichever shard runs it."""
+    kwargs = dict(LOCK_KW, mechanism=Mechanism.AMO)
+    ref = run_lock_workload(**kwargs)
+    got = run_sharded("lock", kwargs, shards=shards)
+    assert got.total_cycles == ref.total_cycles
+    _assert_traffic_equal(got.traffic, ref.traffic)
+    assert got.acquisitions == ref.acquisitions
+    assert sorted(got.acquire_latency._samples) == \
+        sorted(ref.acquire_latency._samples)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("mechanism", [Mechanism.ATOMIC, Mechanism.ACTMSG,
+                                       Mechanism.MAO])
+def test_sharded_parity_remaining_mechanisms(mechanism):
+    """The other three mechanisms (update-based, active-message and
+    memory-side-atomic protocols) at 2 shards — full-matrix coverage
+    rides in the slow tier; CI's shard-parity job covers all five
+    against the goldens on every PR."""
+    kwargs = dict(BARRIER_KW, mechanism=mechanism)
+    ref = run_barrier_workload(**kwargs)
+    got = run_sharded("barrier", kwargs, shards=2)
+    assert got.total_cycles == ref.total_cycles
+    _assert_traffic_equal(got.traffic, ref.traffic)
+
+
+def test_sharded_spec_executes_inline_and_shares_cache_key():
+    plain = RunSpec.barrier(32, Mechanism.AMO, episodes=2,
+                            warmup_episodes=1)
+    sharded = RunSpec.barrier(32, Mechanism.AMO, episodes=2,
+                              warmup_episodes=1, shards=2)
+    # execution detail, not semantics: same identity, same cache key
+    assert sharded == plain
+    assert sharded.canonical() == plain.canonical()
+    assert sharded.shards == 2
+    rec_plain = execute_spec(plain)
+    rec_shard = execute_spec(sharded)
+    assert rec_shard.result.total_cycles == rec_plain.result.total_cycles
+    _assert_traffic_equal(rec_shard.result.traffic,
+                          rec_plain.result.traffic)
+
+
+def test_unshardable_options_are_rejected():
+    with pytest.raises(ShardSessionError):
+        run_sharded("fuzz", {"n_processors": 32}, shards=2)
+    with pytest.raises(ShardSessionError):
+        run_sharded("barrier",
+                    dict(BARRIER_KW, mechanism=Mechanism.AMO,
+                         metrics=True), shards=2)
+
+
+def test_worker_errors_propagate():
+    """A failing driver in any worker surfaces as a session error with
+    the worker traceback, not a hang."""
+    with pytest.raises(ShardSessionError, match="unknown mechanism"):
+        run_sharded("barrier",
+                    dict(n_processors=32, mechanism="bogus",
+                         episodes=1, warmup_episodes=0), shards=2)

@@ -110,6 +110,75 @@ def test_build_report_all_missing(tmp_path):
     assert not any(s["present"] for s in report["sources"].values())
 
 
+def test_shard_source_excluded_from_overall_geomean(tmp_path):
+    _write(tmp_path / "BENCH_obs.json", {
+        "off": {"events_per_second": 250000},
+    })
+    _write(tmp_path / "BENCH_shard.json", {
+        "shards": 4,
+        "host": {"cores": 1},
+        "cells": [
+            {"workload": "barrier", "mechanism": "amo", "n_processors": 512,
+             "events_per_second": 70000},
+        ],
+        "aggregate_events_per_second": {"512": {"events_per_second": 70000}},
+        "vs_baseline": {"wall_speedup": 0.25},
+    })
+    report = bench_report.build_report(tmp_path, {})
+    shard = report["sources"]["shard"]
+    assert shard["present"] and shard["excluded_from_overall"]
+    assert shard["shards"] == 4 and shard["host_cores"] == 1
+    assert shard["vs_baseline"]["wall_speedup"] == 0.25
+    # the host-dependent sharded sample must not drag the headline number
+    assert report["geomean_events_per_second"] == 250000
+
+
+# ----------------------------------------------------------------------
+# bench_scale trajectory regression gate
+# ----------------------------------------------------------------------
+def _gate_cells(evps):
+    return [{"workload": "barrier", "mechanism": "amo", "n_processors": 32,
+             "events_per_second": evps[0]},
+            {"workload": "lock", "mechanism": "amo", "n_processors": 32,
+             "events_per_second": evps[1]}]
+
+
+def _gate_trajectory(evps):
+    return {"sources": {"scale": {"present": True, "samples": {
+        "barrier/amo@32": evps[0], "lock/amo@32": evps[1]}}}}
+
+
+def test_gate_trajectory_passes_within_threshold():
+    ok, msg = bench_scale.gate_trajectory(
+        _gate_cells([90000, 110000]), _gate_trajectory([100000, 100000]),
+        max_regression_pct=25.0)
+    assert ok and "geomean" in msg
+
+
+def test_gate_trajectory_fails_on_regression():
+    ok, msg = bench_scale.gate_trajectory(
+        _gate_cells([50000, 60000]), _gate_trajectory([100000, 100000]),
+        max_regression_pct=25.0)
+    assert not ok
+    assert "0.75x" in msg and "geomean 0.5" in msg
+
+
+def test_gate_trajectory_improvement_always_passes():
+    ok, _ = bench_scale.gate_trajectory(
+        _gate_cells([300000, 300000]), _gate_trajectory([100000, 100000]),
+        max_regression_pct=25.0)
+    assert ok
+
+
+def test_gate_trajectory_skips_without_overlap():
+    ok, msg = bench_scale.gate_trajectory(
+        _gate_cells([50000, 50000]),
+        {"sources": {"scale": {"present": True,
+                               "samples": {"barrier/amo@512": 1}}}},
+        max_regression_pct=25.0)
+    assert ok and "skip" in msg.lower()
+
+
 def test_report_cli_writes_document(tmp_path):
     _write(tmp_path / "BENCH_obs.json", {
         "off": {"events_per_second": 123456},

@@ -84,10 +84,25 @@ def extract_scale(doc: dict) -> dict:
     return out
 
 
+def extract_shard(doc: dict) -> dict:
+    """The sharded-execution capture (``bench_scale.py --shards N``).
+    Its absolute throughput is a *host* property — on the 1-core
+    container that produces the committed artifacts, 4 shards lose wall
+    clock by design — so its samples stay out of the overall geomean
+    and the record keeps the shard count, host core count, and
+    wall-clock speedup side by side."""
+    out = extract_scale(doc)
+    out["shards"] = doc.get("shards")
+    out["host_cores"] = (doc.get("host") or {}).get("cores")
+    out["excluded_from_overall"] = True
+    return out
+
+
 EXTRACTORS = {
     "runner": ("BENCH_runner.json", extract_runner),
     "obs": ("BENCH_obs.json", extract_obs),
     "scale": ("BENCH_scale.json", extract_scale),
+    "shard": ("BENCH_shard.json", extract_shard),
 }
 
 
@@ -102,7 +117,8 @@ def build_report(repo: Path, inputs: dict[str, Path]) -> dict:
         doc = json.loads(path.read_text())
         entry = {"file": str(path), "present": True, **extract(doc)}
         sources[name] = entry
-        all_samples.extend(entry["samples"].values())
+        if not entry.get("excluded_from_overall"):
+            all_samples.extend(entry["samples"].values())
     return {
         "benchmark": "trajectory",
         "git_sha": _git_sha(repo),

@@ -38,7 +38,18 @@ are reported but not compared.)
 
 ``--quick`` shrinks the ladder for CI smoke runs; ``--floor`` fails the
 run when the events-weighted throughput of the largest machine size
-drops below a (generous) events/second floor.
+drops below a (generous) events/second floor.  ``--gate-trajectory``
+instead gates *relatively*: the geometric mean of per-cell throughput
+against the committed ``BENCH_trajectory.json`` scale samples must not
+regress by more than ``--gate-pct`` percent — host-speed differences
+wash out of a ratio far better than any static floor.
+
+``--shards N`` runs every cell through sharded execution
+(:mod:`repro.shard`): the run is partitioned across N worker processes
+in conservative time windows, cycle-identical to single-process (cycles
+are asserted against the baseline when ``--baseline`` is given, and the
+speedup summary then also reports ``wall_speedup`` — same simulated
+work, wall-clock ratio — the honest multi-core scaling number).
 """
 
 from __future__ import annotations
@@ -97,19 +108,35 @@ def parse_cpus(values: list[str]) -> list[int]:
 
 
 def run_cell(workload: str, mechanism: Mechanism, n_processors: int,
-             repeat: int, warm_cache=None) -> dict:
+             repeat: int, warm_cache=None, shards: int = 1) -> dict:
     """Best-of-``repeat`` measurement of one (workload, mechanism, P).
 
     With a ``warm_cache``, the first repeat builds + warms the machine
     and snapshots it; later repeats restore and replay the measured
     phase only.  Events and cycles must match across all repeats.
+    ``shards > 1`` partitions each run across worker processes instead
+    (mutually exclusive with warm-start; every repeat spawns a fresh
+    process group, so the wall time includes that overhead — exactly
+    what a user of ``--shards`` pays).
     """
     best = math.inf
     events = None
     cycles = None
     for _ in range(repeat):
         t0 = time.perf_counter()
-        if workload == "barrier":
+        if shards > 1:
+            from repro.shard.session import run_sharded
+            if workload == "barrier":
+                res = run_sharded("barrier", dict(
+                    n_processors=n_processors, mechanism=mechanism,
+                    episodes=BARRIER_EPISODES,
+                    warmup_episodes=BARRIER_WARMUP), shards)
+            else:
+                res = run_sharded("lock", dict(
+                    n_processors=n_processors, mechanism=mechanism,
+                    acquisitions_per_cpu=LOCK_ACQUISITIONS,
+                    warmup_per_cpu=LOCK_WARMUP), shards)
+        elif workload == "barrier":
             res = run_barrier_workload(n_processors, mechanism,
                                        episodes=BARRIER_EPISODES,
                                        warmup_episodes=BARRIER_WARMUP,
@@ -204,7 +231,38 @@ def compare(cells: list[dict], baseline_doc: dict) -> dict:
         "per_cell": per_cell,
         "geomean_speedup": round(geomean, 2),
         "events_weighted_speedup": round(weighted, 2),
+        # same simulated work (cycles asserted equal above), wall-clock
+        # ratio — the scaling number sharded runs are judged by
+        "wall_speedup": round(wall_base / wall_cur, 2),
     }
+
+
+def gate_trajectory(cells: list[dict], trajectory_doc: dict,
+                    max_regression_pct: float) -> tuple[bool, str]:
+    """Relative perf gate against the committed trajectory capture.
+
+    Compares the geometric mean of per-cell throughput ratios (this run
+    / the trajectory's ``sources.scale.samples`` entry) and fails when
+    it regresses by more than ``max_regression_pct`` percent.  Cells
+    with no trajectory sample are skipped — the gate follows whatever
+    ladder the trajectory last recorded.
+    """
+    samples = (trajectory_doc.get("sources", {})
+               .get("scale", {}).get("samples", {}))
+    ratios = []
+    for cell in cells:
+        ref = samples.get(cell_key(cell))
+        if ref:
+            ratios.append(cell["events_per_second"] / ref)
+    if not ratios:
+        return True, ("trajectory gate skipped: no overlapping cells "
+                      "in the trajectory's scale samples")
+    geomean = math.exp(sum(map(math.log, ratios)) / len(ratios))
+    threshold = 1.0 - max_regression_pct / 100.0
+    detail = (f"geomean {geomean:.2f}x vs trajectory over {len(ratios)} "
+              f"cell(s), threshold {threshold:.2f}x "
+              f"(-{max_regression_pct:.0f}%)")
+    return geomean >= threshold, detail
 
 
 def main(argv=None) -> int:
@@ -227,6 +285,19 @@ def main(argv=None) -> int:
     parser.add_argument("--floor", type=float, default=None,
                         help="fail if events/s at the largest size falls "
                              "below this floor")
+    parser.add_argument("--gate-trajectory", default=None,
+                        help="BENCH_trajectory.json to gate against: fail "
+                             "when the geomean per-cell throughput "
+                             "regresses more than --gate-pct percent")
+    parser.add_argument("--gate-pct", type=float, default=25.0,
+                        help="max tolerated geomean regression for "
+                             "--gate-trajectory (default 25%%)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="partition every run across N shard worker "
+                             "processes (repro.shard); implies --no-warm")
+    parser.add_argument("--barrier-only", action="store_true",
+                        help="skip the lock cells (huge machines: lock "
+                             "runs serialize P acquisitions)")
     parser.add_argument("--out", default="BENCH_scale.json",
                         help="output path, or - for stdout")
     args = parser.parse_args(argv)
@@ -236,15 +307,17 @@ def main(argv=None) -> int:
     repeat = 1 if args.quick and args.repeat == 3 else args.repeat
     mechs = ([Mechanism(m) for m in args.mechanisms]
              if args.mechanisms else list(Mechanism))
-    warm = (WarmCache is not None) and not args.no_warm
+    warm = (WarmCache is not None) and not args.no_warm \
+        and args.shards <= 1
+    workloads = ("barrier",) if args.barrier_only else ("barrier", "lock")
 
     cells = []
     for p in cpus:
         warm_cache = WarmCache() if warm else None
         for mech in mechs:
-            for workload in ("barrier", "lock"):
+            for workload in workloads:
                 cell = run_cell(workload, mech, p, repeat,
-                                warm_cache=warm_cache)
+                                warm_cache=warm_cache, shards=args.shards)
                 cells.append(cell)
                 print(f"{cell_key(cell):>24s}  {cell['events']:>9d} ev  "
                       f"{cell['wall_seconds']:7.3f}s  "
@@ -255,6 +328,7 @@ def main(argv=None) -> int:
         "cpus": cpus,
         "repeat": repeat,
         "warm_start": warm,
+        "shards": args.shards,
         "barrier_episodes": BARRIER_EPISODES,
         "lock_acquisitions_per_cpu": LOCK_ACQUISITIONS,
         "host": {
@@ -289,6 +363,14 @@ def main(argv=None) -> int:
             return 1
         print(f"floor check OK: {got['events_per_second']} ev/s at "
               f"{largest} CPUs (floor {args.floor:.0f})")
+
+    if args.gate_trajectory:
+        trajectory_doc = json.loads(Path(args.gate_trajectory).read_text())
+        ok, detail = gate_trajectory(cells, trajectory_doc, args.gate_pct)
+        if not ok:
+            print(f"FAIL: trajectory regression gate: {detail}")
+            return 1
+        print(f"trajectory gate OK: {detail}")
     return 0
 
 

@@ -27,7 +27,9 @@ import argparse
 import json
 from pathlib import Path
 
-from repro.harness.parity import capture_all, diff_documents
+from repro.config.mechanism import Mechanism
+from repro.harness.parity import (SHARD_EXEMPT_KEYS, capture_all,
+                                  diff_documents)
 
 GOLDEN_DIR = Path(__file__).resolve().parent.parent / \
     "tests" / "integration" / "golden"
@@ -43,29 +45,53 @@ def main(argv=None) -> int:
                         help="fingerprint barriers only (large machines: "
                              "lock runs serialize P acquisitions and "
                              "dominate capture time)")
+    parser.add_argument("--mechanisms", nargs="+", default=None,
+                        choices=[m.value for m in Mechanism],
+                        help="restrict to these mechanisms (default: all)")
     parser.add_argument("--verify", action="store_true",
                         help="compare a fresh capture against the golden "
                              "file instead of overwriting it")
     parser.add_argument("--warm", action="store_true",
                         help="run through the snapshot warm-start path "
                              "(proves restored == fresh when verifying)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="partition every run across N worker "
+                             "processes (repro.shard); with --verify, "
+                             "proves sharded execution reproduces the "
+                             "single-process goldens (events_dispatched "
+                             "exempt — it counts host-side events)")
     args = parser.parse_args(argv)
 
     out = Path(args.out) if args.out else \
         GOLDEN_DIR / f"parity_{args.cpus}.json"
+    if args.shards > 1 and not args.verify:
+        parser.error("--shards is verify-only: goldens are captured "
+                     "single-process (the single source of truth)")
 
     warm_cache = None
     if args.warm:
         from repro.workloads.warm import WarmCache
         warm_cache = WarmCache()
 
-    doc = capture_all(n_processors=args.cpus, warm_cache=warm_cache,
-                      barrier_only=args.barrier_only)
+    mechanisms = None
+    if args.mechanisms:
+        mechanisms = [Mechanism(v) for v in args.mechanisms]
+
+    doc = capture_all(n_processors=args.cpus, mechanisms=mechanisms,
+                      warm_cache=warm_cache,
+                      barrier_only=args.barrier_only, shards=args.shards)
 
     if args.verify:
         golden = json.loads(out.read_text())
-        drift = diff_documents(golden, doc)
-        label = "warm-start" if args.warm else "fresh"
+        if mechanisms is not None:
+            golden = dict(golden)
+            golden["fingerprints"] = {
+                m.value: golden["fingerprints"][m.value]
+                for m in mechanisms}
+        ignore = SHARD_EXEMPT_KEYS if args.shards > 1 else frozenset()
+        drift = diff_documents(golden, doc, ignore=ignore)
+        label = "warm-start" if args.warm else \
+            f"{args.shards}-shard" if args.shards > 1 else "fresh"
         if drift:
             print(f"FAIL: {label} capture drifted from {out}:")
             for line in drift:
