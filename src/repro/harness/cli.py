@@ -122,6 +122,11 @@ def main(argv=None) -> int:
                         metavar="CYCLES",
                         help="with --metrics: sample gauges every N "
                              "simulated cycles (0 = no time-series)")
+    parser.add_argument("--shards", type=int, default=1, metavar="N",
+                        help="partition every run across N worker "
+                             "processes (repro.shard conservative-window "
+                             "sharding; cycle-identical to single-process, "
+                             "composes with --metrics)")
     parser.add_argument("--metrics-out", metavar="PATH",
                         help="write the merged metrics export (JSON, "
                              "schema repro.obs.export/1) to PATH; "
@@ -172,7 +177,8 @@ def main(argv=None) -> int:
               file=sys.stderr)
         flat = ex.run_barrier_suite(cpus, episodes=args.episodes,
                                     runner=runner, metrics=args.metrics,
-                                    metrics_interval=args.metrics_interval)
+                                    metrics_interval=args.metrics_interval,
+                                    shards=args.shards)
         if want in ("table2", "all"):
             results.append(ex.experiment_table2(flat))
         if want in ("fig5", "all"):
@@ -185,10 +191,12 @@ def main(argv=None) -> int:
               file=sys.stderr)
         tree = ex.run_tree_suite(cpus, episodes=args.episodes,
                                  runner=runner, metrics=args.metrics,
-                                 metrics_interval=args.metrics_interval)
+                                 metrics_interval=args.metrics_interval,
+                                 shards=args.shards)
         flat3 = ex.run_barrier_suite(cpus, episodes=args.episodes,
                                      runner=runner, metrics=args.metrics,
-                                     metrics_interval=args.metrics_interval)
+                                     metrics_interval=args.metrics_interval,
+                                     shards=args.shards)
         if want in ("table3", "all"):
             results.append(ex.experiment_table3(tree, flat3))
         if want in ("fig6", "all"):
@@ -199,7 +207,8 @@ def main(argv=None) -> int:
         locks = ex.run_lock_suite(cpus,
                                   acquisitions_per_cpu=args.acquisitions,
                                   runner=runner, metrics=args.metrics,
-                                  metrics_interval=args.metrics_interval)
+                                  metrics_interval=args.metrics_interval,
+                                  shards=args.shards)
         if want in ("table4", "all"):
             results.append(ex.experiment_table4(locks))
         if want in ("fig7", "all"):

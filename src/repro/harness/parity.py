@@ -43,7 +43,8 @@ def _traffic_dict(traffic: TrafficStats) -> dict:
 
 def barrier_fingerprint(mechanism: Mechanism, n_processors: int,
                         episodes: int = BARRIER_EPISODES,
-                        warm_cache=None, shards: int = 1) -> dict:
+                        warm_cache=None, shards: int = 1,
+                        metrics: bool = False) -> dict:
     """Run one barrier configuration and reduce it to its fingerprint.
 
     Passing a :class:`repro.workloads.warm.WarmCache` routes the run
@@ -54,6 +55,10 @@ def barrier_fingerprint(mechanism: Mechanism, n_processors: int,
     (:func:`repro.shard.session.run_sharded`); cycles and messages must
     again come out identical, ``events_dispatched`` excepted (compare
     with ``diff_documents(..., ignore=SHARD_EXEMPT_KEYS)``).
+    ``metrics`` runs with the observability layer attached — it is
+    timing-neutral by contract, so the fingerprint must still match the
+    golden (this is how ``capture_parity.py --verify --metrics`` pins
+    that contract, single-process and sharded alike).
     """
     if shards > 1:
         if warm_cache is not None:
@@ -61,11 +66,12 @@ def barrier_fingerprint(mechanism: Mechanism, n_processors: int,
         from repro.shard.session import run_sharded
         res = run_sharded("barrier", dict(
             n_processors=n_processors, mechanism=mechanism,
-            episodes=episodes, warmup_episodes=1), shards)
+            episodes=episodes, warmup_episodes=1, metrics=metrics), shards)
     else:
         res = run_barrier_workload(n_processors, mechanism,
                                    episodes=episodes,
-                                   warmup_episodes=1, warm_cache=warm_cache)
+                                   warmup_episodes=1, warm_cache=warm_cache,
+                                   metrics=metrics)
     return {
         "workload": "barrier",
         "mechanism": mechanism.value,
@@ -78,7 +84,8 @@ def barrier_fingerprint(mechanism: Mechanism, n_processors: int,
 
 def lock_fingerprint(mechanism: Mechanism, n_processors: int,
                      acquisitions: int = LOCK_ACQUISITIONS,
-                     warm_cache=None, shards: int = 1) -> dict:
+                     warm_cache=None, shards: int = 1,
+                     metrics: bool = False) -> dict:
     """Run one ticket-lock configuration and reduce it to a fingerprint."""
     if shards > 1:
         if warm_cache is not None:
@@ -86,11 +93,13 @@ def lock_fingerprint(mechanism: Mechanism, n_processors: int,
         from repro.shard.session import run_sharded
         res = run_sharded("lock", dict(
             n_processors=n_processors, mechanism=mechanism,
-            acquisitions_per_cpu=acquisitions, warmup_per_cpu=1), shards)
+            acquisitions_per_cpu=acquisitions, warmup_per_cpu=1,
+            metrics=metrics), shards)
     else:
         res = run_lock_workload(n_processors, mechanism,
                                 acquisitions_per_cpu=acquisitions,
-                                warmup_per_cpu=1, warm_cache=warm_cache)
+                                warmup_per_cpu=1, warm_cache=warm_cache,
+                                metrics=metrics)
     return {
         "workload": "lock",
         "mechanism": mechanism.value,
@@ -104,7 +113,7 @@ def lock_fingerprint(mechanism: Mechanism, n_processors: int,
 def capture_all(n_processors: int = 32,
                 mechanisms: Optional[list[Mechanism]] = None,
                 warm_cache=None, barrier_only: bool = False,
-                shards: int = 1) -> dict:
+                shards: int = 1, metrics: bool = False) -> dict:
     """Fingerprint every mechanism (barrier + lock) at one machine size.
 
     With a ``warm_cache`` every run goes through snapshot warm-start;
@@ -114,18 +123,21 @@ def capture_all(n_processors: int = 32,
     serialize P acquisitions and dominate capture time.  ``shards > 1``
     runs every fingerprint through sharded execution; the document is
     stamped with the shard count and must match the single-process
-    golden up to :data:`SHARD_EXEMPT_KEYS`.
+    golden up to :data:`SHARD_EXEMPT_KEYS`.  ``metrics`` attaches the
+    observability layer to every run (timing-neutral by contract: the
+    fingerprints must not move).
     """
     mechs = mechanisms or list(Mechanism)
     fingerprints = {}
     for m in mechs:
         fp = {"barrier": barrier_fingerprint(m, n_processors,
                                              warm_cache=warm_cache,
-                                             shards=shards)}
+                                             shards=shards,
+                                             metrics=metrics)}
         if not barrier_only:
             fp["lock"] = lock_fingerprint(m, n_processors,
                                           warm_cache=warm_cache,
-                                          shards=shards)
+                                          shards=shards, metrics=metrics)
         fingerprints[m.value] = fp
     doc = {
         "n_processors": n_processors,

@@ -21,6 +21,7 @@ argument (see ``docs/performance.md``).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Optional
 
 from repro.shard.plan import PartitionPlan
@@ -74,6 +75,18 @@ class ShardContext:
         self._egress: list[tuple] = []
         #: run_threads invocations so far (lockstep check across shards)
         self.phase = 0
+        # shard-runtime telemetry, shipped to the parent with the result
+        # (wall-clock seconds are host-side measurements; message/byte
+        # volumes count *simulated* packets and their simulated sizes,
+        # so they stay deterministic across hosts)
+        self.sync_rounds = 0
+        self.blocked_seconds = 0.0
+        self.encode_seconds = 0.0
+        self.decode_seconds = 0.0
+        self.egress_messages = 0
+        self.egress_bytes = 0
+        self.ingress_messages = 0
+        self.ingress_bytes = 0
 
     # ------------------------------------------------------------------
     # ownership
@@ -102,13 +115,21 @@ class ShardContext:
     # egress (called from Network.send / send_multicast fast paths)
     # ------------------------------------------------------------------
     def export_unicast(self, arrival: int, src: int, seq: int, msg) -> None:
-        self._egress.append(
-            ("u", arrival, src, seq, encode_message(msg, self.exports)))
+        self.egress_messages += 1
+        self.egress_bytes += msg.size_bytes
+        t0 = perf_counter()
+        wire_msg = encode_message(msg, self.exports)
+        self.encode_seconds += perf_counter() - t0
+        self._egress.append(("u", arrival, src, seq, wire_msg))
 
     def export_group_member(self, arrival: int, src: int, gid: int,
                             msg) -> None:
-        self._egress.append(
-            ("g", arrival, src, gid, encode_message(msg, self.exports)))
+        self.egress_messages += 1
+        self.egress_bytes += msg.size_bytes
+        t0 = perf_counter()
+        wire_msg = encode_message(msg, self.exports)
+        self.encode_seconds += perf_counter() - t0
+        self._egress.append(("g", arrival, src, gid, wire_msg))
 
     # ------------------------------------------------------------------
     # ingress
@@ -120,8 +141,11 @@ class ShardContext:
         sim = self.machine.sim
         net = self.machine.net
         groups: dict[tuple[int, int, int], list] = {}
+        t0 = perf_counter()
         for tag, arrival, src, seq, wire_msg in entries:
             msg = decode_message(wire_msg, self.exports)
+            self.ingress_messages += 1
+            self.ingress_bytes += msg.size_bytes
             if tag == "u":
                 sim._push_delivery(arrival, (src, seq),
                                    (net._deliver, (msg,)))
@@ -133,6 +157,7 @@ class ShardContext:
                     sim._push_delivery(arrival, (src, seq),
                                        (net._deliver_group, (group,)))
                 group.append(msg)
+        self.decode_seconds += perf_counter() - t0
 
     # ------------------------------------------------------------------
     # the conservative-window loop
@@ -172,7 +197,10 @@ class ShardContext:
             self.conn.send((SYNC, self.phase, sim.next_event_time(),
                             egress, proc.done, completion.get("t"),
                             sim.now))
+            self.sync_rounds += 1
+            t0 = perf_counter()
             tag, *rest = self.conn.recv()
+            self.blocked_seconds += perf_counter() - t0
             if tag == RUN:
                 start, deliveries = rest
                 self.inject(deliveries)
@@ -195,3 +223,26 @@ class ShardContext:
                 f"shard {self.shard_id}: run_threads main still blocked "
                 f"at t={sim.now}")
         return proc.result
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def telemetry(self) -> dict:
+        """This worker's shard-runtime telemetry, as plain values.
+
+        ``blocked_seconds`` is wall time spent waiting on the parent
+        router at sync barriers (covers routing plus the lag of the
+        slowest peer shard); encode/decode seconds are wall time in the
+        wire codec; message/byte volumes are simulated-packet counts
+        and therefore deterministic.
+        """
+        return {
+            "sync_rounds": self.sync_rounds,
+            "blocked_seconds": self.blocked_seconds,
+            "encode_seconds": self.encode_seconds,
+            "decode_seconds": self.decode_seconds,
+            "egress_messages": self.egress_messages,
+            "egress_bytes": self.egress_bytes,
+            "ingress_messages": self.ingress_messages,
+            "ingress_bytes": self.ingress_bytes,
+        }

@@ -27,6 +27,22 @@ event counts (each packet is recorded exactly once, on its sender's
 shard) and concatenating latency samples in shard order; global scalars
 (cycles, episode counts) are asserted identical across shards — any
 mismatch means the determinism contract broke and is raised loudly.
+
+Observability composes with sharding: when the driver runs with
+``metrics`` enabled, every worker attaches its own
+:class:`~repro.obs.machine.MachineMetrics` to its machine replica —
+remote CPUs and hubs never execute there, so their counters stay zero
+and the per-shard snapshots sum to the single-process totals
+(``kernel.events_dispatched`` excepted; see
+:data:`repro.obs.snapshot.SHARD_EXEMPT_COUNTERS`).  The parent merges
+the snapshots via :func:`repro.obs.snapshot.merge_snapshots`, rebuilds
+one machine-wide trace timeline from the shipped per-shard spans
+(:meth:`repro.trace.recorder.TraceRecorder.merged`, one lane per shard
+plus a parent lane of sync-round windows) and recomputes the
+critical-path attribution over it — per-shard analysis would only see
+local episode markers.  The parent additionally records a native
+``shard.*`` telemetry family (sync rounds, window sizes, blocked wall
+time, wire volumes and codec wall time) in the same registry pipeline.
 """
 
 from __future__ import annotations
@@ -49,10 +65,11 @@ from repro.stats.collector import LatencyStats
 SHARDABLE_KINDS = frozenset({"barrier", "lock"})
 
 #: driver kwargs that cannot cross a process boundary or require
-#: single-process execution (observers hold per-run host state; custom
-#: configs may enable contention modelling mid-flight)
-_UNSHARDABLE_KWARGS = ("metrics", "metrics_interval", "config",
-                       "warm_cache", "max_events")
+#: single-process execution: custom configs may enable contention
+#: modelling mid-flight, warm caches hold machine snapshots bound to
+#: this process, and max_events is a host-side kernel budget that has
+#: no global meaning across per-shard kernels
+_UNSHARDABLE_KWARGS = ("config", "warm_cache", "max_events")
 
 
 class ShardSessionError(SimulationError):
@@ -68,20 +85,38 @@ def _mp_context(name: Optional[str] = None):
 
 
 def run_sharded(kind: str, kwargs: dict[str, Any], shards: int,
-                mp_context: Optional[str] = None) -> Any:
+                mp_context: Optional[str] = None,
+                telemetry: Optional[dict] = None) -> Any:
     """Execute one driver run partitioned across ``shards`` processes.
 
     Returns the same result object the single-process driver returns,
     with cycle- and message-identical contents (``events_dispatched``
     excepted — it counts host-side kernel events, which legitimately
     differ when a multicast fan-out group is split across shards).
+
+    ``metrics``/``metrics_interval`` driver kwargs compose: the merged
+    result carries one machine-wide metrics snapshot, counter-equal to
+    a single-process run modulo
+    :data:`repro.obs.snapshot.SHARD_EXEMPT_COUNTERS`, plus the native
+    ``shard.*`` telemetry family and a recomputed critical path.
+
+    ``telemetry``, when a dict is passed, is filled in place with the
+    shard-runtime telemetry regardless of the metrics setting:
+    ``"snapshot"`` (a registry snapshot of the ``shard.*`` family),
+    ``"trace"`` (the merged :class:`TraceRecorder`, or None when the
+    run recorded no spans) and ``"windows"`` (the ``[start, end)``
+    sync-round windows in cycles).  This is how
+    ``tools/bench_scale.py --shards`` reports sync behaviour without
+    forcing metrics into the measured run.
     """
     if kind not in SHARDABLE_KINDS:
         raise ShardSessionError(
             f"run kind {kind!r} is not shardable (supported: "
             f"{sorted(SHARDABLE_KINDS)})")
     for bad in _UNSHARDABLE_KWARGS:
-        if kwargs.get(bad):
+        # presence is what matters: falsy values (max_events=0, an
+        # empty config) would still change driver behaviour
+        if kwargs.get(bad) is not None:
             raise ShardSessionError(
                 f"driver option {bad!r} is not supported under sharded "
                 "execution; run single-process")
@@ -107,7 +142,7 @@ def run_sharded(kind: str, kwargs: dict[str, Any], shards: int,
             child_end.close()
             conns.append(parent_end)
             procs.append(proc)
-        results = _route(conns, plan)
+        results, auxes, router = _route(conns, plan)
     finally:
         for conn in conns:
             conn.close()
@@ -116,16 +151,27 @@ def run_sharded(kind: str, kwargs: dict[str, Any], shards: int,
             if proc.is_alive():  # pragma: no cover - cleanup path
                 proc.terminate()
                 proc.join()
-    return _merge_results(kind, results)
+    return _merge_results(kind, results, auxes, router, cfg, window,
+                          telemetry)
 
 
 # ----------------------------------------------------------------------
 # the star router
 # ----------------------------------------------------------------------
-def _route(conns: list, plan: PartitionPlan) -> list:
-    """Relay window-boundary rounds until every worker returns a result."""
+def _route(conns: list, plan: PartitionPlan) -> tuple[list, list, dict]:
+    """Relay window-boundary rounds until every worker returns a result.
+
+    Returns ``(results, auxes, router)`` where ``auxes`` holds each
+    worker's telemetry/trace payload and ``router`` the parent-side
+    round accounting: ``rounds`` (sync round-trips served) and
+    ``windows`` (``[start, end)`` pairs in cycles — a window ends where
+    the next one starts, or at the phase's global drain point).
+    """
     shards = len(conns)
     results: list = [None] * shards
+    auxes: list = [None] * shards
+    router: dict[str, Any] = {"rounds": 0, "windows": []}
+    windows = router["windows"]
     while True:
         msgs = [conn.recv() for conn in conns]
         tags = {m[0] for m in msgs}
@@ -139,7 +185,8 @@ def _route(conns: list, plan: PartitionPlan) -> list:
         if tags == {"result"}:
             for s, m in enumerate(msgs):
                 results[s] = m[1]
-            return results
+                auxes[s] = m[2]
+            return results, auxes, router
         if tags != {SYNC}:
             raise ShardSessionError(
                 f"shards desynchronized: mixed round tags {sorted(tags)}")
@@ -172,7 +219,10 @@ def _route(conns: list, plan: PartitionPlan) -> list:
                 deliveries[plan.shard_of_node(entry[4].dst_node)]\
                     .append(entry)
 
+        router["rounds"] += 1
         if next_t is None:
+            if windows and windows[-1][1] is None:
+                windows[-1][1] = max_now
             if all_done:
                 for conn in conns:
                     conn.send((STOP, max_now, max_completion))
@@ -180,6 +230,9 @@ def _route(conns: list, plan: PartitionPlan) -> list:
                 for conn in conns:
                     conn.send((DEADLOCK, sum(1 for m in msgs if not m[4])))
         else:
+            if windows and windows[-1][1] is None:
+                windows[-1][1] = next_t
+            windows.append([next_t, None])
             for s, conn in enumerate(conns):
                 conn.send((RUN, next_t, deliveries[s]))
 
@@ -204,9 +257,128 @@ def _merge_traffic(parts: list[TrafficStats]) -> TrafficStats:
     return out
 
 
-def _merge_results(kind: str, results: list) -> Any:
+#: per-shard telemetry keys accumulated by :class:`ShardContext`
+_TELEMETRY_KEYS = ("blocked_seconds", "encode_seconds", "decode_seconds",
+                   "egress_messages", "egress_bytes",
+                   "ingress_messages", "ingress_bytes")
+
+
+def _telemetry_registry(router: dict, auxes: list, window: int):
+    """The parent's native ``shard.*`` registry: sync rounds, window
+    sizes, and per-shard + aggregate wire/blocked accounting."""
+    from repro.obs.registry import MetricsRegistry
+
+    reg = MetricsRegistry()
+    reg.counter("shard.sync_rounds").inc(router["rounds"])
+    win_h = reg.histogram("shard.window_cycles")
+    for start, end in router["windows"]:
+        win_h.observe(end - start)
+    reg.gauge("shard.shards").set(len(auxes))
+    reg.gauge("shard.lookahead_cycles").set(window)
+    totals = dict.fromkeys(_TELEMETRY_KEYS, 0)
+    for s, aux in enumerate(auxes):
+        tel = aux["telemetry"]
+        for key in _TELEMETRY_KEYS:
+            totals[key] += tel[key]
+            reg.counter(f"shard.s{s}.{key}").inc(tel[key])
+    for key, value in totals.items():
+        reg.counter(f"shard.{key}").inc(value)
+    return reg
+
+
+def telemetry_summary(snapshot: dict) -> dict:
+    """Compact, JSON-able digest of a ``shard.*`` telemetry snapshot —
+    what ``tools/bench_scale.py --shards`` records per sharded cell."""
+    counters = snapshot.get("counters", {})
+    win = snapshot.get("histograms", {}).get("shard.window_cycles",
+                                             {"count": 0})
+    n_windows = win.get("count", 0)
+    shards = int(snapshot.get("gauges", {}).get("shard.shards", 0))
+    return {
+        "sync_rounds": counters.get("shard.sync_rounds", 0),
+        "windows": n_windows,
+        "window_cycles": {
+            "min": win.get("min", 0),
+            "mean": (win.get("sum", 0) / n_windows) if n_windows else 0,
+            "max": win.get("max", 0),
+        },
+        "egress_messages": counters.get("shard.egress_messages", 0),
+        "egress_bytes": counters.get("shard.egress_bytes", 0),
+        "encode_seconds": counters.get("shard.encode_seconds", 0.0),
+        "decode_seconds": counters.get("shard.decode_seconds", 0.0),
+        "blocked_seconds": counters.get("shard.blocked_seconds", 0.0),
+        "blocked_seconds_per_shard": [
+            counters.get(f"shard.s{s}.blocked_seconds", 0.0)
+            for s in range(shards)],
+    }
+
+
+def _merged_trace(auxes: list, router: dict):
+    """One timeline from the shards' shipped spans, or None when the
+    run traced nothing.  Lane 0 is the parent's sync-round windows."""
+    if not any(aux.get("spans") or aux.get("instants") for aux in auxes):
+        return None
+    from repro.trace.recorder import Span, TraceRecorder
+
+    sync_spans = [Span(track="sync", name="window", start=start, end=end,
+                       args={"round": i})
+                  for i, (start, end) in enumerate(router["windows"])]
+    parts = [("parent", sync_spans, [])]
+    for s, aux in enumerate(auxes):
+        parts.append((f"shard{s}", aux.get("spans", []),
+                      aux.get("instants", [])))
+    return TraceRecorder.merged(parts)
+
+
+def _merge_metrics(results: list, reg, cfg: SystemConfig, trace) -> dict:
+    """One machine-wide snapshot from the per-shard snapshots.
+
+    Counter/gauge/histogram merge is
+    :func:`repro.obs.snapshot.merge_snapshots`; each shard's
+    ``critical_path`` and ``series`` sections are dropped first — the
+    critical path needs episode markers from *every* CPU and is
+    recomputed here over the merged trace with the config's own latency
+    model, while sampler series stay per-shard (each shard's sampler
+    watches only its local queues; see ``docs/observability.md``).  The
+    parent's ``shard.*`` telemetry registry is folded into the same
+    snapshot so it exports through the one pipeline.
+    """
+    from repro.obs.critical_path import CriticalPathAnalyzer
+    from repro.obs.snapshot import merge_snapshots
+
+    snaps = []
+    for r in results:
+        if r.metrics is None:
+            raise ShardSessionError(
+                "shards disagree on metrics capture: some snapshots "
+                "missing")
+        snaps.append({k: v for k, v in r.metrics.items()
+                      if k not in ("critical_path", "series")})
+    merged = merge_snapshots(snaps)
+    if trace is not None:
+        analyzer = CriticalPathAnalyzer.from_config(cfg)
+        merged["critical_path"] = analyzer.summarize(
+            analyzer.analyze(trace))
+    tel = reg.snapshot()
+    merged["counters"].update(tel["counters"])
+    merged["gauges"].update(tel["gauges"])
+    merged["histograms"].update(tel["histograms"])
+    return merged
+
+
+def _merge_results(kind: str, results: list, auxes: list, router: dict,
+                   cfg: SystemConfig, window: int,
+                   telemetry: Optional[dict]) -> Any:
+    reg = _telemetry_registry(router, auxes, window)
+    trace = _merged_trace(auxes, router)
+    if telemetry is not None:
+        telemetry["snapshot"] = reg.snapshot()
+        telemetry["trace"] = trace
+        telemetry["windows"] = [tuple(w) for w in router["windows"]]
     base = results[0]
     if len(results) == 1:
+        # degenerate plan: the worker replayed the exact single-process
+        # schedule; its result (metrics included) is already global
         return base
     cycles = {r.total_cycles for r in results}
     if len(cycles) > 1:
@@ -215,8 +387,12 @@ def _merge_results(kind: str, results: list) -> Any:
             f"({sorted(cycles)}): determinism contract violated")
     traffic = _merge_traffic([r.traffic for r in results])
     events = sum(r.events_dispatched for r in results)
+    fields: dict[str, Any] = dict(traffic=traffic,
+                                  events_dispatched=events)
+    if getattr(base, "metrics", None) is not None:
+        fields["metrics"] = _merge_metrics(results, reg, cfg, trace)
     if kind == "barrier":
-        return replace(base, traffic=traffic, events_dispatched=events)
+        return replace(base, **fields)
     latency = LatencyStats(name=base.acquire_latency.name)
     for r in results:
         latency.extend(r.acquire_latency._samples)
@@ -226,5 +402,4 @@ def _merge_results(kind: str, results: list) -> Any:
         raise ShardSessionError(
             f"sharded acquisition count {acquisitions} != expected "
             f"{base.acquisitions}: some CPU ran on no shard or twice")
-    return replace(base, traffic=traffic, events_dispatched=events,
-                   acquire_latency=latency)
+    return replace(base, acquire_latency=latency, **fields)

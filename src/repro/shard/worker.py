@@ -34,7 +34,15 @@ def worker_main(conn, shard_id: int, plan, window: int, kind: str,
             raise RuntimeError(
                 f"driver {kind!r} finished without building a Machine; "
                 "nothing was sharded")
-        conn.send(("result", result))
+        aux = {"telemetry": ctx.telemetry()}
+        tracer = getattr(ctx.machine, "tracer", None)
+        if tracer is not None:
+            # ship raw spans/instants so the parent can merge one
+            # machine-wide timeline and recompute the critical path
+            # (per-shard analysis would see only local episode markers)
+            aux["spans"] = tracer.spans
+            aux["instants"] = tracer.instants
+        conn.send(("result", result, aux))
     except BaseException:
         try:
             conn.send(("error", traceback.format_exc()))

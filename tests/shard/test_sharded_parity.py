@@ -100,12 +100,15 @@ def test_sharded_spec_executes_inline_and_shares_cache_key():
 
 
 def test_unshardable_options_are_rejected():
+    """Unknown kinds and driver options that change behaviour outside
+    the replicated config are refused — by presence, not truthiness
+    (``max_events=0`` still caps the kernel)."""
     with pytest.raises(ShardSessionError):
         run_sharded("fuzz", {"n_processors": 32}, shards=2)
     with pytest.raises(ShardSessionError):
         run_sharded("barrier",
                     dict(BARRIER_KW, mechanism=Mechanism.AMO,
-                         metrics=True), shards=2)
+                         max_events=0), shards=2)
 
 
 def test_worker_errors_propagate():

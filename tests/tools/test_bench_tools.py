@@ -133,6 +133,38 @@ def test_shard_source_excluded_from_overall_geomean(tmp_path):
     assert report["geomean_events_per_second"] == 250000
 
 
+def test_obs_shard_source_extracted_and_excluded(tmp_path):
+    _write(tmp_path / "BENCH_obs.json", {
+        "off": {"events_per_second": 250000},
+        "shards": 2,
+        "off_sharded": {"events_per_second": 90000},
+        "metrics_sharded": {
+            "events_per_second": 85000,
+            "shard_telemetry": {"sync_rounds": 14, "windows": 12},
+        },
+        "metrics_sharded_overhead_pct": 5.6,
+    })
+    report = bench_report.build_report(tmp_path, {})
+    obs_shard = report["sources"]["obs_shard"]
+    assert obs_shard["present"] and obs_shard["excluded_from_overall"]
+    assert set(obs_shard["samples"]) == {"off_sharded", "metrics_sharded"}
+    assert obs_shard["shards"] == 2
+    assert obs_shard["metrics_sharded_overhead_pct"] == 5.6
+    assert obs_shard["shard_telemetry"]["sync_rounds"] == 14
+    # host-dependent sharded throughput stays out of the headline number
+    assert report["geomean_events_per_second"] == 250000
+
+
+def test_obs_shard_source_absent_from_unsharded_capture(tmp_path):
+    _write(tmp_path / "BENCH_obs.json", {
+        "off": {"events_per_second": 250000},
+    })
+    report = bench_report.build_report(tmp_path, {})
+    obs_shard = report["sources"]["obs_shard"]
+    assert obs_shard["present"] and obs_shard["samples"] == {}
+    assert obs_shard["geomean_events_per_second"] is None
+
+
 # ----------------------------------------------------------------------
 # bench_scale trajectory regression gate
 # ----------------------------------------------------------------------

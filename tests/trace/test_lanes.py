@@ -1,0 +1,130 @@
+"""Shard-lane trace merging and the multicast-delivery observer check.
+
+``TraceRecorder.merged`` folds per-shard span/instant lists into one
+timeline with one Chrome-trace process lane per part (pid = lane + 1;
+part 0 is the parent's sync-round lane).  A recorder that never merged
+anything must keep exporting the exact pre-lane document — single pid,
+no process metadata — so existing traces stay byte-stable.
+"""
+
+import json
+
+from repro.config.parameters import NetworkConfig, SystemConfig
+from repro.core.machine import Machine
+from repro.network.faults import DelayInjector
+from repro.trace import TraceRecorder
+from repro.trace.recorder import Instant, Span
+
+
+def traced_amo_run(n=4):
+    machine = Machine(SystemConfig.table1(n))
+    tracer = TraceRecorder.attach(machine)
+    var = machine.alloc("v", home_node=1)
+
+    def thread(proc):
+        yield from proc.amo_fetchadd(var.addr, 1)
+
+    machine.run_threads(thread)
+    return tracer
+
+
+def test_merged_assigns_lanes_in_part_order():
+    a, b = traced_amo_run(), traced_amo_run()
+    sync = [Span(track="sync", name="window", start=0, end=100,
+                 args={"round": 0})]
+    merged = TraceRecorder.merged([
+        ("parent", sync, []),
+        ("shard0", a.spans, a.instants),
+        ("shard1", b.spans, b.instants),
+    ])
+    assert merged.lanes == {0: "parent", 1: "shard0", 2: "shard1"}
+    assert {s.lane for s in merged.spans} == {0, 1, 2}
+    assert all(i.lane in (1, 2) for i in merged.instants)
+    assert len(merged.spans) == 1 + len(a.spans) + len(b.spans)
+
+
+def test_merged_chrome_export_has_one_pid_per_lane():
+    a, b = traced_amo_run(), traced_amo_run()
+    merged = TraceRecorder.merged([
+        ("parent", [Span(track="sync", name="window", start=0, end=50)],
+         []),
+        ("shard0", a.spans, a.instants),
+        ("shard1", b.spans, b.instants),
+    ])
+    events = merged.to_chrome_trace()["traceEvents"]
+    process_names = {e["pid"]: e["args"]["name"] for e in events
+                     if e["ph"] == "M" and e["name"] == "process_name"}
+    assert process_names == {1: "parent", 2: "shard0", 3: "shard1"}
+    # every emitted span/instant lands on a registered (pid, tid) track
+    tracks = {(e["pid"], e["tid"]) for e in events
+              if e["ph"] == "M" and e["name"] == "thread_name"}
+    for e in events:
+        if e["ph"] in ("X", "i"):
+            assert (e["pid"], e["tid"]) in tracks
+    # the two shard lanes carry the same track set under different pids
+    by_pid = {}
+    for e in events:
+        if e["ph"] == "M" and e["name"] == "thread_name":
+            by_pid.setdefault(e["pid"], set()).add(e["args"]["name"])
+    assert by_pid[2] == by_pid[3]
+    assert by_pid[1] == {"sync"}
+    json.dumps(merged.to_chrome_trace())  # serializable
+
+
+def test_laneless_export_is_unchanged():
+    """A recorder that never merged keeps the pre-lane document shape:
+    every event on pid 1, no process_name metadata."""
+    tracer = traced_amo_run()
+    assert tracer.lanes == {}
+    events = tracer.to_chrome_trace()["traceEvents"]
+    assert {e["pid"] for e in events} == {1}
+    assert not any(e["ph"] == "M" and e["name"] == "process_name"
+                   for e in events)
+
+
+def test_lane_default_is_zero():
+    assert Span(track="t", name="n", start=0, end=1).lane == 0
+    assert Instant(track="t", name="n", time=0).lane == 0
+
+
+def multicast_trace(per_packet):
+    """An update fan-out (3 sharers) with hardware multicast on; the
+    inert zero-delay injector forces the per-packet ``send`` fallback
+    without changing any delivery time."""
+    cfg = SystemConfig.table1(
+        8, network=NetworkConfig(multicast_updates=True))
+    machine = Machine(cfg)
+    tracer = TraceRecorder.attach(machine)
+    if per_packet:
+        DelayInjector.install(machine, seed=0, max_extra_cycles=0)
+    var = machine.alloc("v", home_node=0)
+
+    def loader(proc):
+        yield from proc.load(var.addr)
+
+    machine.run_threads(loader, cpus=[2, 4, 6])
+
+    def pusher(proc):
+        yield from proc.amo_fetchadd(var.addr, 1)
+
+    machine.run_threads(pusher, cpus=[0])
+    return tracer, machine
+
+
+def test_multicast_wave_trace_matches_per_packet_fallback():
+    """Grouped-wave multicast delivery and the fault-injection
+    per-packet fallback must produce the identical Chrome trace: the
+    tracer observes logical packets, not delivery batching."""
+    wave_tracer, wave_machine = multicast_trace(per_packet=False)
+    pkt_tracer, pkt_machine = multicast_trace(per_packet=True)
+    assert wave_machine.last_completion_time == \
+        pkt_machine.last_completion_time
+    wave_doc = wave_tracer.to_chrome_trace()
+    pkt_doc = pkt_tracer.to_chrome_trace()
+    assert wave_doc == pkt_doc
+    names = {e["name"] for e in wave_doc["traceEvents"]
+             if e["ph"] == "i"}
+    assert "word_update" in names
+    # round-trips through JSON byte-identically
+    assert json.dumps(wave_doc, sort_keys=True) == \
+        json.dumps(pkt_doc, sort_keys=True)

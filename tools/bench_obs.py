@@ -9,10 +9,18 @@ simulator events/second for each:
   (pull collectors + tracer + critical-path analysis)
 * ``sampler`` — metrics plus gauge sampling every ``--interval`` cycles
 
+``--shards N`` adds a sharded overhead cell: the same workload through
+:func:`repro.shard.session.run_sharded` with metrics off and on
+(``off_sharded`` / ``metrics_sharded``), plus the parent router's
+``shard.*`` telemetry digest for the metered run — window sizes,
+blocked wall time and wire volumes, the numbers that explain sharded
+wall-clock behaviour.
+
 Each mode runs ``--repeats`` times and keeps the best (max events/s) to
 damp scheduler noise.  With ``--baseline`` and ``--assert-overhead``,
 the script compares this host's ``off`` events/s against a previously
-recorded ``off`` figure and exits non-zero when the regression exceeds
+recorded ``off`` figure (and ``off_sharded`` against the baseline's,
+when both captured it) and exits non-zero when the regression exceeds
 the budget — CI runs one pass to record the baseline and a second pass
 to assert, so the comparison is same-host, same-build::
 
@@ -34,18 +42,28 @@ from repro.workloads.barrier import run_barrier_workload
 
 
 def timed_run(cpus: int, episodes: int, mechanism: Mechanism,
-              metrics: bool, interval: int) -> dict:
+              metrics: bool, interval: int, shards: int = 1) -> dict:
+    kwargs = dict(n_processors=cpus, mechanism=mechanism,
+                  episodes=episodes, metrics=metrics,
+                  metrics_interval=interval)
     t0 = time.perf_counter()
-    result = run_barrier_workload(cpus, mechanism, episodes=episodes,
-                                  metrics=metrics,
-                                  metrics_interval=interval)
+    if shards > 1:
+        from repro.shard.session import run_sharded, telemetry_summary
+        telemetry: dict = {}
+        result = run_sharded("barrier", kwargs, shards,
+                             telemetry=telemetry)
+    else:
+        result = run_barrier_workload(**kwargs)
     elapsed = time.perf_counter() - t0
-    return {
+    out = {
         "elapsed_seconds": round(elapsed, 4),
         "sim_events": result.events_dispatched,
         "events_per_second": round(result.events_dispatched / elapsed)
         if elapsed else 0,
     }
+    if shards > 1:
+        out["shard_telemetry"] = telemetry_summary(telemetry["snapshot"])
+    return out
 
 
 def best_of(repeats: int, **kwargs) -> dict:
@@ -68,6 +86,10 @@ def main(argv=None) -> int:
                         help="sampler period (cycles) for the third mode")
     parser.add_argument("--repeats", type=int, default=4,
                         help="runs per mode; the fastest is kept")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="additionally bench the workload under "
+                             "N-shard partitioned execution, metrics "
+                             "off and on (the sharded overhead cell)")
     parser.add_argument("--baseline", metavar="PATH",
                         help="previously written BENCH_obs.json to "
                              "compare the metrics-off rate against")
@@ -106,6 +128,19 @@ def main(argv=None) -> int:
         "sampler_overhead_pct": pct_slower(sampled),
     }
 
+    if args.shards > 1:
+        off_sharded = best_of(metrics=False, interval=0,
+                              shards=args.shards, **common)
+        metered_sharded = best_of(metrics=True, interval=0,
+                                  shards=args.shards, **common)
+        payload["shards"] = args.shards
+        payload["off_sharded"] = off_sharded
+        payload["metrics_sharded"] = metered_sharded
+        rate = off_sharded["events_per_second"]
+        payload["metrics_sharded_overhead_pct"] = round(
+            100.0 * (1 - metered_sharded["events_per_second"] / rate),
+            1) if rate else 0.0
+
     status = 0
     if args.baseline:
         base = json.loads(Path(args.baseline).read_text())
@@ -114,13 +149,22 @@ def main(argv=None) -> int:
                 if base_rate else 0.0)
         payload["baseline_off_events_per_second"] = base_rate
         payload["off_regression_pct"] = round(drop, 1)
+        shard_drop = None
+        if args.shards > 1 and "off_sharded" in base:
+            base_shard_rate = base["off_sharded"]["events_per_second"]
+            shard_drop = (100.0 * (
+                1 - payload["off_sharded"]["events_per_second"]
+                / base_shard_rate) if base_shard_rate else 0.0)
+            payload["off_sharded_regression_pct"] = round(shard_drop, 1)
         if args.assert_overhead is not None:
-            ok = drop <= args.assert_overhead
+            ok = drop <= args.assert_overhead and \
+                (shard_drop is None or shard_drop <= args.assert_overhead)
             payload["overhead_budget_pct"] = args.assert_overhead
             payload["overhead_check"] = "pass" if ok else "fail"
             if not ok:
-                print(f"FAIL: metrics-off rate regressed {drop:.1f}% "
-                      f"vs baseline (budget {args.assert_overhead}%)")
+                print(f"FAIL: metrics-off rate regressed "
+                      f"{max(drop, shard_drop or 0):.1f}% vs baseline "
+                      f"(budget {args.assert_overhead}%)")
                 status = 1
 
     text = json.dumps(payload, indent=2) + "\n"

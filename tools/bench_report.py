@@ -98,11 +98,37 @@ def extract_shard(doc: dict) -> dict:
     return out
 
 
+def extract_obs_shard(doc: dict) -> dict:
+    """The sharded observability cells of ``BENCH_obs.json``
+    (``bench_obs.py --shards N``): partitioned-execution throughput with
+    metrics off and on, plus the metered run's ``shard.*`` telemetry
+    digest.  Like the ``shard`` source, absolute throughput is a host
+    property (the committed artifact comes from a small container), so
+    the samples stay out of the headline geomean."""
+    samples = {
+        mode: doc[mode]["events_per_second"]
+        for mode in ("off_sharded", "metrics_sharded")
+        if isinstance(doc.get(mode), dict)
+        and doc[mode].get("events_per_second")
+    }
+    out = {"samples": samples,
+           "geomean_events_per_second": _geomean(list(samples.values())),
+           "shards": doc.get("shards"),
+           "metrics_sharded_overhead_pct":
+               doc.get("metrics_sharded_overhead_pct"),
+           "excluded_from_overall": True}
+    telemetry = (doc.get("metrics_sharded") or {}).get("shard_telemetry")
+    if telemetry is not None:
+        out["shard_telemetry"] = telemetry
+    return out
+
+
 EXTRACTORS = {
     "runner": ("BENCH_runner.json", extract_runner),
     "obs": ("BENCH_obs.json", extract_obs),
     "scale": ("BENCH_scale.json", extract_scale),
     "shard": ("BENCH_shard.json", extract_shard),
+    "obs_shard": ("BENCH_obs.json", extract_obs_shard),
 }
 
 

@@ -117,12 +117,17 @@ def run_cell(workload: str, mechanism: Mechanism, n_processors: int,
     ``shards > 1`` partitions each run across worker processes instead
     (mutually exclusive with warm-start; every repeat spawns a fresh
     process group, so the wall time includes that overhead — exactly
-    what a user of ``--shards`` pays).
+    what a user of ``--shards`` pays).  Sharded cells record the
+    fastest repeat's ``shard.*`` telemetry digest (sync rounds, window
+    sizes, blocked wall time, wire volumes) — the numbers that explain
+    where sharded wall clock goes.
     """
     best = math.inf
     events = None
     cycles = None
+    best_telemetry = None
     for _ in range(repeat):
+        telemetry: dict = {}
         t0 = time.perf_counter()
         if shards > 1:
             from repro.shard.session import run_sharded
@@ -130,12 +135,14 @@ def run_cell(workload: str, mechanism: Mechanism, n_processors: int,
                 res = run_sharded("barrier", dict(
                     n_processors=n_processors, mechanism=mechanism,
                     episodes=BARRIER_EPISODES,
-                    warmup_episodes=BARRIER_WARMUP), shards)
+                    warmup_episodes=BARRIER_WARMUP), shards,
+                    telemetry=telemetry)
             else:
                 res = run_sharded("lock", dict(
                     n_processors=n_processors, mechanism=mechanism,
                     acquisitions_per_cpu=LOCK_ACQUISITIONS,
-                    warmup_per_cpu=LOCK_WARMUP), shards)
+                    warmup_per_cpu=LOCK_WARMUP), shards,
+                    telemetry=telemetry)
         elif workload == "barrier":
             res = run_barrier_workload(n_processors, mechanism,
                                        episodes=BARRIER_EPISODES,
@@ -160,8 +167,12 @@ def run_cell(workload: str, mechanism: Mechanism, n_processors: int,
                 f"nondeterministic cycle count for {workload}/"
                 f"{mechanism.value}@{n_processors}: "
                 f"{cycles} vs {res.total_cycles}")
-        best = min(best, elapsed)
-    return {
+        if elapsed < best:
+            best = elapsed
+            if shards > 1:
+                from repro.shard.session import telemetry_summary
+                best_telemetry = telemetry_summary(telemetry["snapshot"])
+    cell = {
         "workload": workload,
         "mechanism": mechanism.value,
         "n_processors": n_processors,
@@ -170,6 +181,9 @@ def run_cell(workload: str, mechanism: Mechanism, n_processors: int,
         "wall_seconds": round(best, 4),
         "events_per_second": round(events / best),
     }
+    if best_telemetry is not None:
+        cell["shard_telemetry"] = best_telemetry
+    return cell
 
 
 def cell_key(cell: dict) -> str:

@@ -60,6 +60,11 @@ def main(argv=None) -> int:
                              "proves sharded execution reproduces the "
                              "single-process goldens (events_dispatched "
                              "exempt — it counts host-side events)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="attach the observability layer to every "
+                             "run; verify-only — proves metrics capture "
+                             "is timing-neutral against the unmetered "
+                             "goldens (composes with --shards)")
     args = parser.parse_args(argv)
 
     out = Path(args.out) if args.out else \
@@ -67,6 +72,12 @@ def main(argv=None) -> int:
     if args.shards > 1 and not args.verify:
         parser.error("--shards is verify-only: goldens are captured "
                      "single-process (the single source of truth)")
+    if args.metrics and not args.verify:
+        parser.error("--metrics is verify-only: goldens are captured "
+                     "unmetered (metrics must not move them)")
+    if args.metrics and args.warm:
+        parser.error("--metrics and --warm are mutually exclusive "
+                     "(metered runs bypass the warm cache)")
 
     warm_cache = None
     if args.warm:
@@ -79,7 +90,8 @@ def main(argv=None) -> int:
 
     doc = capture_all(n_processors=args.cpus, mechanisms=mechanisms,
                       warm_cache=warm_cache,
-                      barrier_only=args.barrier_only, shards=args.shards)
+                      barrier_only=args.barrier_only, shards=args.shards,
+                      metrics=args.metrics)
 
     if args.verify:
         golden = json.loads(out.read_text())
@@ -92,6 +104,8 @@ def main(argv=None) -> int:
         drift = diff_documents(golden, doc, ignore=ignore)
         label = "warm-start" if args.warm else \
             f"{args.shards}-shard" if args.shards > 1 else "fresh"
+        if args.metrics:
+            label = f"metered {label}"
         if drift:
             print(f"FAIL: {label} capture drifted from {out}:")
             for line in drift:

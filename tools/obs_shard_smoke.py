@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Sharded-observability acceptance check — CI's ``obs-shard`` job.
+
+Runs a barrier and a lock workload with metrics enabled, once
+single-process and once partitioned across ``--shards`` worker
+processes, and asserts the sharded-observability contract:
+
+1. cycles (and lock acquisition latencies) are identical — attaching
+   metrics must not perturb the conservative-window schedule;
+2. the merged metrics snapshot is schema-valid
+   (:mod:`repro.obs.schema`);
+3. every non-exempt counter and histogram equals the single-process
+   value — the exemption list is exactly
+   :data:`repro.obs.snapshot.SHARD_EXEMPT_COUNTERS` plus the
+   shard-only ``shard.*`` telemetry family;
+4. the recomputed machine-wide critical path equals the
+   single-process analyzer's output;
+5. the ``shard.*`` telemetry family is present and internally
+   consistent (egress totals equal ingress totals — every exported
+   packet is delivered exactly once).
+
+Writes the merged export document (uploaded as a CI artifact) and
+exits non-zero on any violation::
+
+    PYTHONPATH=src python tools/obs_shard_smoke.py --shards 2 \\
+        --out obs_shard_export.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.config.mechanism import Mechanism
+from repro.obs.schema import validate_export, validate_snapshot
+from repro.obs.snapshot import build_export, shard_counter_drift
+from repro.shard.session import run_sharded, telemetry_summary
+from repro.workloads.barrier import run_barrier_workload
+from repro.workloads.locks import run_lock_workload
+
+
+def _check(label: str, ok: bool, detail: str, failures: list[str]) -> None:
+    print(f"  [{'PASS' if ok else 'FAIL'}] {label}" +
+          (f" — {detail}" if detail and not ok else ""))
+    if not ok:
+        failures.append(f"{label}: {detail}")
+
+
+def run_pair(kind: str, kwargs: dict, shards: int,
+             failures: list[str]) -> tuple:
+    """One workload single-process vs sharded; returns both results."""
+    if kind == "barrier":
+        ref = run_barrier_workload(**kwargs)
+    else:
+        ref = run_lock_workload(**kwargs)
+    telemetry: dict = {}
+    got = run_sharded(kind, kwargs, shards, telemetry=telemetry)
+
+    print(f"{kind} @ {kwargs['n_processors']} CPUs, {shards} shards:")
+    _check("cycles identical",
+           got.total_cycles == ref.total_cycles,
+           f"sharded {got.total_cycles} != single {ref.total_cycles}",
+           failures)
+    _check("traffic identical",
+           got.traffic.messages == ref.traffic.messages
+           and got.traffic.bytes == ref.traffic.bytes,
+           "per-kind message/byte counters differ", failures)
+    if kind == "lock":
+        _check("acquire latencies identical",
+               sorted(got.acquire_latency._samples) ==
+               sorted(ref.acquire_latency._samples),
+               "per-acquisition latency samples differ", failures)
+
+    errors = validate_snapshot(got.metrics)
+    _check("merged snapshot schema-valid", not errors,
+           "; ".join(errors[:3]), failures)
+    drift = shard_counter_drift(ref.metrics, got.metrics)
+    _check("counters equal modulo exemption list", not drift,
+           "; ".join(drift[:5]), failures)
+    _check("critical path recomputed exactly",
+           got.metrics.get("critical_path") ==
+           ref.metrics.get("critical_path"),
+           f"sharded {got.metrics.get('critical_path')} != "
+           f"single {ref.metrics.get('critical_path')}", failures)
+
+    counters = got.metrics["counters"]
+    _check("shard telemetry present",
+           counters.get("shard.sync_rounds", 0) > 0
+           and "shard.window_cycles" in got.metrics["histograms"],
+           "shard.* family missing from merged snapshot", failures)
+    _check("egress volume equals ingress volume",
+           counters.get("shard.egress_messages") ==
+           counters.get("shard.ingress_messages")
+           and counters.get("shard.egress_bytes") ==
+           counters.get("shard.ingress_bytes"),
+           f"egress {counters.get('shard.egress_messages')} msgs / "
+           f"{counters.get('shard.egress_bytes')} B vs ingress "
+           f"{counters.get('shard.ingress_messages')} msgs / "
+           f"{counters.get('shard.ingress_bytes')} B", failures)
+    print(f"  telemetry: "
+          f"{json.dumps(telemetry_summary(telemetry['snapshot']))}")
+    return ref, got
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cpus", type=int, default=32)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--episodes", type=int, default=2)
+    parser.add_argument("--acquisitions", type=int, default=2)
+    parser.add_argument("--mechanism", default="amo",
+                        choices=[m.value for m in Mechanism])
+    parser.add_argument("--out", default="obs_shard_export.json",
+                        help="merged export document path, or - for none")
+    args = parser.parse_args(argv)
+
+    mech = Mechanism(args.mechanism)
+    failures: list[str] = []
+    _, barrier = run_pair(
+        "barrier",
+        dict(n_processors=args.cpus, mechanism=mech,
+             episodes=args.episodes, warmup_episodes=1, metrics=True),
+        args.shards, failures)
+    _, lock = run_pair(
+        "lock",
+        dict(n_processors=args.cpus, mechanism=mech,
+             acquisitions_per_cpu=args.acquisitions, warmup_per_cpu=1,
+             metrics=True),
+        args.shards, failures)
+
+    label = f"{mech.value}@{args.cpus}x{args.shards}shards"
+    export = build_export(
+        [(f"barrier/{label}", barrier.metrics),
+         (f"lock/{label}", lock.metrics)],
+        tool="obs_shard_smoke",
+        notes=f"merged sharded metrics export, {args.shards} shards")
+    errors = validate_export(export)
+    _check("export document schema-valid", not errors,
+           "; ".join(errors[:3]), failures)
+    if args.out != "-":
+        Path(args.out).write_text(json.dumps(export, indent=2) + "\n")
+        print(f"wrote {args.out}")
+
+    if failures:
+        print(f"FAIL: {len(failures)} sharded-observability check(s) "
+              "violated", file=sys.stderr)
+        return 1
+    print("OK: sharded observability matches single-process")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
