@@ -122,17 +122,21 @@ def run_fuzz_schedule(
     inject_bug: Optional[str] = None,
     sanitize: bool = True,
     max_events: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> dict:
     """Run one fuzz point; returns a plain-dict outcome (picklable).
 
     The outcome's ``"ok"`` is True iff the run completed without a
     simulation error, sanitizer violation, or linearizability violation.
+    ``backend`` selects the event-kernel backend (byte-identical
+    results; exercises the sanitizer stack on an accelerated core).
     """
     mech = _normalize_mechanism(mechanism)
     kind_values = _normalize_kinds(kinds)
     if workload not in FUZZ_WORKLOADS:
         raise ValueError(f"unknown fuzz workload {workload!r}; have {FUZZ_WORKLOADS}")
-    machine = Machine(SystemConfig.table1(n_processors))
+    machine = Machine(SystemConfig.table1(n_processors,
+                                          kernel_backend=backend))
     sanitizer = None
     if sanitize:
         sanitizer = CoherenceSanitizer.attach(machine, mode="collect")

@@ -22,9 +22,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.coherence.directory import Directory, DirState, iter_sharers
+from repro.coherence.directory import Directory, DirState
 from repro.mem.address import line_base, word_base
 from repro.network.message import Message, MessageKind
+from repro.sim.backends.wave import wave_expander
 from repro.sim.primitives import Signal, Timeout
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -55,7 +56,8 @@ class HomeEngine:
                  "directory", "transactions", "get_s_served", "get_x_served",
                  "writebacks_served", "invalidations_sent",
                  "interventions_sent", "word_updates_pushed", "_t_dir",
-                 "_name_get_s", "_name_get_x", "_name_wb", "_name_readfill")
+                 "_name_get_s", "_name_get_x", "_name_wb", "_name_readfill",
+                 "_expand_wave")
 
     def __init__(self, hub: "Hub") -> None:
         self.hub = hub
@@ -81,6 +83,10 @@ class HomeEngine:
         self._name_get_x = f"getX@{self.node}"
         self._name_wb = f"wb@{self.node}"
         self._name_readfill = f"readfill@{self.node}"
+        # fan-out expansion: numpy batch on large accel machines, the
+        # reference bit-peel everywhere else (identical order either way)
+        self._expand_wave = wave_expander(self.config.kernel_backend,
+                                          self.config.n_processors)
 
     # ------------------------------------------------------------------
     # dispatch
@@ -197,12 +203,12 @@ class HomeEngine:
                     fanout = inv_mask.bit_count()
                     self._count_invalidations(fanout)
                     latch = AckLatch(fanout)
-                    node_of = self.hub.machine.node_of_cpu
                     wave = [Message(
                         kind=MessageKind.INVALIDATE,
-                        src_node=self.node, dst_node=node_of(cpu),
+                        src_node=self.node, dst_node=node,
                         addr=msg.addr, dst_cpu=cpu, payload=latch)
-                        for cpu in iter_sharers(inv_mask)]
+                        for cpu, node in self._expand_wave(
+                            inv_mask, self.config.cpus_per_node)]
                     yield self.hub.egress_wave(wave).wait()
                     yield latch.signal.wait()
                 yield from self._reply_data_x(msg, ent)
@@ -369,13 +375,13 @@ class HomeEngine:
                     obs = self.hub.machine.obs
                     if obs is not None:
                         obs.update_fanout.observe(fanout)
-                    node_of = self.hub.machine.node_of_cpu
                     word = word_base(addr)
                     updates = [Message(
                         kind=MessageKind.WORD_UPDATE, src_node=self.node,
-                        dst_node=node_of(cpu), addr=word, value=value,
+                        dst_node=node, addr=word, value=value,
                         dst_cpu=cpu)
-                        for cpu in iter_sharers(ent.sharer_mask)]
+                        for cpu, node in self._expand_wave(
+                            ent.sharer_mask, self.config.cpus_per_node)]
                     if self.config.network.multicast_updates:
                         # hardware multicast (footnote 2): the routers
                         # replicate the packet — one injection slot
@@ -388,12 +394,12 @@ class HomeEngine:
                 fanout = ent.sharer_mask.bit_count()
                 self._count_invalidations(fanout)
                 latch = AckLatch(fanout)
-                node_of = self.hub.machine.node_of_cpu
                 wave = [Message(
                     kind=MessageKind.INVALIDATE, src_node=self.node,
-                    dst_node=node_of(cpu), addr=addr, dst_cpu=cpu,
+                    dst_node=node, addr=addr, dst_cpu=cpu,
                     payload=latch)
-                    for cpu in iter_sharers(ent.sharer_mask)]
+                    for cpu, node in self._expand_wave(
+                        ent.sharer_mask, self.config.cpus_per_node)]
                 yield self.hub.egress_wave(wave).wait()
                 yield latch.signal.wait()
                 ent.sharer_mask = 0

@@ -226,6 +226,13 @@ class SystemConfig:
     actmsg: ActiveMessageConfig = field(default_factory=ActiveMessageConfig)
     #: bytes per machine word (all sync variables are one word)
     word_bytes: int = 8
+    #: event-kernel backend name (see :mod:`repro.sim.backends`);
+    #: ``None`` defers to $REPRO_KERNEL_BACKEND, then ``reference``.
+    #: Every backend produces byte-identical results, so this never
+    #: enters a result cache key — but it *is* part of this (frozen,
+    #: hashable) config, so warm-start pools keyed by config stay
+    #: separated per backend.
+    kernel_backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_processors < 1:

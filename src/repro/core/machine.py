@@ -34,7 +34,7 @@ from repro.mem.backing import BackingStore
 from repro.mem.dram import Dram
 from repro.network.fabric import Network
 from repro.network.message import Message, MessageKind
-from repro.sim.kernel import Simulator
+from repro.sim.backends import create_simulator
 from repro.sim.primitives import Resource, Signal, Timeout, all_of
 
 
@@ -251,7 +251,7 @@ class Machine:
 
     def __init__(self, config: Optional[SystemConfig] = None) -> None:
         self.config = config or SystemConfig()
-        self.sim = Simulator()
+        self.sim = create_simulator(self.config.kernel_backend)
         self.backing = BackingStore()
         self.net = Network(self.sim, self.config.n_nodes, self.config.network)
         self.address_space = AddressSpace(self.config.n_nodes)

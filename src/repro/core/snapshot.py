@@ -107,7 +107,9 @@ class MachineSnapshot:
 
     def __init__(self, machine: "Machine") -> None:
         sim = machine.sim
-        if sim._ring or sim._times or sim._buckets:
+        # pending_events() is backend-neutral (compiled kernels do not
+        # expose the reference's _ring/_times/_buckets internals)
+        if sim.pending_events():
             raise SnapshotError(
                 f"snapshot requires a drained event queue "
                 f"({sim.pending_events()} events pending at t={sim.now})")
@@ -200,7 +202,7 @@ class MachineSnapshot:
         """Rewind the bound machine to this checkpoint (in place)."""
         machine = self.machine
         sim = machine.sim
-        if sim._ring or sim._times or sim._buckets:
+        if sim.pending_events():
             raise SnapshotError(
                 f"restore requires a drained event queue "
                 f"({sim.pending_events()} events pending at t={sim.now})")

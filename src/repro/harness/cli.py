@@ -131,6 +131,12 @@ def main(argv=None) -> int:
                         help="write the merged metrics export (JSON, "
                              "schema repro.obs.export/1) to PATH; "
                              "implies --metrics")
+    parser.add_argument("--backend", metavar="NAME",
+                        help="event-kernel backend (repro.sim.backends; "
+                             "reference or accel).  Parity-gated: every "
+                             "backend produces byte-identical results, "
+                             "so this only changes wall-clock speed and "
+                             "never the result cache key")
     fz = parser.add_argument_group(
         "fuzz", "options for the `fuzz` experiment (replay one schedule "
                 "with the coherence sanitizer armed; see docs/checking.md)")
@@ -178,7 +184,8 @@ def main(argv=None) -> int:
         flat = ex.run_barrier_suite(cpus, episodes=args.episodes,
                                     runner=runner, metrics=args.metrics,
                                     metrics_interval=args.metrics_interval,
-                                    shards=args.shards)
+                                    shards=args.shards,
+                                    backend=args.backend)
         if want in ("table2", "all"):
             results.append(ex.experiment_table2(flat))
         if want in ("fig5", "all"):
@@ -192,11 +199,13 @@ def main(argv=None) -> int:
         tree = ex.run_tree_suite(cpus, episodes=args.episodes,
                                  runner=runner, metrics=args.metrics,
                                  metrics_interval=args.metrics_interval,
-                                 shards=args.shards)
+                                 shards=args.shards,
+                                 backend=args.backend)
         flat3 = ex.run_barrier_suite(cpus, episodes=args.episodes,
                                      runner=runner, metrics=args.metrics,
                                      metrics_interval=args.metrics_interval,
-                                     shards=args.shards)
+                                     shards=args.shards,
+                                     backend=args.backend)
         if want in ("table3", "all"):
             results.append(ex.experiment_table3(tree, flat3))
         if want in ("fig6", "all"):
@@ -208,7 +217,8 @@ def main(argv=None) -> int:
                                   acquisitions_per_cpu=args.acquisitions,
                                   runner=runner, metrics=args.metrics,
                                   metrics_interval=args.metrics_interval,
-                                  shards=args.shards)
+                                  shards=args.shards,
+                                  backend=args.backend)
         if want in ("table4", "all"):
             results.append(ex.experiment_table4(locks))
         if want in ("fig7", "all"):

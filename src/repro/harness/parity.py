@@ -44,7 +44,8 @@ def _traffic_dict(traffic: TrafficStats) -> dict:
 def barrier_fingerprint(mechanism: Mechanism, n_processors: int,
                         episodes: int = BARRIER_EPISODES,
                         warm_cache=None, shards: int = 1,
-                        metrics: bool = False) -> dict:
+                        metrics: bool = False,
+                        backend: Optional[str] = None) -> dict:
     """Run one barrier configuration and reduce it to its fingerprint.
 
     Passing a :class:`repro.workloads.warm.WarmCache` routes the run
@@ -58,7 +59,10 @@ def barrier_fingerprint(mechanism: Mechanism, n_processors: int,
     ``metrics`` runs with the observability layer attached — it is
     timing-neutral by contract, so the fingerprint must still match the
     golden (this is how ``capture_parity.py --verify --metrics`` pins
-    that contract, single-process and sharded alike).
+    that contract, single-process and sharded alike).  ``backend``
+    selects the event-kernel backend (:mod:`repro.sim.backends`) — the
+    fingerprint must be byte-identical for every backend, which is the
+    parity gate ``capture_parity.py --verify --backend accel`` enforces.
     """
     if shards > 1:
         if warm_cache is not None:
@@ -66,12 +70,13 @@ def barrier_fingerprint(mechanism: Mechanism, n_processors: int,
         from repro.shard.session import run_sharded
         res = run_sharded("barrier", dict(
             n_processors=n_processors, mechanism=mechanism,
-            episodes=episodes, warmup_episodes=1, metrics=metrics), shards)
+            episodes=episodes, warmup_episodes=1, metrics=metrics,
+            backend=backend), shards)
     else:
         res = run_barrier_workload(n_processors, mechanism,
                                    episodes=episodes,
                                    warmup_episodes=1, warm_cache=warm_cache,
-                                   metrics=metrics)
+                                   metrics=metrics, backend=backend)
     return {
         "workload": "barrier",
         "mechanism": mechanism.value,
@@ -85,7 +90,8 @@ def barrier_fingerprint(mechanism: Mechanism, n_processors: int,
 def lock_fingerprint(mechanism: Mechanism, n_processors: int,
                      acquisitions: int = LOCK_ACQUISITIONS,
                      warm_cache=None, shards: int = 1,
-                     metrics: bool = False) -> dict:
+                     metrics: bool = False,
+                     backend: Optional[str] = None) -> dict:
     """Run one ticket-lock configuration and reduce it to a fingerprint."""
     if shards > 1:
         if warm_cache is not None:
@@ -94,12 +100,12 @@ def lock_fingerprint(mechanism: Mechanism, n_processors: int,
         res = run_sharded("lock", dict(
             n_processors=n_processors, mechanism=mechanism,
             acquisitions_per_cpu=acquisitions, warmup_per_cpu=1,
-            metrics=metrics), shards)
+            metrics=metrics, backend=backend), shards)
     else:
         res = run_lock_workload(n_processors, mechanism,
                                 acquisitions_per_cpu=acquisitions,
                                 warmup_per_cpu=1, warm_cache=warm_cache,
-                                metrics=metrics)
+                                metrics=metrics, backend=backend)
     return {
         "workload": "lock",
         "mechanism": mechanism.value,
@@ -113,7 +119,8 @@ def lock_fingerprint(mechanism: Mechanism, n_processors: int,
 def capture_all(n_processors: int = 32,
                 mechanisms: Optional[list[Mechanism]] = None,
                 warm_cache=None, barrier_only: bool = False,
-                shards: int = 1, metrics: bool = False) -> dict:
+                shards: int = 1, metrics: bool = False,
+                backend: Optional[str] = None) -> dict:
     """Fingerprint every mechanism (barrier + lock) at one machine size.
 
     With a ``warm_cache`` every run goes through snapshot warm-start;
@@ -125,7 +132,9 @@ def capture_all(n_processors: int = 32,
     stamped with the shard count and must match the single-process
     golden up to :data:`SHARD_EXEMPT_KEYS`.  ``metrics`` attaches the
     observability layer to every run (timing-neutral by contract: the
-    fingerprints must not move).
+    fingerprints must not move).  ``backend`` runs every fingerprint on
+    the named event-kernel backend; the document must stay byte-identical
+    to the ``reference`` golden (``events_dispatched`` included).
     """
     mechs = mechanisms or list(Mechanism)
     fingerprints = {}
@@ -133,11 +142,13 @@ def capture_all(n_processors: int = 32,
         fp = {"barrier": barrier_fingerprint(m, n_processors,
                                              warm_cache=warm_cache,
                                              shards=shards,
-                                             metrics=metrics)}
+                                             metrics=metrics,
+                                             backend=backend)}
         if not barrier_only:
             fp["lock"] = lock_fingerprint(m, n_processors,
                                           warm_cache=warm_cache,
-                                          shards=shards, metrics=metrics)
+                                          shards=shards, metrics=metrics,
+                                          backend=backend)
         fingerprints[m.value] = fp
     doc = {
         "n_processors": n_processors,

@@ -80,6 +80,12 @@ class RunSpec:
     #: :meth:`canonical` (the cache key): a cached single-process result
     #: answers a sharded spec and vice versa.
     shards: int = field(default=1, compare=False)
+    #: event-kernel backend (:mod:`repro.sim.backends`).  Like ``shards``
+    #: this is an execution detail — every backend is parity-gated to
+    #: byte-identical results — so it too stays out of equality and the
+    #: cache key: a cached ``reference`` result answers an ``accel`` spec
+    #: and vice versa.  ``None`` defers to $REPRO_KERNEL_BACKEND.
+    backend: Optional[str] = field(default=None, compare=False)
 
     @classmethod
     def make(cls, kind: str, **params: Any) -> "RunSpec":
@@ -90,7 +96,8 @@ class RunSpec:
                 episodes: int = 4, warmup_episodes: int = 1,
                 tree_branching: Optional[int] = None, naive: bool = False,
                 home_node: int = 0, metrics: bool = False,
-                metrics_interval: int = 0, shards: int = 1) -> "RunSpec":
+                metrics_interval: int = 0, shards: int = 1,
+                backend: Optional[str] = None) -> "RunSpec":
         """A :func:`~repro.workloads.barrier.run_barrier_workload` point.
 
         Metrics parameters enter the spec (and hence the cache key) only
@@ -113,6 +120,8 @@ class RunSpec:
         spec = cls.make("barrier", **params)
         if shards > 1:
             spec = replace(spec, shards=shards)
+        if backend is not None:
+            spec = replace(spec, backend=backend)
         return spec
 
     @classmethod
@@ -120,7 +129,8 @@ class RunSpec:
              lock_type: str = "ticket", acquisitions_per_cpu: int = 4,
              warmup_per_cpu: int = 1, home_node: int = 0,
              metrics: bool = False,
-             metrics_interval: int = 0, shards: int = 1) -> "RunSpec":
+             metrics_interval: int = 0, shards: int = 1,
+             backend: Optional[str] = None) -> "RunSpec":
         """A :func:`~repro.workloads.locks.run_lock_workload` point."""
         params = dict(n_processors=n_processors, mechanism=mechanism,
                       lock_type=lock_type,
@@ -133,13 +143,16 @@ class RunSpec:
         spec = cls.make("lock", **params)
         if shards > 1:
             spec = replace(spec, shards=shards)
+        if backend is not None:
+            spec = replace(spec, backend=backend)
         return spec
 
     @classmethod
     def fuzz(cls, n_processors: int, mechanism: Mechanism, workload: str,
              seed: int, max_extra: int, kinds: Optional[tuple] = None,
              episodes: int = 2, ops_per_cpu: int = 3,
-             inject_bug: Optional[str] = None) -> "RunSpec":
+             inject_bug: Optional[str] = None,
+             backend: Optional[str] = None) -> "RunSpec":
         """A :func:`~repro.check.fuzz.run_fuzz_schedule` point.
 
         The kind filter enters the spec only when restricted, and the bug
@@ -153,7 +166,10 @@ class RunSpec:
             params["kinds"] = tuple(sorted(kinds))
         if inject_bug is not None:
             params["inject_bug"] = inject_bug
-        return cls.make("fuzz", **params)
+        spec = cls.make("fuzz", **params)
+        if backend is not None:
+            spec = replace(spec, backend=backend)
+        return spec
 
     # ------------------------------------------------------------------
     @property
@@ -218,6 +234,10 @@ def execute_spec(spec: RunSpec) -> RunRecord:
             f"unknown run kind {spec.kind!r}; registered: "
             f"{registered_kinds()}") from None
     kwargs = spec.kwargs
+    if spec.backend is not None:
+        # execution detail like ``shards``: threaded to the driver (and
+        # through it to every shard worker) but never into the cache key
+        kwargs["backend"] = spec.backend
     t0 = time.perf_counter()
     if spec.shards > 1:
         from repro.shard.session import run_sharded

@@ -1,0 +1,1875 @@
+/* Compiled ``accel`` event core — a C implementation of the kernel
+ * contract defined by repro.sim.kernel.Simulator.
+ *
+ * The semantics (two-tier queue, same-cycle FIFO dispatch ring,
+ * delivery-phase (src, seq) ordering, flattened resume trampoline,
+ * error messages) are replicated exactly; the pure-Python module
+ * repro/sim/backends/accel_py.py is the executable specification and
+ * automatic fallback when this extension is not built.  Parity is
+ * enforced byte-identically by tools/capture_parity.py --verify
+ * --backend accel and by the backend-conformance test suite.
+ *
+ * What the C restructuring buys over the reference loop:
+ *  - the dispatch ring is a C circular buffer of (fn, args) tuples (a
+ *    small `_ring` view object keeps the external append/__bool__
+ *    contract for the primitives);
+ *  - future timestamps live in a C int64 binary heap; buckets and the
+ *    delivery phase stay Python lists inside dicts, driven via the C
+ *    API (no interpreter dispatch on the hot path);
+ *  - ``sim._resume`` is one stable bound callable; the run loop
+ *    pointer-compares each event's callable against it and runs the
+ *    resume trampoline inline — PyIter_Send drives the generator, so a
+ *    normal resume never materializes a StopIteration;
+ *  - Timeout arming is type-specialized inside the trampoline.
+ *
+ * Python Process/Timeout/primitives objects are shared with the
+ * reference backend (imported at module init), so model code and the
+ * primitives module need no backend awareness at all.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>   /* T_OBJECT_EX / READONLY member flags */
+#include <stddef.h>
+
+/* ------------------------------------------------------------------ */
+/* module-level handles resolved at import time                        */
+/* ------------------------------------------------------------------ */
+
+static PyObject *g_SimulationError;   /* repro.sim.kernel.SimulationError */
+static PyObject *g_Process;           /* repro.sim.process.Process        */
+static PyTypeObject *g_ProcessType;
+static PyTypeObject *g_TimeoutType;   /* repro.sim.primitives.Timeout     */
+static PyTypeObject *g_WaitType, *g_GateWaitType, *g_AcquireType,
+    *g_QueueGetType, *g_JoinType;
+static PyTypeObject *g_SignalType, *g_GateType, *g_ResourceType,
+    *g_FifoQueueType;
+static PyObject *g_empty_str, *g_one;
+
+/* interned attribute names */
+static PyObject *s_done, *s_gen, *s_stack, *s_rn, *s_finish, *s_fail,
+    *s_arm, *s_throw, *s_name, *s_result, *s_delay, *s_qualname, *s_value,
+    *s_append, *s_popleft, *s_dunder_name;
+
+/* --------------------------------------------------------------------
+ * Slot-offset specialization.
+ *
+ * Process and the waitable primitives are plain Python classes with
+ * __slots__ shared verbatim with the reference backend.  Their slot
+ * descriptors expose fixed struct offsets, so the trampoline can read
+ * and write e.g. ``proc.gen`` or ``resource._busy`` as one pointer
+ * dereference instead of a descriptor dispatch — and can replicate the
+ * whole body of the hot ``_arm``/``_finish`` methods without entering
+ * the interpreter.  Resolution happens once at import; if any slot is
+ * missing (the Python classes were refactored), ``g_fast`` stays 0 and
+ * every access falls back to the generic attribute protocol, keeping
+ * behaviour — if not speed — intact.
+ * ------------------------------------------------------------------ */
+
+static int g_fast = 0;
+
+/* Process */
+static Py_ssize_t off_p_gen, off_p_stack, off_p_name, off_p_sim,
+    off_p_done, off_p_result, off_p_error, off_p_waiters, off_p_rn;
+/* JoinCmd / Wait / GateWait / Acquire / QueueGet (the yielded cmds) */
+static Py_ssize_t off_j_target, off_w_signal, off_gw_gate, off_a_resource,
+    off_qg_queue;
+/* Signal / Gate / Resource / FifoQueue (the cmds' referents) */
+static Py_ssize_t off_s_waiters, off_s_fired, off_s_value;
+static Py_ssize_t off_g_waiters, off_g_open, off_g_value;
+static Py_ssize_t off_r_busy, off_r_queue, off_r_grants, off_r_acquired,
+    off_r_sim;
+static Py_ssize_t off_fq_items, off_fq_getters;
+
+#define SLOT(obj, off) (*(PyObject **)((char *)(obj) + (off)))
+
+/* truth of a slot value that is almost always a bool singleton */
+static inline int
+slot_truth(PyObject *v)
+{
+    if (v == Py_True)
+        return 1;
+    if (v == Py_False || v == NULL)
+        return 0;
+    return PyObject_IsTrue(v);
+}
+
+/* store an owned reference into a slot, dropping the old value */
+static inline void
+slot_store(PyObject *obj, Py_ssize_t off, PyObject *value_owned)
+{
+    PyObject *old = SLOT(obj, off);
+    SLOT(obj, off) = value_owned;
+    Py_XDECREF(old);
+}
+
+static Py_ssize_t
+slot_off(PyObject *cls, const char *name)
+{
+    PyObject *descr = PyObject_GetAttrString(cls, name);
+    if (descr == NULL) {
+        PyErr_Clear();
+        return -1;
+    }
+    Py_ssize_t off = -1;
+    if (Py_IS_TYPE(descr, &PyMemberDescr_Type)) {
+        PyMemberDef *m = ((PyMemberDescrObject *)descr)->d_member;
+        if (m->type == T_OBJECT_EX)
+            off = m->offset;
+    }
+    Py_DECREF(descr);
+    return off;
+}
+
+/* ------------------------------------------------------------------ */
+/* EventRing: the same-cycle FIFO dispatch ring                        */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    PyObject **buf;
+    Py_ssize_t head;   /* index of the oldest element */
+    Py_ssize_t len;
+    Py_ssize_t cap;    /* power of two */
+} RingObject;
+
+static PyTypeObject Ring_Type;
+
+static int
+ring_grow(RingObject *r)
+{
+    Py_ssize_t newcap = r->cap ? r->cap * 2 : 64;
+    PyObject **nb = PyMem_New(PyObject *, newcap);
+    if (nb == NULL) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    for (Py_ssize_t i = 0; i < r->len; i++)
+        nb[i] = r->buf[(r->head + i) & (r->cap - 1)];
+    PyMem_Free(r->buf);
+    r->buf = nb;
+    r->head = 0;
+    r->cap = newcap;
+    return 0;
+}
+
+/* steals no reference: increfs ev */
+static int
+ring_push(RingObject *r, PyObject *ev)
+{
+    if (r->len == r->cap && ring_grow(r) < 0)
+        return -1;
+    r->buf[(r->head + r->len) & (r->cap - 1)] = Py_NewRef(ev);
+    r->len++;
+    return 0;
+}
+
+/* returns an owned reference; caller must ensure len > 0 */
+static PyObject *
+ring_popleft(RingObject *r)
+{
+    PyObject *ev = r->buf[r->head];
+    r->head = (r->head + 1) & (r->cap - 1);
+    r->len--;
+    return ev;
+}
+
+static PyObject *
+Ring_append(RingObject *r, PyObject *ev)
+{
+    if (ring_push(r, ev) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static Py_ssize_t
+Ring_length(RingObject *r)
+{
+    return r->len;
+}
+
+static int
+Ring_traverse(RingObject *r, visitproc visit, void *arg)
+{
+    for (Py_ssize_t i = 0; i < r->len; i++)
+        Py_VISIT(r->buf[(r->head + i) & (r->cap - 1)]);
+    return 0;
+}
+
+static int
+Ring_clear_impl(RingObject *r)
+{
+    for (Py_ssize_t i = 0; i < r->len; i++) {
+        PyObject *ev = r->buf[(r->head + i) & (r->cap - 1)];
+        r->buf[(r->head + i) & (r->cap - 1)] = NULL;
+        Py_XDECREF(ev);
+    }
+    r->len = 0;
+    r->head = 0;
+    return 0;
+}
+
+static void
+Ring_dealloc(RingObject *r)
+{
+    PyObject_GC_UnTrack(r);
+    Ring_clear_impl(r);
+    PyMem_Free(r->buf);
+    Py_TYPE(r)->tp_free((PyObject *)r);
+}
+
+static PyMethodDef Ring_methods[] = {
+    {"append", (PyCFunction)Ring_append, METH_O,
+     "Append one (fn, args) event tuple."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PySequenceMethods Ring_as_sequence = {
+    .sq_length = (lenfunc)Ring_length,
+};
+
+static PyTypeObject Ring_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim.backends._accel_core.EventRing",
+    .tp_basicsize = sizeof(RingObject),
+    .tp_dealloc = (destructor)Ring_dealloc,
+    .tp_as_sequence = &Ring_as_sequence,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Same-cycle FIFO dispatch ring (C circular buffer).",
+    .tp_traverse = (traverseproc)Ring_traverse,
+    .tp_clear = (inquiry)Ring_clear_impl,
+    .tp_methods = Ring_methods,
+};
+
+static RingObject *
+ring_new(void)
+{
+    RingObject *r = PyObject_GC_New(RingObject, &Ring_Type);
+    if (r == NULL)
+        return NULL;
+    r->buf = NULL;
+    r->head = r->len = r->cap = 0;
+    PyObject_GC_Track(r);
+    return r;
+}
+
+/* ------------------------------------------------------------------ */
+/* AccelSimulator                                                      */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    long long now;
+    long long events_dispatched;
+    char running;
+    char trace;
+    RingObject *ring;
+    PyObject *buckets;     /* dict: when (int) -> list of events        */
+    PyObject *phase;       /* dict: when (int) -> list of (key, event)  */
+    PyObject *pool;        /* list of recycled bucket lists             */
+    PyObject *trace_log;   /* list of (time, description)               */
+    PyObject *active;      /* set of live processes                     */
+    PyObject *resume_cb;   /* the one stable bound ``_resume`` callable */
+    long long *heap;       /* min-heap of distinct future timestamps    */
+    Py_ssize_t heap_len;
+    Py_ssize_t heap_cap;
+} SimObject;
+
+static PyTypeObject Sim_Type;
+
+/* ---- int64 binary heap ---- */
+
+static int
+heap_push(SimObject *s, long long when)
+{
+    if (s->heap_len == s->heap_cap) {
+        Py_ssize_t newcap = s->heap_cap ? s->heap_cap * 2 : 64;
+        long long *nh = PyMem_Resize(s->heap, long long, newcap);
+        if (nh == NULL) {
+            PyErr_NoMemory();
+            return -1;
+        }
+        s->heap = nh;
+        s->heap_cap = newcap;
+    }
+    Py_ssize_t i = s->heap_len++;
+    long long *h = s->heap;
+    while (i > 0) {
+        Py_ssize_t parent = (i - 1) >> 1;
+        if (h[parent] <= when)
+            break;
+        h[i] = h[parent];
+        i = parent;
+    }
+    h[i] = when;
+    return 0;
+}
+
+static void
+heap_pop(SimObject *s)
+{
+    long long *h = s->heap;
+    Py_ssize_t n = --s->heap_len;
+    if (n == 0)
+        return;
+    long long last = h[n];
+    Py_ssize_t i = 0;
+    for (;;) {
+        Py_ssize_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && h[child + 1] < h[child])
+            child++;
+        if (last <= h[child])
+            break;
+        h[i] = h[child];
+        i = child;
+    }
+    h[i] = last;
+}
+
+/* ---- list helpers ---- */
+
+/* pop the last element of a list; returns owned ref or NULL (empty/err) */
+static PyObject *
+list_pop_last(PyObject *list)
+{
+    Py_ssize_t n = PyList_GET_SIZE(list);
+    if (n == 0)
+        return NULL;
+    PyObject *item = Py_NewRef(PyList_GET_ITEM(list, n - 1));
+    if (PyList_SetSlice(list, n - 1, n, NULL) < 0) {
+        Py_DECREF(item);
+        return NULL;
+    }
+    return item;
+}
+
+/* ---- future-event queue ---- */
+
+/* append ev to the bucket at ``when``, creating it (pool-recycled) and
+ * registering the timestamp on the heap if absent */
+static int
+push_future(SimObject *self, long long when, PyObject *ev)
+{
+    PyObject *when_obj = PyLong_FromLongLong(when);
+    if (when_obj == NULL)
+        return -1;
+    PyObject *bucket = PyDict_GetItemWithError(self->buckets, when_obj);
+    if (bucket != NULL) {
+        int r = PyList_Append(bucket, ev);
+        Py_DECREF(when_obj);
+        return r;
+    }
+    if (PyErr_Occurred()) {
+        Py_DECREF(when_obj);
+        return -1;
+    }
+    bucket = list_pop_last(self->pool);
+    if (bucket == NULL) {
+        if (PyErr_Occurred()) {
+            Py_DECREF(when_obj);
+            return -1;
+        }
+        bucket = PyList_New(0);
+        if (bucket == NULL) {
+            Py_DECREF(when_obj);
+            return -1;
+        }
+    }
+    if (PyDict_SetItem(self->buckets, when_obj, bucket) < 0 ||
+            heap_push(self, when) < 0 ||
+            PyList_Append(bucket, ev) < 0) {
+        Py_DECREF(bucket);
+        Py_DECREF(when_obj);
+        return -1;
+    }
+    Py_DECREF(bucket);
+    Py_DECREF(when_obj);
+    return 0;
+}
+
+/* ---- resume trampoline ---- */
+
+/* append a "resume ``proc`` with ``value``" event to the ring.  A
+ * None-valued wake-up reuses the process's interned ``_rn`` tuple, just
+ * like the Python primitives do. */
+static int
+push_resume(SimObject *self, PyObject *proc, PyObject *value)
+{
+    if (value == Py_None && g_fast && Py_IS_TYPE(proc, g_ProcessType)) {
+        PyObject *rn = SLOT(proc, off_p_rn);
+        if (rn != NULL)
+            return ring_push(self->ring, rn);
+    }
+    PyObject *args = PyTuple_Pack(2, proc, value);
+    if (args == NULL)
+        return -1;
+    PyObject *ev = PyTuple_Pack(2, self->resume_cb, args);
+    Py_DECREF(args);
+    if (ev == NULL)
+        return -1;
+    int r = ring_push(self->ring, ev);
+    Py_DECREF(ev);
+    return r;
+}
+
+/* Process._finish: mark done, store the result, wake joiners */
+static int
+proc_finish(SimObject *self, PyObject *proc, PyObject *result)
+{
+    if (!(g_fast && Py_IS_TYPE(proc, g_ProcessType))) {
+        PyObject *r = PyObject_CallMethodOneArg(proc, s_finish, result);
+        if (r == NULL)
+            return -1;
+        Py_DECREF(r);
+        return 0;
+    }
+    slot_store(proc, off_p_done, Py_NewRef(Py_True));
+    slot_store(proc, off_p_result, Py_NewRef(result));
+    PyObject *waiters = SLOT(proc, off_p_waiters);
+    if (waiters != NULL && PyList_CheckExact(waiters)
+            && PyList_GET_SIZE(waiters) > 0) {
+        PyObject *empty = PyList_New(0);
+        if (empty == NULL)
+            return -1;
+        SLOT(proc, off_p_waiters) = empty;   /* we now own ``waiters`` */
+        Py_ssize_t n = PyList_GET_SIZE(waiters);
+        for (Py_ssize_t i = 0; i < n; i++) {
+            if (push_resume(self, PyList_GET_ITEM(waiters, i), result) < 0) {
+                Py_DECREF(waiters);
+                return -1;
+            }
+        }
+        Py_DECREF(waiters);
+    }
+    return 0;
+}
+
+/* Process._fail: mark done, record the error, abandon joiners */
+static int
+proc_fail(PyObject *proc, PyObject *error)
+{
+    if (!(g_fast && Py_IS_TYPE(proc, g_ProcessType))) {
+        PyObject *r = PyObject_CallMethodOneArg(proc, s_fail, error);
+        if (r == NULL)
+            return -1;
+        Py_DECREF(r);
+        return 0;
+    }
+    PyObject *empty = PyList_New(0);
+    if (empty == NULL)
+        return -1;
+    slot_store(proc, off_p_done, Py_NewRef(Py_True));
+    slot_store(proc, off_p_error, Py_NewRef(error));
+    slot_store(proc, off_p_waiters, empty);
+    return 0;
+}
+
+static int
+proc_set_gen(PyObject *proc, int fast, PyObject *newgen)
+{
+    if (fast) {
+        slot_store(proc, off_p_gen, Py_NewRef(newgen));
+        return 0;
+    }
+    return PyObject_SetAttr(proc, s_gen, newgen);
+}
+
+static int
+resume_impl(SimObject *self, PyObject *proc, PyObject *value_in,
+            PyObject *exc_in)
+{
+    int fast = g_fast && Py_IS_TYPE(proc, g_ProcessType);
+    PyObject *gen, *stack;
+    if (fast) {
+        int is_done = slot_truth(SLOT(proc, off_p_done));
+        if (is_done < 0)
+            return -1;
+        if (is_done)
+            return 0;
+        gen = Py_XNewRef(SLOT(proc, off_p_gen));
+        stack = Py_XNewRef(SLOT(proc, off_p_stack));
+        if (gen == NULL || stack == NULL) {
+            Py_XDECREF(gen);
+            Py_XDECREF(stack);
+            PyErr_Format(PyExc_AttributeError,
+                         "process %R has unset gen/stack slots", proc);
+            return -1;
+        }
+    }
+    else {
+        PyObject *done = PyObject_GetAttr(proc, s_done);
+        if (done == NULL)
+            return -1;
+        int is_done = PyObject_IsTrue(done);
+        Py_DECREF(done);
+        if (is_done < 0)
+            return -1;
+        if (is_done)
+            return 0;
+        gen = PyObject_GetAttr(proc, s_gen);
+        if (gen == NULL)
+            return -1;
+        stack = PyObject_GetAttr(proc, s_stack);
+        if (stack == NULL) {
+            Py_DECREF(gen);
+            return -1;
+        }
+    }
+    PyObject *value = Py_NewRef(value_in);
+    PyObject *exc = (exc_in != NULL && exc_in != Py_None)
+        ? Py_NewRef(exc_in) : NULL;
+    int retcode = -1;
+
+    for (;;) {
+        PyObject *cmd = NULL;
+        PyObject *retval = NULL;   /* owned iff the generator returned */
+        int finished = 0;
+
+        if (exc != NULL) {
+            PyObject *res = PyObject_CallMethodOneArg(gen, s_throw, exc);
+            Py_CLEAR(exc);
+            if (res != NULL) {
+                cmd = res;
+            }
+            else if (PyErr_ExceptionMatches(PyExc_StopIteration)) {
+                PyObject *t, *v, *tb;
+                PyErr_Fetch(&t, &v, &tb);
+                PyErr_NormalizeException(&t, &v, &tb);
+                retval = v ? PyObject_GetAttr(v, s_value) : Py_NewRef(Py_None);
+                Py_XDECREF(t);
+                Py_XDECREF(v);
+                Py_XDECREF(tb);
+                if (retval == NULL)
+                    goto bail;
+                finished = 1;
+            }
+            /* other exceptions: handled by the !cmd branch below */
+        }
+        else {
+            PyObject *res;
+            PySendResult sr = PyIter_Send(gen, value, &res);
+            if (sr == PYGEN_NEXT) {
+                cmd = res;
+            }
+            else if (sr == PYGEN_RETURN) {
+                retval = res;
+                finished = 1;
+            }
+            /* PYGEN_ERROR: handled below */
+        }
+
+        if (finished) {
+            PyObject *caller = list_pop_last(stack);
+            if (caller != NULL) {
+                /* inner coroutine returned: resume its caller inline */
+                if (proc_set_gen(proc, fast, caller) < 0) {
+                    Py_DECREF(caller);
+                    Py_DECREF(retval);
+                    goto bail;
+                }
+                Py_SETREF(gen, caller);
+                Py_SETREF(value, retval);
+                continue;
+            }
+            if (PyErr_Occurred()) {
+                Py_DECREF(retval);
+                goto bail;
+            }
+            int fr = proc_finish(self, proc, retval);
+            Py_DECREF(retval);
+            if (fr < 0)
+                goto bail;
+            if (PySet_Discard(self->active, proc) < 0)
+                goto bail;
+            retcode = 0;
+            goto bail;
+        }
+
+        if (cmd == NULL) {
+            /* the generator raised: propagate into the caller (its
+             * try/finally must run) or fail the process */
+            PyObject *t, *v, *tb;
+            PyErr_Fetch(&t, &v, &tb);
+            PyErr_NormalizeException(&t, &v, &tb);
+            if (tb != NULL && v != NULL)
+                PyException_SetTraceback(v, tb);
+            PyObject *caller = list_pop_last(stack);
+            if (caller != NULL) {
+                if (proc_set_gen(proc, fast, caller) < 0) {
+                    Py_DECREF(caller);
+                    Py_XDECREF(t);
+                    Py_XDECREF(v);
+                    Py_XDECREF(tb);
+                    goto bail;
+                }
+                Py_SETREF(gen, caller);
+                exc = v ? v : Py_NewRef(Py_None);
+                Py_XDECREF(t);
+                Py_XDECREF(tb);
+                continue;
+            }
+            if (PyErr_Occurred()) {   /* list_pop_last failed */
+                Py_XDECREF(t);
+                Py_XDECREF(v);
+                Py_XDECREF(tb);
+                goto bail;
+            }
+            if (proc_fail(proc, v ? v : Py_None) < 0) {
+                Py_XDECREF(t);
+                Py_XDECREF(v);
+                Py_XDECREF(tb);
+                goto bail;
+            }
+            (void)PySet_Discard(self->active, proc);
+            PyErr_Restore(t, v, tb);   /* re-raise at top level */
+            goto bail;
+        }
+
+        /* the generator yielded ``cmd`` */
+        if (Py_IS_TYPE(cmd, &PyGen_Type)) {
+            /* sub-call: push the caller, drive the inner generator */
+            if (PyList_Append(stack, gen) < 0 ||
+                    proc_set_gen(proc, fast, cmd) < 0) {
+                Py_DECREF(cmd);
+                goto bail;
+            }
+            Py_SETREF(gen, cmd);
+            Py_SETREF(value, Py_NewRef(Py_None));
+            continue;
+        }
+        if (Py_IS_TYPE(cmd, g_TimeoutType)) {
+            /* inlined Timeout._arm */
+            PyObject *delay = PyObject_GetAttr(cmd, s_delay);
+            if (delay == NULL) {
+                Py_DECREF(cmd);
+                goto bail;
+            }
+            if (PyLong_CheckExact(delay)) {
+                int overflow = 0;
+                long long d = PyLong_AsLongLongAndOverflow(delay, &overflow);
+                if (d == -1 && !overflow && PyErr_Occurred()) {
+                    Py_DECREF(delay);
+                    Py_DECREF(cmd);
+                    goto bail;
+                }
+                if (!overflow && d >= 0) {
+                    PyObject *rn = fast ? Py_XNewRef(SLOT(proc, off_p_rn))
+                                        : NULL;
+                    if (rn == NULL)
+                        rn = PyObject_GetAttr(proc, s_rn);
+                    if (rn == NULL) {
+                        Py_DECREF(delay);
+                        Py_DECREF(cmd);
+                        goto bail;
+                    }
+                    int r = (d > 0)
+                        ? push_future(self, self->now + d, rn)
+                        : ring_push(self->ring, rn);
+                    Py_DECREF(rn);
+                    Py_DECREF(delay);
+                    Py_DECREF(cmd);
+                    if (r < 0)
+                        goto bail;
+                    retcode = 0;
+                    goto bail;
+                }
+                if (!overflow) {
+                    /* negative delay: same error schedule() raises */
+                    PyErr_Format(g_SimulationError,
+                                 "negative delay %R", delay);
+                    Py_DECREF(delay);
+                    Py_DECREF(cmd);
+                    goto bail;
+                }
+            }
+            Py_DECREF(delay);
+            /* non-int/overflowing delay: generic _arm path below */
+        }
+        if (g_fast) {
+            /* Exact-type replicas of the hot ``_arm`` bodies.  Any
+             * missing slot or unexpected referent type falls through to
+             * the generic attribute-protocol path below, which runs the
+             * Python ``_arm`` unchanged. */
+            PyTypeObject *ct = Py_TYPE(cmd);
+            if (ct == g_WaitType || ct == g_GateWaitType) {
+                /* Wait/GateWait: already fired/open resumes now with the
+                 * stored value, otherwise park on the waiter list */
+                int is_wait = (ct == g_WaitType);
+                PyObject *src = SLOT(cmd,
+                                     is_wait ? off_w_signal : off_gw_gate);
+                if (src != NULL &&
+                        Py_IS_TYPE(src, is_wait ? g_SignalType : g_GateType)) {
+                    PyObject *waiters = SLOT(
+                        src, is_wait ? off_s_waiters : off_g_waiters);
+                    PyObject *val = SLOT(
+                        src, is_wait ? off_s_value : off_g_value);
+                    if (waiters != NULL && PyList_CheckExact(waiters)
+                            && val != NULL) {
+                        int fired = slot_truth(SLOT(
+                            src, is_wait ? off_s_fired : off_g_open));
+                        if (fired < 0) {
+                            Py_DECREF(cmd);
+                            goto bail;
+                        }
+                        int r = fired ? push_resume(self, proc, val)
+                                      : PyList_Append(waiters, proc);
+                        Py_DECREF(cmd);
+                        if (r < 0)
+                            goto bail;
+                        retcode = 0;
+                        goto bail;
+                    }
+                }
+            }
+            else if (ct == g_JoinType) {
+                PyObject *target = SLOT(cmd, off_j_target);
+                if (target != NULL && Py_IS_TYPE(target, g_ProcessType)) {
+                    PyObject *waiters = SLOT(target, off_p_waiters);
+                    PyObject *res = SLOT(target, off_p_result);
+                    if (waiters != NULL && PyList_CheckExact(waiters)
+                            && res != NULL) {
+                        int done = slot_truth(SLOT(target, off_p_done));
+                        if (done < 0) {
+                            Py_DECREF(cmd);
+                            goto bail;
+                        }
+                        int r = done ? push_resume(self, proc, res)
+                                     : PyList_Append(waiters, proc);
+                        Py_DECREF(cmd);
+                        if (r < 0)
+                            goto bail;
+                        retcode = 0;
+                        goto bail;
+                    }
+                }
+            }
+            else if (ct == g_AcquireType) {
+                PyObject *res = SLOT(cmd, off_a_resource);
+                if (res != NULL && Py_IS_TYPE(res, g_ResourceType)) {
+                    PyObject *grants = SLOT(res, off_r_grants);
+                    PyObject *queue = SLOT(res, off_r_queue);
+                    if (grants != NULL && queue != NULL) {
+                        /* release() needs the owning sim back */
+                        slot_store(res, off_r_sim,
+                                   Py_NewRef((PyObject *)self));
+                        int busy = slot_truth(SLOT(res, off_r_busy));
+                        if (busy < 0) {
+                            Py_DECREF(cmd);
+                            goto bail;
+                        }
+                        if (!busy) {
+                            PyObject *ng = PyNumber_Add(grants, g_one);
+                            if (ng == NULL) {
+                                Py_DECREF(cmd);
+                                goto bail;
+                            }
+                            PyObject *acq = PyLong_FromLongLong(self->now);
+                            if (acq == NULL) {
+                                Py_DECREF(ng);
+                                Py_DECREF(cmd);
+                                goto bail;
+                            }
+                            slot_store(res, off_r_busy, Py_NewRef(Py_True));
+                            slot_store(res, off_r_grants, ng);
+                            slot_store(res, off_r_acquired, acq);
+                            if (push_resume(self, proc, Py_None) < 0) {
+                                Py_DECREF(cmd);
+                                goto bail;
+                            }
+                        }
+                        else {
+                            PyObject *r = PyObject_CallMethodOneArg(
+                                queue, s_append, proc);
+                            if (r == NULL) {
+                                Py_DECREF(cmd);
+                                goto bail;
+                            }
+                            Py_DECREF(r);
+                        }
+                        Py_DECREF(cmd);
+                        retcode = 0;
+                        goto bail;
+                    }
+                }
+            }
+            else if (ct == g_QueueGetType) {
+                PyObject *q = SLOT(cmd, off_qg_queue);
+                if (q != NULL && Py_IS_TYPE(q, g_FifoQueueType)) {
+                    PyObject *items = SLOT(q, off_fq_items);
+                    PyObject *getters = SLOT(q, off_fq_getters);
+                    if (items != NULL && getters != NULL) {
+                        int nonempty = PyObject_IsTrue(items);
+                        if (nonempty < 0) {
+                            Py_DECREF(cmd);
+                            goto bail;
+                        }
+                        if (nonempty) {
+                            PyObject *item = PyObject_CallMethodNoArgs(
+                                items, s_popleft);
+                            if (item == NULL) {
+                                Py_DECREF(cmd);
+                                goto bail;
+                            }
+                            int r = push_resume(self, proc, item);
+                            Py_DECREF(item);
+                            if (r < 0) {
+                                Py_DECREF(cmd);
+                                goto bail;
+                            }
+                        }
+                        else {
+                            PyObject *r = PyObject_CallMethodOneArg(
+                                getters, s_append, proc);
+                            if (r == NULL) {
+                                Py_DECREF(cmd);
+                                goto bail;
+                            }
+                            Py_DECREF(r);
+                        }
+                        Py_DECREF(cmd);
+                        retcode = 0;
+                        goto bail;
+                    }
+                }
+            }
+        }
+        {
+            PyObject *r = PyObject_CallMethodObjArgs(
+                cmd, s_arm, (PyObject *)self, proc, NULL);
+            if (r == NULL) {
+                if (PyErr_ExceptionMatches(PyExc_AttributeError)) {
+                    PyErr_Clear();
+                    PyObject *pname = PyObject_GetAttr(proc, s_name);
+                    if (pname != NULL) {
+                        PyErr_Format(
+                            g_SimulationError,
+                            "process %R yielded non-primitive %R; yield "
+                            "Timeout/Wait/Acquire/... or use 'yield from' "
+                            "for sub-coroutines", pname, cmd);
+                        Py_DECREF(pname);
+                    }
+                }
+                Py_DECREF(cmd);
+                goto bail;
+            }
+            Py_DECREF(r);
+            Py_DECREF(cmd);
+            retcode = 0;
+            goto bail;
+        }
+    }
+
+bail:
+    Py_XDECREF(exc);
+    Py_DECREF(value);
+    Py_DECREF(gen);
+    Py_DECREF(stack);
+    return retcode;
+}
+
+/* the Python-visible ``sim._resume(proc, value, exc=None)`` */
+static PyObject *
+sim_resume_py(PyObject *self_obj, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs < 2 || nargs > 3) {
+        PyErr_SetString(PyExc_TypeError,
+                        "_resume expects (proc, value[, exc])");
+        return NULL;
+    }
+    SimObject *self = (SimObject *)self_obj;
+    PyObject *exc = (nargs == 3) ? args[2] : NULL;
+    if (resume_impl(self, args[0], args[1], exc) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef resume_def = {
+    "_resume", (PyCFunction)(void (*)(void))sim_resume_py,
+    METH_FASTCALL,
+    "Advance ``proc`` by one step, interpreting what it yields.",
+};
+
+/* ---- scheduling methods ---- */
+
+static PyObject *
+build_event(PyObject *fn, PyObject *const *rest, Py_ssize_t nrest)
+{
+    PyObject *args_t = PyTuple_New(nrest);
+    if (args_t == NULL)
+        return NULL;
+    for (Py_ssize_t i = 0; i < nrest; i++)
+        PyTuple_SET_ITEM(args_t, i, Py_NewRef(rest[i]));
+    PyObject *ev = PyTuple_Pack(2, fn, args_t);
+    Py_DECREF(args_t);
+    return ev;
+}
+
+/* classify a delay/when operand relative to ``ref``:
+ * 1 = greater, 0 = equal, -1 = less, -2 = error */
+static int
+cmp_to_ref(PyObject *obj, long long ref)
+{
+    if (PyLong_CheckExact(obj)) {
+        int overflow = 0;
+        long long v = PyLong_AsLongLongAndOverflow(obj, &overflow);
+        if (v == -1 && !overflow && PyErr_Occurred())
+            return -2;
+        if (overflow)
+            return overflow > 0 ? 1 : -1;
+        return (v > ref) ? 1 : (v == ref) ? 0 : -1;
+    }
+    PyObject *ref_obj = PyLong_FromLongLong(ref);
+    if (ref_obj == NULL)
+        return -2;
+    int eq = PyObject_RichCompareBool(obj, ref_obj, Py_EQ);
+    if (eq < 0) {
+        Py_DECREF(ref_obj);
+        return -2;
+    }
+    if (eq) {
+        Py_DECREF(ref_obj);
+        return 0;
+    }
+    int gt = PyObject_RichCompareBool(obj, ref_obj, Py_GT);
+    Py_DECREF(ref_obj);
+    if (gt < 0)
+        return -2;
+    return gt ? 1 : -1;
+}
+
+static long long
+as_longlong(PyObject *obj, int *err)
+{
+    *err = 0;
+    if (PyLong_CheckExact(obj)) {
+        long long v = PyLong_AsLongLong(obj);
+        if (v == -1 && PyErr_Occurred())
+            *err = 1;
+        return v;
+    }
+    PyObject *as_int = PyNumber_Long(obj);
+    if (as_int == NULL) {
+        *err = 1;
+        return -1;
+    }
+    long long v = PyLong_AsLongLong(as_int);
+    Py_DECREF(as_int);
+    if (v == -1 && PyErr_Occurred())
+        *err = 1;
+    return v;
+}
+
+static PyObject *
+sim_schedule(SimObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs < 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "schedule expects (delay, fn, *args)");
+        return NULL;
+    }
+    PyObject *delay = args[0];
+    int c = cmp_to_ref(delay, 0);
+    if (c == -2)
+        return NULL;
+    if (c < 0) {
+        PyErr_Format(g_SimulationError, "negative delay %R", delay);
+        return NULL;
+    }
+    PyObject *ev = build_event(args[1], args + 2, nargs - 2);
+    if (ev == NULL)
+        return NULL;
+    int r;
+    if (c == 0) {
+        r = ring_push(self->ring, ev);
+    }
+    else {
+        int err;
+        long long d = as_longlong(delay, &err);
+        if (err) {
+            Py_DECREF(ev);
+            return NULL;
+        }
+        r = push_future(self, self->now + d, ev);
+    }
+    Py_DECREF(ev);
+    if (r < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+sim_schedule_at(SimObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs < 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "schedule_at expects (when, fn, *args)");
+        return NULL;
+    }
+    PyObject *when = args[0];
+    int c = cmp_to_ref(when, self->now);
+    if (c == -2)
+        return NULL;
+    if (c < 0) {
+        PyErr_Format(g_SimulationError,
+                     "cannot schedule in the past (%S < %lld)",
+                     when, self->now);
+        return NULL;
+    }
+    PyObject *ev = build_event(args[1], args + 2, nargs - 2);
+    if (ev == NULL)
+        return NULL;
+    int r;
+    if (c == 0) {
+        r = ring_push(self->ring, ev);
+    }
+    else {
+        int err;
+        long long w = as_longlong(when, &err);
+        if (err) {
+            Py_DECREF(ev);
+            return NULL;
+        }
+        r = push_future(self, w, ev);
+    }
+    Py_DECREF(ev);
+    if (r < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+sim_push_future(SimObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError, "_push_future expects (when, ev)");
+        return NULL;
+    }
+    int err;
+    long long when = as_longlong(args[0], &err);
+    if (err)
+        return NULL;
+    if (push_future(self, when, args[1]) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+sim_push_delivery(SimObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 3) {
+        PyErr_SetString(PyExc_TypeError,
+                        "_push_delivery expects (when, key, ev)");
+        return NULL;
+    }
+    int err;
+    long long when = as_longlong(args[0], &err);
+    if (err)
+        return NULL;
+    if (when <= self->now) {
+        PyErr_Format(g_SimulationError,
+                     "delivery must be in the future (%S <= %lld)",
+                     args[0], self->now);
+        return NULL;
+    }
+    PyObject *when_obj = PyLong_FromLongLong(when);
+    if (when_obj == NULL)
+        return NULL;
+    /* ensure a regular bucket exists for ``when`` even if it stays
+     * empty, so the run loop's timestamp pop finds it */
+    PyObject *bucket = PyDict_GetItemWithError(self->buckets, when_obj);
+    if (bucket == NULL) {
+        if (PyErr_Occurred()) {
+            Py_DECREF(when_obj);
+            return NULL;
+        }
+        bucket = list_pop_last(self->pool);
+        if (bucket == NULL) {
+            if (PyErr_Occurred()) {
+                Py_DECREF(when_obj);
+                return NULL;
+            }
+            bucket = PyList_New(0);
+            if (bucket == NULL) {
+                Py_DECREF(when_obj);
+                return NULL;
+            }
+        }
+        if (PyDict_SetItem(self->buckets, when_obj, bucket) < 0 ||
+                heap_push(self, when) < 0) {
+            Py_DECREF(bucket);
+            Py_DECREF(when_obj);
+            return NULL;
+        }
+        Py_DECREF(bucket);
+    }
+    PyObject *phase = PyDict_GetItemWithError(self->phase, when_obj);
+    if (phase == NULL) {
+        if (PyErr_Occurred()) {
+            Py_DECREF(when_obj);
+            return NULL;
+        }
+        phase = PyList_New(0);
+        if (phase == NULL) {
+            Py_DECREF(when_obj);
+            return NULL;
+        }
+        if (PyDict_SetItem(self->phase, when_obj, phase) < 0) {
+            Py_DECREF(phase);
+            Py_DECREF(when_obj);
+            return NULL;
+        }
+        Py_DECREF(phase);
+        phase = PyDict_GetItemWithError(self->phase, when_obj);
+        if (phase == NULL) {
+            Py_DECREF(when_obj);
+            return NULL;
+        }
+    }
+    Py_DECREF(when_obj);
+    PyObject *entry = PyTuple_Pack(2, args[1], args[2]);
+    if (entry == NULL)
+        return NULL;
+    int r = PyList_Append(phase, entry);
+    Py_DECREF(entry);
+    if (r < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+/* ---- processes ---- */
+
+/* Process.__init__ replica: allocate on the Python Process type and
+ * fill its slots directly, skipping the interpreter frame. */
+static PyObject *
+make_process(SimObject *self, PyObject *gen, PyObject *name)
+{
+    if (!g_fast)
+        return PyObject_CallFunctionObjArgs(
+            g_Process, gen, name, (PyObject *)self, NULL);
+    PyObject *proc = g_ProcessType->tp_alloc(g_ProcessType, 0);
+    if (proc == NULL)
+        return NULL;
+    int named = PyObject_IsTrue(name);
+    if (named < 0)
+        goto fail;
+    PyObject *pname;
+    if (named) {
+        pname = Py_NewRef(name);
+    }
+    else {
+        pname = PyObject_GetAttr(gen, s_dunder_name);
+        if (pname == NULL) {
+            PyErr_Clear();
+            pname = PyUnicode_FromString("process");
+            if (pname == NULL)
+                goto fail;
+        }
+    }
+    PyObject *stack = PyList_New(0);
+    PyObject *waiters = PyList_New(0);
+    if (stack == NULL || waiters == NULL) {
+        Py_XDECREF(stack);
+        Py_XDECREF(waiters);
+        Py_DECREF(pname);
+        goto fail;
+    }
+    SLOT(proc, off_p_gen) = Py_NewRef(gen);
+    SLOT(proc, off_p_stack) = stack;
+    SLOT(proc, off_p_name) = pname;
+    SLOT(proc, off_p_sim) = Py_NewRef((PyObject *)self);
+    SLOT(proc, off_p_done) = Py_NewRef(Py_False);
+    SLOT(proc, off_p_result) = Py_NewRef(Py_None);
+    SLOT(proc, off_p_error) = Py_NewRef(Py_None);
+    SLOT(proc, off_p_waiters) = waiters;
+    PyObject *inner = PyTuple_Pack(2, proc, Py_None);
+    if (inner == NULL)
+        goto fail;
+    PyObject *rn = PyTuple_Pack(2, self->resume_cb, inner);
+    Py_DECREF(inner);
+    if (rn == NULL)
+        goto fail;
+    SLOT(proc, off_p_rn) = rn;
+    return proc;
+fail:
+    Py_DECREF(proc);
+    return NULL;
+}
+
+static PyObject *
+sim_spawn(SimObject *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"gen", "name", NULL};
+    PyObject *gen, *name = NULL;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O|O", kwlist,
+                                     &gen, &name))
+        return NULL;
+    PyObject *proc = make_process(self, gen, name ? name : g_empty_str);
+    if (proc == NULL)
+        return NULL;
+    if (PySet_Add(self->active, proc) < 0) {
+        Py_DECREF(proc);
+        return NULL;
+    }
+    /* start after the current event finishes (spawn is not reentrant) */
+    PyObject *rn = (g_fast && Py_IS_TYPE(proc, g_ProcessType))
+        ? Py_XNewRef(SLOT(proc, off_p_rn)) : NULL;
+    if (rn == NULL)
+        rn = PyObject_GetAttr(proc, s_rn);
+    if (rn == NULL || ring_push(self->ring, rn) < 0) {
+        Py_XDECREF(rn);
+        Py_DECREF(proc);
+        return NULL;
+    }
+    Py_DECREF(rn);
+    return proc;
+}
+
+/* ---- main loop ---- */
+
+static int
+run_core(SimObject *self, PyObject *until_obj, PyObject *maxev_obj)
+{
+    if (self->running) {
+        PyErr_SetString(g_SimulationError, "run() is not reentrant");
+        return -1;
+    }
+    int have_until = (until_obj != NULL && until_obj != Py_None);
+    long long until = 0;
+    if (have_until) {
+        int err;
+        until = as_longlong(until_obj, &err);
+        if (err)
+            return -1;
+    }
+    long long max_ev = -1;   /* -1 == unbounded */
+    if (maxev_obj != NULL && maxev_obj != Py_None) {
+        int err;
+        max_ev = as_longlong(maxev_obj, &err);
+        if (err)
+            return -1;
+        if (max_ev < 0)
+            max_ev = -1;
+    }
+    self->running = 1;
+    long long dispatched = 0;
+    long long base = self->events_dispatched;
+    int fail = 0;
+    RingObject *ring = self->ring;
+
+    for (;;) {
+        while (ring->len) {
+            if (dispatched == max_ev) {
+                PyErr_Format(g_SimulationError,
+                             "exceeded max_events=%S", maxev_obj);
+                fail = 1;
+                goto done;
+            }
+            PyObject *ev = ring_popleft(ring);
+            if (!PyTuple_CheckExact(ev) || PyTuple_GET_SIZE(ev) != 2) {
+                Py_DECREF(ev);
+                PyErr_SetString(PyExc_TypeError,
+                                "event must be a (fn, args) tuple");
+                fail = 1;
+                goto done;
+            }
+            PyObject *fn = PyTuple_GET_ITEM(ev, 0);
+            PyObject *fargs = PyTuple_GET_ITEM(ev, 1);
+            if (self->trace) {
+                PyObject *desc = PyObject_GetAttr(fn, s_qualname);
+                if (desc == NULL) {
+                    PyErr_Clear();
+                    desc = PyObject_Repr(fn);
+                }
+                PyObject *now_obj = desc ? PyLong_FromLongLong(self->now)
+                                         : NULL;
+                PyObject *entry = now_obj ? PyTuple_Pack(2, now_obj, desc)
+                                          : NULL;
+                int r = entry ? PyList_Append(self->trace_log, entry) : -1;
+                Py_XDECREF(entry);
+                Py_XDECREF(now_obj);
+                Py_XDECREF(desc);
+                if (r < 0) {
+                    Py_DECREF(ev);
+                    fail = 1;
+                    goto done;
+                }
+            }
+            int ok;
+            if (fn == self->resume_cb && PyTuple_CheckExact(fargs) &&
+                    PyTuple_GET_SIZE(fargs) == 2) {
+                ok = resume_impl(self, PyTuple_GET_ITEM(fargs, 0),
+                                 PyTuple_GET_ITEM(fargs, 1), NULL);
+            }
+            else {
+                PyObject *res = PyObject_Call(fn, fargs, NULL);
+                ok = (res == NULL) ? -1 : 0;
+                Py_XDECREF(res);
+            }
+            Py_DECREF(ev);
+            if (ok < 0) {
+                fail = 1;
+                goto done;
+            }
+            dispatched++;
+        }
+        if (self->heap_len == 0)
+            break;
+        /* events remain: the bound is checked before looking at
+         * ``until`` so a capped run with work pending always raises */
+        if (dispatched == max_ev) {
+            PyErr_Format(g_SimulationError,
+                         "exceeded max_events=%S", maxev_obj);
+            fail = 1;
+            goto done;
+        }
+        long long when = self->heap[0];
+        if (have_until && when > until) {
+            self->now = until;
+            break;
+        }
+        heap_pop(self);
+        self->now = when;
+        PyObject *when_obj = PyLong_FromLongLong(when);
+        if (when_obj == NULL) {
+            fail = 1;
+            goto done;
+        }
+        PyObject *phase = PyDict_GetItemWithError(self->phase, when_obj);
+        if (phase != NULL) {
+            /* delivery phase: canonical (src, seq) arrival order */
+            Py_INCREF(phase);
+            if (PyDict_DelItem(self->phase, when_obj) < 0 ||
+                    (PyList_GET_SIZE(phase) > 1 && PyList_Sort(phase) < 0)) {
+                Py_DECREF(phase);
+                Py_DECREF(when_obj);
+                fail = 1;
+                goto done;
+            }
+            Py_ssize_t pn = PyList_GET_SIZE(phase);
+            for (Py_ssize_t i = 0; i < pn; i++) {
+                PyObject *entry = PyList_GET_ITEM(phase, i);
+                if (ring_push(ring, PyTuple_GET_ITEM(entry, 1)) < 0) {
+                    Py_DECREF(phase);
+                    Py_DECREF(when_obj);
+                    fail = 1;
+                    goto done;
+                }
+            }
+            Py_DECREF(phase);
+        }
+        else if (PyErr_Occurred()) {
+            Py_DECREF(when_obj);
+            fail = 1;
+            goto done;
+        }
+        PyObject *bucket = PyDict_GetItemWithError(self->buckets, when_obj);
+        if (bucket == NULL) {
+            if (!PyErr_Occurred())
+                PyErr_SetString(PyExc_SystemError,
+                                "timestamp on heap without bucket");
+            Py_DECREF(when_obj);
+            fail = 1;
+            goto done;
+        }
+        Py_INCREF(bucket);
+        if (PyDict_DelItem(self->buckets, when_obj) < 0) {
+            Py_DECREF(bucket);
+            Py_DECREF(when_obj);
+            fail = 1;
+            goto done;
+        }
+        Py_DECREF(when_obj);
+        Py_ssize_t bn = PyList_GET_SIZE(bucket);
+        for (Py_ssize_t i = 0; i < bn; i++) {
+            if (ring_push(ring, PyList_GET_ITEM(bucket, i)) < 0) {
+                Py_DECREF(bucket);
+                fail = 1;
+                goto done;
+            }
+        }
+        /* clear and recycle the drained bucket */
+        if (PyList_SetSlice(bucket, 0, bn, NULL) < 0 ||
+                PyList_Append(self->pool, bucket) < 0) {
+            Py_DECREF(bucket);
+            fail = 1;
+            goto done;
+        }
+        Py_DECREF(bucket);
+    }
+
+done:
+    self->running = 0;
+    self->events_dispatched = base + dispatched;
+    return fail ? -1 : 0;
+}
+
+static PyObject *
+sim_run(SimObject *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"until", "max_events", NULL};
+    PyObject *until_obj = Py_None, *maxev_obj = Py_None;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "|OO", kwlist,
+                                     &until_obj, &maxev_obj))
+        return NULL;
+    if (run_core(self, until_obj, maxev_obj) < 0)
+        return NULL;
+    return PyLong_FromLongLong(self->now);
+}
+
+static PyObject *
+sim_run_process(SimObject *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"gen", "name", "max_events", NULL};
+    PyObject *gen, *name = NULL, *maxev_obj = Py_None;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O|OO", kwlist,
+                                     &gen, &name, &maxev_obj))
+        return NULL;
+    PyObject *name_obj = name ? Py_NewRef(name)
+                              : PyUnicode_FromString("main");
+    if (name_obj == NULL)
+        return NULL;
+    PyObject *spawn_args = PyTuple_Pack(2, gen, name_obj);
+    if (spawn_args == NULL) {
+        Py_DECREF(name_obj);
+        return NULL;
+    }
+    PyObject *proc = sim_spawn(self, spawn_args, NULL);
+    Py_DECREF(spawn_args);
+    if (proc == NULL) {
+        Py_DECREF(name_obj);
+        return NULL;
+    }
+    if (run_core(self, Py_None, maxev_obj) < 0) {
+        Py_DECREF(name_obj);
+        Py_DECREF(proc);
+        return NULL;
+    }
+    PyObject *done = PyObject_GetAttr(proc, s_done);
+    if (done == NULL) {
+        Py_DECREF(name_obj);
+        Py_DECREF(proc);
+        return NULL;
+    }
+    int is_done = PyObject_IsTrue(done);
+    Py_DECREF(done);
+    if (is_done <= 0) {
+        if (is_done == 0)
+            PyErr_Format(
+                g_SimulationError,
+                "deadlock: process %R still blocked at t=%lld with %zd "
+                "live processes", name_obj, self->now,
+                PySet_GET_SIZE(self->active));
+        Py_DECREF(name_obj);
+        Py_DECREF(proc);
+        return NULL;
+    }
+    Py_DECREF(name_obj);
+    PyObject *result = PyObject_GetAttr(proc, s_result);
+    Py_DECREF(proc);
+    return result;
+}
+
+/* ---- diagnostics ---- */
+
+static Py_ssize_t
+dict_values_total_len(PyObject *dict)
+{
+    Py_ssize_t total = 0;
+    Py_ssize_t pos = 0;
+    PyObject *key, *value;
+    while (PyDict_Next(dict, &pos, &key, &value))
+        total += PyList_GET_SIZE(value);
+    return total;
+}
+
+static PyObject *
+sim_pending_events(SimObject *self, PyObject *Py_UNUSED(ignored))
+{
+    Py_ssize_t total = self->ring->len
+        + dict_values_total_len(self->buckets)
+        + dict_values_total_len(self->phase);
+    return PyLong_FromSsize_t(total);
+}
+
+static PyObject *
+sim_next_event_time(SimObject *self, PyObject *Py_UNUSED(ignored))
+{
+    if (self->ring->len)
+        return PyLong_FromLongLong(self->now);
+    if (self->heap_len)
+        return PyLong_FromLongLong(self->heap[0]);
+    Py_RETURN_NONE;
+}
+
+/* ---- attribute plumbing ---- */
+
+static PyObject *
+sim_get_now(SimObject *self, void *Py_UNUSED(closure))
+{
+    return PyLong_FromLongLong(self->now);
+}
+
+static int
+sim_set_now(SimObject *self, PyObject *value, void *Py_UNUSED(closure))
+{
+    if (value == NULL) {
+        PyErr_SetString(PyExc_AttributeError, "cannot delete now");
+        return -1;
+    }
+    int err;
+    long long v = as_longlong(value, &err);
+    if (err)
+        return -1;
+    self->now = v;
+    return 0;
+}
+
+static PyObject *
+sim_get_events_dispatched(SimObject *self, void *Py_UNUSED(closure))
+{
+    return PyLong_FromLongLong(self->events_dispatched);
+}
+
+static int
+sim_set_events_dispatched(SimObject *self, PyObject *value,
+                          void *Py_UNUSED(closure))
+{
+    if (value == NULL) {
+        PyErr_SetString(PyExc_AttributeError,
+                        "cannot delete events_dispatched");
+        return -1;
+    }
+    int err;
+    long long v = as_longlong(value, &err);
+    if (err)
+        return -1;
+    self->events_dispatched = v;
+    return 0;
+}
+
+static PyObject *
+sim_get_resume(SimObject *self, void *Py_UNUSED(closure))
+{
+    return Py_NewRef(self->resume_cb);
+}
+
+static PyGetSetDef Sim_getset[] = {
+    {"now", (getter)sim_get_now, (setter)sim_set_now,
+     "current simulated time in CPU cycles", NULL},
+    {"events_dispatched", (getter)sim_get_events_dispatched,
+     (setter)sim_set_events_dispatched,
+     "total events dispatched across all run() calls", NULL},
+    {"_resume", (getter)sim_get_resume, NULL,
+     "the kernel's stable resume callable (identity matters: "
+     "``proc._rn`` tuples all reference this one object)", NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyMemberDef Sim_members[] = {
+    {"trace", T_BOOL, offsetof(SimObject, trace), 0,
+     "whether dispatches are appended to trace_log"},
+    {"trace_log", T_OBJECT_EX, offsetof(SimObject, trace_log), READONLY,
+     "list of (time, description) dispatch records (trace=True only)"},
+    {"active_processes", T_OBJECT_EX, offsetof(SimObject, active), READONLY,
+     "live (unfinished) processes, for leak diagnostics in tests"},
+    {"_ring", T_OBJECT_EX, offsetof(SimObject, ring), READONLY,
+     "same-cycle FIFO dispatch ring (append/__len__/__bool__)"},
+    {NULL, 0, 0, 0, NULL},
+};
+
+static PyMethodDef Sim_methods[] = {
+    {"schedule", (PyCFunction)(void (*)(void))sim_schedule, METH_FASTCALL,
+     "schedule(delay, fn, *args): run fn(*args) delay cycles from now."},
+    {"schedule_at", (PyCFunction)(void (*)(void))sim_schedule_at,
+     METH_FASTCALL,
+     "schedule_at(when, fn, *args): run fn(*args) at absolute time when."},
+    {"_push_future", (PyCFunction)(void (*)(void))sim_push_future,
+     METH_FASTCALL,
+     "_push_future(when, ev): append ev to the bucket at future time when."},
+    {"_push_delivery", (PyCFunction)(void (*)(void))sim_push_delivery,
+     METH_FASTCALL,
+     "_push_delivery(when, key, ev): queue a delivery-phase event."},
+    {"spawn", (PyCFunction)(void (*)(void))sim_spawn,
+     METH_VARARGS | METH_KEYWORDS,
+     "spawn(gen, name=''): create a Process and start it this cycle."},
+    {"run", (PyCFunction)(void (*)(void))sim_run,
+     METH_VARARGS | METH_KEYWORDS,
+     "run(until=None, max_events=None): dispatch until drained/bounded."},
+    {"run_process", (PyCFunction)(void (*)(void))sim_run_process,
+     METH_VARARGS | METH_KEYWORDS,
+     "run_process(gen, name='main', max_events=None): spawn, run, return "
+     "the process result (raises on deadlock)."},
+    {"pending_events", (PyCFunction)sim_pending_events, METH_NOARGS,
+     "Number of events currently queued (diagnostic)."},
+    {"next_event_time", (PyCFunction)sim_next_event_time, METH_NOARGS,
+     "Earliest queued event time, or None if drained."},
+    {NULL, NULL, 0, NULL},
+};
+
+static int
+Sim_init(SimObject *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"trace", NULL};
+    int trace = 0;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "|p", kwlist, &trace))
+        return -1;
+    self->now = 0;
+    self->events_dispatched = 0;
+    self->running = 0;
+    self->trace = (char)trace;
+    RingObject *ring = ring_new();
+    if (ring == NULL)
+        return -1;
+    Py_XSETREF(self->ring, ring);
+    PyObject *tmp;
+    tmp = PyDict_New();
+    if (tmp == NULL)
+        return -1;
+    Py_XSETREF(self->buckets, tmp);
+    tmp = PyDict_New();
+    if (tmp == NULL)
+        return -1;
+    Py_XSETREF(self->phase, tmp);
+    tmp = PyList_New(0);
+    if (tmp == NULL)
+        return -1;
+    Py_XSETREF(self->pool, tmp);
+    tmp = PyList_New(0);
+    if (tmp == NULL)
+        return -1;
+    Py_XSETREF(self->trace_log, tmp);
+    tmp = PySet_New(NULL);
+    if (tmp == NULL)
+        return -1;
+    Py_XSETREF(self->active, tmp);
+    tmp = PyCFunction_New(&resume_def, (PyObject *)self);
+    if (tmp == NULL)
+        return -1;
+    Py_XSETREF(self->resume_cb, tmp);
+    self->heap_len = 0;
+    return 0;
+}
+
+static int
+Sim_traverse(SimObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->ring);
+    Py_VISIT(self->buckets);
+    Py_VISIT(self->phase);
+    Py_VISIT(self->pool);
+    Py_VISIT(self->trace_log);
+    Py_VISIT(self->active);
+    Py_VISIT(self->resume_cb);
+    return 0;
+}
+
+static int
+Sim_clear(SimObject *self)
+{
+    Py_CLEAR(self->ring);
+    Py_CLEAR(self->buckets);
+    Py_CLEAR(self->phase);
+    Py_CLEAR(self->pool);
+    Py_CLEAR(self->trace_log);
+    Py_CLEAR(self->active);
+    Py_CLEAR(self->resume_cb);
+    return 0;
+}
+
+static void
+Sim_dealloc(SimObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    Sim_clear(self);
+    PyMem_Free(self->heap);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyTypeObject Sim_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim.backends._accel_core.AccelSimulator",
+    .tp_basicsize = sizeof(SimObject),
+    .tp_dealloc = (destructor)Sim_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Compiled deterministic discrete-event simulation kernel "
+              "(byte-identical to repro.sim.kernel.Simulator).",
+    .tp_traverse = (traverseproc)Sim_traverse,
+    .tp_clear = (inquiry)Sim_clear,
+    .tp_methods = Sim_methods,
+    .tp_members = Sim_members,
+    .tp_getset = Sim_getset,
+    .tp_init = (initproc)Sim_init,
+    .tp_new = PyType_GenericNew,
+};
+
+/* ------------------------------------------------------------------ */
+/* module                                                              */
+/* ------------------------------------------------------------------ */
+
+static struct PyModuleDef accel_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro.sim.backends._accel_core",
+    .m_doc = "Compiled accel event core (see repro.sim.backends).",
+    .m_size = -1,
+};
+
+static int
+intern_all(void)
+{
+#define INTERN(var, text)                          \
+    do {                                           \
+        var = PyUnicode_InternFromString(text);    \
+        if (var == NULL)                           \
+            return -1;                             \
+    } while (0)
+    INTERN(s_done, "done");
+    INTERN(s_gen, "gen");
+    INTERN(s_stack, "stack");
+    INTERN(s_rn, "_rn");
+    INTERN(s_finish, "_finish");
+    INTERN(s_fail, "_fail");
+    INTERN(s_arm, "_arm");
+    INTERN(s_throw, "throw");
+    INTERN(s_name, "name");
+    INTERN(s_result, "result");
+    INTERN(s_delay, "delay");
+    INTERN(s_qualname, "__qualname__");
+    INTERN(s_value, "value");
+    INTERN(s_append, "append");
+    INTERN(s_popleft, "popleft");
+    INTERN(s_dunder_name, "__name__");
+#undef INTERN
+    return 0;
+}
+
+/* fetch ``mod.name`` and require it to be a type */
+static PyTypeObject *
+get_type(PyObject *mod, const char *name)
+{
+    PyObject *obj = PyObject_GetAttrString(mod, name);
+    if (obj == NULL)
+        return NULL;
+    if (!PyType_Check(obj)) {
+        Py_DECREF(obj);
+        PyErr_Format(PyExc_TypeError, "%s is not a type", name);
+        return NULL;
+    }
+    return (PyTypeObject *)obj;
+}
+
+/* Resolve every slot offset the specialized paths rely on.  Returns 1
+ * when all of them are plain T_OBJECT_EX member descriptors (enabling
+ * ``g_fast``), 0 when any is missing — never an error: a refactored
+ * Python class simply disables the fast paths. */
+static int
+resolve_offsets(void)
+{
+    PyObject *proc_cls = (PyObject *)g_ProcessType;
+    off_p_gen = slot_off(proc_cls, "gen");
+    off_p_stack = slot_off(proc_cls, "stack");
+    off_p_name = slot_off(proc_cls, "name");
+    off_p_sim = slot_off(proc_cls, "sim");
+    off_p_done = slot_off(proc_cls, "done");
+    off_p_result = slot_off(proc_cls, "result");
+    off_p_error = slot_off(proc_cls, "error");
+    off_p_waiters = slot_off(proc_cls, "_waiters");
+    off_p_rn = slot_off(proc_cls, "_rn");
+    off_j_target = slot_off((PyObject *)g_JoinType, "target");
+    off_w_signal = slot_off((PyObject *)g_WaitType, "signal");
+    off_gw_gate = slot_off((PyObject *)g_GateWaitType, "gate");
+    off_a_resource = slot_off((PyObject *)g_AcquireType, "resource");
+    off_qg_queue = slot_off((PyObject *)g_QueueGetType, "queue");
+    off_s_waiters = slot_off((PyObject *)g_SignalType, "_waiters");
+    off_s_fired = slot_off((PyObject *)g_SignalType, "fired");
+    off_s_value = slot_off((PyObject *)g_SignalType, "value");
+    off_g_waiters = slot_off((PyObject *)g_GateType, "_waiters");
+    off_g_open = slot_off((PyObject *)g_GateType, "open");
+    off_g_value = slot_off((PyObject *)g_GateType, "value");
+    off_r_busy = slot_off((PyObject *)g_ResourceType, "_busy");
+    off_r_queue = slot_off((PyObject *)g_ResourceType, "_queue");
+    off_r_grants = slot_off((PyObject *)g_ResourceType, "grants");
+    off_r_acquired = slot_off((PyObject *)g_ResourceType, "_acquired_at");
+    off_r_sim = slot_off((PyObject *)g_ResourceType, "_sim");
+    off_fq_items = slot_off((PyObject *)g_FifoQueueType, "_items");
+    off_fq_getters = slot_off((PyObject *)g_FifoQueueType, "_getters");
+    const Py_ssize_t offs[] = {
+        off_p_gen, off_p_stack, off_p_name, off_p_sim, off_p_done,
+        off_p_result, off_p_error, off_p_waiters, off_p_rn,
+        off_j_target, off_w_signal, off_gw_gate, off_a_resource,
+        off_qg_queue, off_s_waiters, off_s_fired, off_s_value,
+        off_g_waiters, off_g_open, off_g_value, off_r_busy, off_r_queue,
+        off_r_grants, off_r_acquired, off_r_sim, off_fq_items,
+        off_fq_getters,
+    };
+    for (size_t i = 0; i < sizeof(offs) / sizeof(offs[0]); i++)
+        if (offs[i] < 0)
+            return 0;
+    return 1;
+}
+
+PyMODINIT_FUNC
+PyInit__accel_core(void)
+{
+    if (intern_all() < 0)
+        return NULL;
+    g_empty_str = PyUnicode_FromString("");
+    if (g_empty_str == NULL)
+        return NULL;
+    PyObject *kernel = PyImport_ImportModule("repro.sim.kernel");
+    if (kernel == NULL)
+        return NULL;
+    g_SimulationError = PyObject_GetAttrString(kernel, "SimulationError");
+    Py_DECREF(kernel);
+    if (g_SimulationError == NULL)
+        return NULL;
+    g_one = PyLong_FromLong(1);
+    if (g_one == NULL)
+        return NULL;
+    PyObject *process = PyImport_ImportModule("repro.sim.process");
+    if (process == NULL)
+        return NULL;
+    g_Process = PyObject_GetAttrString(process, "Process");
+    if (g_Process == NULL) {
+        Py_DECREF(process);
+        return NULL;
+    }
+    g_ProcessType = get_type(process, "Process");
+    g_JoinType = get_type(process, "JoinCmd");
+    Py_DECREF(process);
+    if (g_ProcessType == NULL || g_JoinType == NULL)
+        return NULL;
+    PyObject *primitives = PyImport_ImportModule("repro.sim.primitives");
+    if (primitives == NULL)
+        return NULL;
+    g_TimeoutType = get_type(primitives, "Timeout");
+    g_WaitType = get_type(primitives, "Wait");
+    g_GateWaitType = get_type(primitives, "GateWait");
+    g_AcquireType = get_type(primitives, "Acquire");
+    g_QueueGetType = get_type(primitives, "QueueGet");
+    g_SignalType = get_type(primitives, "Signal");
+    g_GateType = get_type(primitives, "Gate");
+    g_ResourceType = get_type(primitives, "Resource");
+    g_FifoQueueType = get_type(primitives, "FifoQueue");
+    Py_DECREF(primitives);
+    if (g_TimeoutType == NULL || g_WaitType == NULL ||
+            g_GateWaitType == NULL || g_AcquireType == NULL ||
+            g_QueueGetType == NULL || g_SignalType == NULL ||
+            g_GateType == NULL || g_ResourceType == NULL ||
+            g_FifoQueueType == NULL)
+        return NULL;
+    g_fast = resolve_offsets();
+
+    if (PyType_Ready(&Ring_Type) < 0 || PyType_Ready(&Sim_Type) < 0)
+        return NULL;
+    PyObject *mod = PyModule_Create(&accel_module);
+    if (mod == NULL)
+        return NULL;
+    if (PyModule_AddObjectRef(mod, "AccelSimulator",
+                              (PyObject *)&Sim_Type) < 0) {
+        Py_DECREF(mod);
+        return NULL;
+    }
+    return mod;
+}

@@ -1,0 +1,175 @@
+"""Tightened pure-Python ``accel`` kernel (fallback for the C core).
+
+Same contract, same byte-identical results as
+:class:`repro.sim.kernel.Simulator` — this class *is* a Simulator
+subclass; only the main loop differs:
+
+* ``sim._resume`` is bound **once** per simulator (a stable object
+  identity instead of a fresh bound method per attribute access), so the
+  dispatch loop can pointer-compare each event's callable against it and
+  run the resume trampoline *inline* — no Python call frame per process
+  resumption, which is the overwhelmingly common event.
+* :class:`~repro.sim.primitives.Timeout` arming is specialized inside
+  the inlined trampoline (one type check replaces a ``_arm`` call), and
+  future pushes are inlined into the loop.
+* The traced path delegates to the reference loop, so tracing semantics
+  stay defined in exactly one place.
+
+The compiled backend (:mod:`repro.sim.backends._accel_core`) applies the
+same restructuring in C; this module is the automatic fallback when that
+extension is not built, and the executable specification for it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from types import GeneratorType
+from typing import Optional
+
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.primitives import Timeout
+
+
+class AccelSimulator(Simulator):
+    """Pure-Python accel backend: inlined-trampoline dispatch loop."""
+
+    def __init__(self, trace: bool = False) -> None:
+        super().__init__(trace=trace)
+        # Bind the resume callable once.  Every ``sim._resume`` read now
+        # returns this same object, so ``proc._rn`` tuples and explicit
+        # ``(sim._resume, (proc, value))`` events all share one identity
+        # the dispatch loop can recognize by pointer comparison.
+        self._resume = self._resume
+
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> int:
+        """Dispatch events until the queue empties (or a bound is hit).
+
+        Identical semantics to :meth:`Simulator.run`; see there for the
+        parameter contract.
+        """
+        if self.trace:
+            # Tracing is a debug path; keep it on the reference loop.
+            return Simulator.run(self, until=until, max_events=max_events)
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        ring = self._ring
+        buckets = self._buckets
+        times = self._times
+        bucket_pool = self._bucket_pool
+        phase_map = self._phase
+        heappop = heapq.heappop
+        resume = self._resume
+        active = self.active_processes
+        popleft = ring.popleft
+        append = ring.append
+        extend = ring.extend
+        bucket_get = self._buckets.get
+        heappush = heapq.heappush
+        timeout_t = Timeout
+        gen_t = GeneratorType
+        max_ev = -1 if max_events is None else max_events
+        dispatched = 0
+        base_dispatched = self.events_dispatched
+        now = self.now
+        try:
+            while True:
+                while ring:
+                    if dispatched == max_ev:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}")
+                    fn, args = popleft()
+                    if fn is resume:
+                        # ---- inlined resume trampoline ----
+                        proc = args[0]
+                        if not proc.done:
+                            value = args[1]
+                            exc = None
+                            gen = proc.gen
+                            stack = proc.stack
+                            while True:
+                                try:
+                                    if exc is not None:
+                                        err_in, exc = exc, None
+                                        cmd = gen.throw(err_in)
+                                    else:
+                                        cmd = gen.send(value)
+                                except StopIteration as stop:
+                                    if stack:
+                                        proc.gen = gen = stack.pop()
+                                        value = stop.value
+                                        continue
+                                    proc._finish(stop.value)
+                                    active.discard(proc)
+                                    break
+                                except BaseException as err:
+                                    if stack:
+                                        proc.gen = gen = stack.pop()
+                                        exc = err
+                                        continue
+                                    proc._fail(err)
+                                    active.discard(proc)
+                                    raise
+                                tcmd = type(cmd)
+                                if tcmd is timeout_t:
+                                    # ---- inlined Timeout._arm ----
+                                    d = cmd.delay
+                                    if d > 0:
+                                        when = now + d
+                                        bucket = bucket_get(when)
+                                        if bucket is None:
+                                            bucket = (bucket_pool.pop()
+                                                      if bucket_pool else [])
+                                            buckets[when] = bucket
+                                            heappush(times, when)
+                                        bucket.append(proc._rn)
+                                    elif d == 0:
+                                        append(proc._rn)
+                                    else:
+                                        self.schedule(d, resume, proc, None)
+                                    break
+                                if tcmd is gen_t:
+                                    stack.append(gen)
+                                    proc.gen = gen = cmd
+                                    value = None
+                                    continue
+                                try:
+                                    cmd._arm(self, proc)
+                                except AttributeError:
+                                    raise SimulationError(
+                                        f"process {proc.name!r} yielded "
+                                        f"non-primitive {cmd!r}; yield "
+                                        "Timeout/Wait/Acquire/... or use "
+                                        "'yield from' for sub-coroutines"
+                                    ) from None
+                                break
+                    else:
+                        fn(*args)
+                    dispatched += 1
+                if not times:
+                    break
+                # events remain: the bound is checked before looking at
+                # ``until`` so a capped run with work pending always raises
+                if dispatched == max_ev:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+                when = times[0]
+                if until is not None and when > until:
+                    self.now = until
+                    break
+                heappop(times)
+                self.now = now = when
+                phase = phase_map.pop(when, None)
+                if phase is not None:
+                    # delivery phase: canonical (src, seq) arrival order
+                    if len(phase) > 1:
+                        phase.sort()
+                    extend(entry[1] for entry in phase)
+                bucket = buckets.pop(when)
+                extend(bucket)
+                bucket.clear()
+                bucket_pool.append(bucket)
+        finally:
+            self._running = False
+            self.events_dispatched = base_dispatched + dispatched
+        return self.now

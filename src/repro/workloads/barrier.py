@@ -67,7 +67,8 @@ def run_barrier_workload(n_processors: int, mechanism: Mechanism,
                          home_node: int = 0,
                          metrics: bool = False,
                          metrics_interval: int = 0,
-                         warm_cache=None) -> BarrierResult:
+                         warm_cache=None,
+                         backend: Optional[str] = None) -> BarrierResult:
     """Measure one (mechanism, P[, branching]) barrier configuration.
 
     ``tree_branching`` selects the two-level combining tree;
@@ -81,10 +82,15 @@ def run_barrier_workload(n_processors: int, mechanism: Mechanism,
     shape builds, warms and checkpoints; later calls restore and replay
     the measured episodes only, with identical cycles and event counts.
     Metrics runs bypass the cache (observers hold per-run state).
+    ``backend`` selects the event-kernel backend
+    (:mod:`repro.sim.backends`); results are byte-identical across
+    backends, so it never changes what is measured — only how fast.
     """
     cfg = config or SystemConfig.table1(n_processors)
     if cfg.n_processors != n_processors:
         cfg = cfg.replace(n_processors=n_processors)
+    if backend is not None:
+        cfg = cfg.replace(kernel_backend=backend)
     warm = warm_cache is not None and not metrics
     key = ("barrier", cfg, mechanism, tree_branching, naive, home_node,
            warmup_episodes) if warm else None

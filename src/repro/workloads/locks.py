@@ -77,7 +77,8 @@ def run_lock_workload(n_processors: int, mechanism: Mechanism,
                       home_node: int = 0,
                       metrics: bool = False,
                       metrics_interval: int = 0,
-                      warm_cache=None) -> LockResult:
+                      warm_cache=None,
+                      backend: Optional[str] = None) -> LockResult:
     """Measure one (mechanism, P, lock algorithm) configuration.
 
     ``metrics`` attaches the observability layer (:mod:`repro.obs`); the
@@ -87,10 +88,14 @@ def run_lock_workload(n_processors: int, mechanism: Mechanism,
     machine construction and warm-up across calls; see the barrier
     driver.  Lock types without ``save_state`` support still share
     pooled machines but re-run their warm-up each call.
+    ``backend`` selects the event-kernel backend
+    (:mod:`repro.sim.backends`); byte-identical results, faster loop.
     """
     cfg = config or SystemConfig.table1(n_processors)
     if cfg.n_processors != n_processors:
         cfg = cfg.replace(n_processors=n_processors)
+    if backend is not None:
+        cfg = cfg.replace(kernel_backend=backend)
     warm = warm_cache is not None and not metrics
     key = ("lock", cfg, mechanism, lock_type, home_node, warmup_per_cpu,
            cs_cycles, think_cycles) if warm else None

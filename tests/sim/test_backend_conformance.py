@@ -1,0 +1,460 @@
+"""Backend-conformance suite: every registered kernel backend must
+satisfy the full :class:`repro.sim.kernel.Simulator` contract.
+
+Each test below runs once per registered backend (``reference``,
+``accel``, and anything a future PR registers), covering the parts of
+the contract the golden parity fingerprints exercise only indirectly:
+two-tier dispatch ordering, same-cycle delivery-phase ``(src, seq)``
+order, the ``max_events`` ceiling, every documented error path, and
+run-twice determinism.  A second group checks the ``accel`` selection
+machinery itself — the logged compiled→Python fallback, the
+``REPRO_ACCEL_REQUIRE_COMPILED`` refusal, unknown-name errors — and a
+12-seed fuzz smoke drives the sanitizer stack on the accel core.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.sim.backends import (
+    BackendError,
+    available_backends,
+    create_simulator,
+    resolve_backend_name,
+)
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.primitives import (
+    Acquire,
+    FifoQueue,
+    Gate,
+    GateWait,
+    QueueGet,
+    Resource,
+    Signal,
+    Timeout,
+    Wait,
+)
+
+BACKENDS = available_backends()
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+def make_sim(backend, trace=False):
+    return create_simulator(backend, trace=trace)
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+def test_registry_has_reference_and_accel():
+    assert {"reference", "accel"} <= set(BACKENDS)
+
+
+def test_unknown_backend_name_refused():
+    with pytest.raises(BackendError, match="unknown kernel backend"):
+        resolve_backend_name("no-such-core")
+    with pytest.raises(BackendError, match="no-such-core"):
+        create_simulator("no-such-core")
+
+
+def test_env_var_typo_refused(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", "acel")
+    with pytest.raises(BackendError, match="acel"):
+        resolve_backend_name()
+
+
+def test_backend_never_in_cache_key():
+    from repro.runner.spec import RunSpec
+    plain = RunSpec.barrier(n_processors=8, mechanism="amo")
+    tagged = RunSpec.barrier(n_processors=8, mechanism="amo",
+                             backend="accel")
+    assert plain.canonical() == tagged.canonical()
+    assert plain == tagged
+
+
+# ---------------------------------------------------------------------------
+# dispatch ordering
+# ---------------------------------------------------------------------------
+
+def test_time_order(backend):
+    sim = make_sim(backend)
+    out = []
+    sim.schedule(30, out.append, "c")
+    sim.schedule(10, out.append, "a")
+    sim.schedule(20, out.append, "b")
+    sim.run()
+    assert out == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_same_cycle_fifo(backend):
+    sim = make_sim(backend)
+    out = []
+    for tag in range(10):
+        sim.schedule(5, out.append, tag)
+    sim.run()
+    assert out == list(range(10))
+
+
+def test_delivery_phase_precedes_regular_bucket(backend):
+    """Two-tier contract: at one cycle, ``_push_delivery`` entries fire
+    before regular bucket events, regardless of insertion order."""
+    sim = make_sim(backend)
+    out = []
+    sim.schedule(5, out.append, "regular-1")
+    sim._push_delivery(5, (1, 0), (out.append, ("delivery-b",)))
+    sim.schedule(5, out.append, "regular-2")
+    sim._push_delivery(5, (0, 0), (out.append, ("delivery-a",)))
+    sim.run()
+    assert out == ["delivery-a", "delivery-b", "regular-1", "regular-2"]
+
+
+def test_delivery_phase_src_seq_order(backend):
+    """Same-cycle deliveries dispatch in ``(src, seq)`` key order even
+    when pushed shuffled — the canonical arrival order sharding relies
+    on."""
+    sim = make_sim(backend)
+    keys = [(2, 0), (0, 1), (1, 0), (0, 0), (1, 7), (2, 3)]
+    out = []
+    for key in keys:
+        sim._push_delivery(9, key, (out.append, (key,)))
+    sim.run()
+    assert out == sorted(keys)
+    assert sim.now == 9
+
+
+def test_zero_delay_runs_after_current_queue(backend):
+    sim = make_sim(backend)
+    out = []
+
+    def first():
+        out.append("first")
+        sim.schedule(0, out.append, "nested")
+
+    sim.schedule(1, first)
+    sim.schedule(1, out.append, "second")
+    sim.run()
+    assert out == ["first", "second", "nested"]
+
+
+def test_run_until_inclusive_boundary(backend):
+    sim = make_sim(backend)
+    out = []
+    sim.schedule(10, out.append, "early")
+    sim.schedule(100, out.append, "late")
+    assert sim.run(until=50) == 50
+    assert out == ["early"]
+    assert sim.now == 50
+    sim.run()
+    assert out == ["early", "late"]
+
+
+def test_pending_events_and_next_event_time(backend):
+    sim = make_sim(backend)
+    assert sim.pending_events() == 0
+    assert sim.next_event_time() is None
+    sim.schedule(0, lambda: None)
+    assert sim.next_event_time() == 0
+    sim.schedule(7, lambda: None)
+    sim._push_delivery(7, (0, 0), ((lambda: None), ()))
+    assert sim.pending_events() == 3
+    sim.run()
+    assert sim.pending_events() == 0
+    assert sim.next_event_time() is None
+    assert sim.events_dispatched == 3
+
+
+# ---------------------------------------------------------------------------
+# bounds and error paths
+# ---------------------------------------------------------------------------
+
+def test_max_events_allows_exactly_the_bound(backend):
+    sim = make_sim(backend)
+    for i in range(100):
+        sim.schedule(i, lambda: None)
+    sim.run(max_events=100)
+    assert sim.events_dispatched == 100
+
+
+def test_max_events_is_a_true_ceiling(backend):
+    sim = make_sim(backend)
+    ran = []
+    for i in range(101):
+        sim.schedule(i, ran.append, i)
+    with pytest.raises(SimulationError, match="max_events=100"):
+        sim.run(max_events=100)
+    assert len(ran) == 100
+
+
+def test_negative_delay_rejected(backend):
+    sim = make_sim(backend)
+    with pytest.raises(SimulationError, match="negative delay"):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_at_past_rejected(backend):
+    sim = make_sim(backend)
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError, match="cannot schedule in the past"):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_delivery_must_be_future(backend):
+    sim = make_sim(backend)
+    with pytest.raises(SimulationError, match="delivery must be in the future"):
+        sim._push_delivery(0, (0, 0), ((lambda: None), ()))
+
+
+def test_negative_timeout_rejected(backend):
+    sim = make_sim(backend)
+
+    def bad():
+        yield Timeout(-3)
+
+    with pytest.raises(SimulationError, match="negative delay"):
+        sim.run_process(bad())
+
+
+def test_yielding_garbage_is_an_error(backend):
+    sim = make_sim(backend)
+
+    def bad():
+        yield 12345
+
+    with pytest.raises(SimulationError, match="non-primitive"):
+        sim.run_process(bad())
+
+
+def test_deadlock_detected(backend):
+    sim = make_sim(backend)
+
+    def blocked():
+        yield Signal().wait()
+
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_process(blocked())
+
+
+def test_run_not_reentrant(backend):
+    sim = make_sim(backend)
+    sim.schedule(1, sim.run)
+    with pytest.raises(SimulationError, match="not reentrant"):
+        sim.run()
+
+
+def test_process_exception_propagates(backend):
+    sim = make_sim(backend)
+
+    def boom():
+        yield Timeout(1)
+        raise ValueError("kaboom")
+
+    with pytest.raises(ValueError, match="kaboom"):
+        sim.run_process(boom())
+
+
+def test_exception_runs_inner_finally(backend):
+    """An exception thrown through a yielded sub-coroutine must unwind
+    the caller's try/finally, exactly like ``yield from``."""
+    sim = make_sim(backend)
+    cleaned = []
+
+    def inner():
+        yield Timeout(1)
+        raise RuntimeError("inner failed")
+
+    def outer():
+        try:
+            yield inner()
+        finally:
+            cleaned.append(sim.now)
+
+    with pytest.raises(RuntimeError, match="inner failed"):
+        sim.run_process(outer())
+    assert cleaned == [1]
+
+
+# ---------------------------------------------------------------------------
+# determinism and cross-backend equivalence
+# ---------------------------------------------------------------------------
+
+def _primitive_gauntlet(sim):
+    """One scenario touching every waitable primitive, both the blocked
+    and the fire-immediately paths.  Returns a fully ordered tuple."""
+
+    def worker(res, q, out, i):
+        yield Acquire(res)
+        yield Timeout(2)
+        res.release()
+        q.put(sim, i)
+        out.append((sim.now, i))
+        yield Timeout(0)
+
+    def main():
+        res = Resource("r")
+        q = FifoQueue("q")
+        sig = Signal("s")
+        gate = Gate("g")
+        pre_sig = Signal("pre")
+        pre_sig.fire(sim, "early")
+        pre_gate = Gate("pg")
+        pre_gate.release(sim, "open")
+        out = []
+        procs = [sim.spawn(worker(res, q, out, i), name=f"w{i}")
+                 for i in range(4)]
+
+        def collector():
+            got = []
+            for _ in range(4):
+                got.append((yield QueueGet(q)))
+            gate.release(sim, tuple(got))
+            sig.fire(sim, "done")
+            return got
+
+        coll = sim.spawn(collector())
+        a = yield Wait(pre_sig)          # already fired
+        b = yield GateWait(pre_gate)     # already open
+        v = yield Wait(sig)              # blocks
+        gv = yield GateWait(gate)        # opened while running
+        joined = []
+        for p in procs:
+            joined.append((yield p.join()))
+        got = yield coll.join()          # already done
+        return (sim.now, a, b, v, gv, tuple(got), tuple(out),
+                res.grants, q.puts)
+
+    result = sim.run_process(main())
+    return result, sim.events_dispatched, sim.now
+
+
+def test_run_twice_determinism(backend):
+    first = _primitive_gauntlet(make_sim(backend))
+    second = _primitive_gauntlet(make_sim(backend))
+    assert first == second
+
+
+def test_primitives_match_reference(backend):
+    got = _primitive_gauntlet(make_sim(backend))
+    want = _primitive_gauntlet(Simulator())
+    assert got == want
+
+
+def test_trace_times_match_reference(backend):
+    """Trace mode must log every dispatch at the same times (the
+    description text may differ between implementations)."""
+
+    def run(sim):
+        def ticker():
+            for _ in range(3):
+                yield Timeout(4)
+
+        sim.spawn(ticker())
+        sim.schedule(6, lambda: None)
+        sim.run()
+        return [t for t, _ in sim.trace_log]
+
+    assert run(make_sim(backend, trace=True)) == run(Simulator(trace=True))
+
+
+def test_workload_results_identical_across_backends(backend):
+    """End-to-end: one barrier workload cell produces byte-identical
+    cycles and event counts on every backend."""
+    from repro.config.mechanism import Mechanism
+    from repro.workloads.barrier import run_barrier_workload
+
+    res = run_barrier_workload(16, Mechanism.LLSC, episodes=2,
+                               backend=backend)
+    ref = run_barrier_workload(16, Mechanism.LLSC, episodes=2,
+                               backend="reference")
+    assert (res.cycles_per_episode, res.events_dispatched) == \
+        (ref.cycles_per_episode, ref.events_dispatched)
+
+
+# ---------------------------------------------------------------------------
+# accel selection machinery
+# ---------------------------------------------------------------------------
+
+_SUBPROC_SNIPPET = """\
+import logging, sys
+logging.basicConfig(level=logging.WARNING, stream=sys.stderr)
+from repro.sim.backends import accel_implementation, create_simulator
+from repro.sim.primitives import Timeout
+impl = accel_implementation()
+sim = create_simulator("accel")
+def p():
+    yield Timeout(3)
+    return 11
+assert sim.run_process(p()) == 11 and sim.now == 3
+print("impl:", impl)
+"""
+
+
+def _run_subprocess(extra_env):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(extra_env)
+    return subprocess.run([sys.executable, "-c", _SUBPROC_SNIPPET],
+                          capture_output=True, text=True, env=env,
+                          cwd=os.path.dirname(os.path.dirname(
+                              os.path.dirname(os.path.abspath(__file__)))))
+
+
+def test_accel_python_fallback_is_logged():
+    """Without the compiled core the accel backend must still work —
+    via the pure-Python implementation, with a logged warning."""
+    out = _run_subprocess({"REPRO_ACCEL_DISABLE_COMPILED": "1"})
+    assert out.returncode == 0, out.stderr
+    assert "impl: python" in out.stdout
+    assert "falling back to the pure-Python accel implementation" \
+        in out.stderr
+
+
+def test_accel_require_compiled_refuses_fallback():
+    code = ("from repro.sim.backends import accel_implementation, "
+            "BackendError\n"
+            "try:\n"
+            "    accel_implementation()\n"
+            "except BackendError as err:\n"
+            "    print('refused:', err)\n"
+            "else:\n"
+            "    raise SystemExit('fallback was not refused')\n")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_ACCEL_DISABLE_COMPILED"] = "1"
+    env["REPRO_ACCEL_REQUIRE_COMPILED"] = "1"
+    out = subprocess.run([sys.executable, "-c", code],
+                         capture_output=True, text=True, env=env,
+                         cwd=os.path.dirname(os.path.dirname(
+                             os.path.dirname(os.path.abspath(__file__)))))
+    assert out.returncode == 0, out.stderr
+    assert "refused:" in out.stdout
+
+
+# ---------------------------------------------------------------------------
+# fuzz smoke on the accel core
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(12))
+def test_fuzz_smoke_accel(seed):
+    """12-seed sanitizer-armed fuzz smoke on the accel backend: random
+    per-message delays must never produce a coherence violation, and the
+    outcome must equal the reference backend's byte for byte."""
+    from repro.check.fuzz import run_fuzz_schedule
+
+    accel = run_fuzz_schedule(n_processors=8, workload="counter",
+                              seed=seed, ops_per_cpu=2, backend="accel")
+    assert accel["ok"], accel
+    ref = run_fuzz_schedule(n_processors=8, workload="counter",
+                            seed=seed, ops_per_cpu=2, backend="reference")
+    assert (accel["cycles"], accel["events_dispatched"]) == \
+        (ref["cycles"], ref["events_dispatched"])

@@ -42,10 +42,13 @@ from repro.workloads.barrier import run_barrier_workload
 
 
 def timed_run(cpus: int, episodes: int, mechanism: Mechanism,
-              metrics: bool, interval: int, shards: int = 1) -> dict:
+              metrics: bool, interval: int, shards: int = 1,
+              backend: str | None = None) -> dict:
     kwargs = dict(n_processors=cpus, mechanism=mechanism,
                   episodes=episodes, metrics=metrics,
                   metrics_interval=interval)
+    if backend is not None:
+        kwargs["backend"] = backend
     t0 = time.perf_counter()
     if shards > 1:
         from repro.shard.session import run_sharded, telemetry_summary
@@ -96,13 +99,20 @@ def main(argv=None) -> int:
     parser.add_argument("--assert-overhead", type=float, metavar="PCT",
                         help="fail if metrics-off events/s is more than "
                              "PCT%% below the baseline's")
+    parser.add_argument("--backend", metavar="NAME",
+                        help="event-kernel backend (repro.sim.backends); "
+                             "recorded in the payload so per-backend "
+                             "captures stay distinguishable")
     parser.add_argument("--out", default="BENCH_obs.json",
                         help="output path, or - for stdout")
     args = parser.parse_args(argv)
 
+    if args.backend is not None:
+        from repro.sim.backends import resolve_backend_name
+        args.backend = resolve_backend_name(args.backend)
     mech = Mechanism(args.mechanism)
     common = dict(cpus=args.cpus, episodes=args.episodes, mechanism=mech,
-                  repeats=args.repeats)
+                  repeats=args.repeats, backend=args.backend)
     off = best_of(metrics=False, interval=0, **common)
     metered = best_of(metrics=True, interval=0, **common)
     sampled = best_of(metrics=True, interval=args.interval, **common)
@@ -121,6 +131,7 @@ def main(argv=None) -> int:
         "sampler_interval": args.interval,
         "repeats": args.repeats,
         "python": platform.python_version(),
+        **({"backend": args.backend} if args.backend else {}),
         "off": off,
         "metrics": metered,
         "metrics_sampler": sampled,

@@ -63,22 +63,48 @@ def extract_obs(doc: dict) -> dict:
         if isinstance(doc.get(mode), dict)
         and doc[mode].get("events_per_second")
     }
-    return {"samples": samples,
-            "geomean_events_per_second": _geomean(list(samples.values()))}
+    out = {"samples": samples,
+           "geomean_events_per_second": _geomean(list(samples.values()))}
+    if doc.get("backend"):
+        out["backend"] = doc["backend"]
+    return out
 
 
 def extract_scale(doc: dict) -> dict:
     """Per-cell samples plus the ladder's own aggregates and (when the
-    capture was taken against a baseline) its speedup summary."""
-    samples = {
-        f"{c['workload']}/{c['mechanism']}@{c['n_processors']}":
-            c["events_per_second"]
-        for c in doc.get("cells", [])
-    }
+    capture was taken against a baseline) its speedup summary.
+
+    Cells carry an optional ``backend`` tag (``bench_scale.py
+    --backend``).  The ``reference``-backend cells are the headline
+    samples — the trajectory's cross-PR trend must not jump when a
+    faster backend is captured alongside — while other backends land
+    under ``backends`` with their own geomean, next to the capture's
+    ``backend_speedup`` summary."""
+    cells = doc.get("cells", [])
+
+    def key(c: dict) -> str:
+        return f"{c['workload']}/{c['mechanism']}@{c['n_processors']}"
+
+    samples = {key(c): c["events_per_second"] for c in cells
+               if c.get("backend") in (None, "reference")}
     out = {"samples": samples,
            "geomean_events_per_second": _geomean(list(samples.values())),
            "aggregate_events_per_second":
                doc.get("aggregate_events_per_second")}
+    by_backend: dict[str, dict[str, float]] = {}
+    for c in cells:
+        b = c.get("backend")
+        if b in (None, "reference"):
+            continue
+        by_backend.setdefault(b, {})[key(c)] = c["events_per_second"]
+    if by_backend:
+        out["backends"] = {
+            b: {"samples": s,
+                "geomean_events_per_second": _geomean(list(s.values()))}
+            for b, s in sorted(by_backend.items())
+        }
+    if doc.get("backend_speedup"):
+        out["backend_speedup"] = doc["backend_speedup"]
     if doc.get("vs_baseline"):
         out["vs_baseline"] = doc["vs_baseline"]
     return out

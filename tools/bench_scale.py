@@ -108,7 +108,8 @@ def parse_cpus(values: list[str]) -> list[int]:
 
 
 def run_cell(workload: str, mechanism: Mechanism, n_processors: int,
-             repeat: int, warm_cache=None, shards: int = 1) -> dict:
+             repeat: int, warm_cache=None, shards: int = 1,
+             backend: str | None = None, profile: bool = False) -> dict:
     """Best-of-``repeat`` measurement of one (workload, mechanism, P).
 
     With a ``warm_cache``, the first repeat builds + warms the machine
@@ -120,7 +121,13 @@ def run_cell(workload: str, mechanism: Mechanism, n_processors: int,
     what a user of ``--shards`` pays).  Sharded cells record the
     fastest repeat's ``shard.*`` telemetry digest (sync rounds, window
     sizes, blocked wall time, wire volumes) — the numbers that explain
-    where sharded wall clock goes.
+    where sharded wall clock goes.  ``backend`` selects the event-kernel
+    backend (:mod:`repro.sim.backends`) and stamps the cell with it;
+    every backend is parity-gated to identical cycles and events, so
+    cross-backend cells are directly comparable.  ``profile`` wraps one
+    extra (untimed) run in :mod:`cProfile` and attaches the top
+    cumulative-time hotspots to the cell — the flame-tip evidence for
+    deciding what the next kernel optimization should chase.
     """
     best = math.inf
     events = None
@@ -135,24 +142,26 @@ def run_cell(workload: str, mechanism: Mechanism, n_processors: int,
                 res = run_sharded("barrier", dict(
                     n_processors=n_processors, mechanism=mechanism,
                     episodes=BARRIER_EPISODES,
-                    warmup_episodes=BARRIER_WARMUP), shards,
-                    telemetry=telemetry)
+                    warmup_episodes=BARRIER_WARMUP, backend=backend),
+                    shards, telemetry=telemetry)
             else:
                 res = run_sharded("lock", dict(
                     n_processors=n_processors, mechanism=mechanism,
                     acquisitions_per_cpu=LOCK_ACQUISITIONS,
-                    warmup_per_cpu=LOCK_WARMUP), shards,
-                    telemetry=telemetry)
+                    warmup_per_cpu=LOCK_WARMUP, backend=backend),
+                    shards, telemetry=telemetry)
         elif workload == "barrier":
             res = run_barrier_workload(n_processors, mechanism,
                                        episodes=BARRIER_EPISODES,
                                        warmup_episodes=BARRIER_WARMUP,
-                                       warm_cache=warm_cache)
+                                       warm_cache=warm_cache,
+                                       backend=backend)
         else:
             res = run_lock_workload(n_processors, mechanism,
                                     acquisitions_per_cpu=LOCK_ACQUISITIONS,
                                     warmup_per_cpu=LOCK_WARMUP,
-                                    warm_cache=warm_cache)
+                                    warm_cache=warm_cache,
+                                    backend=backend)
         elapsed = time.perf_counter() - t0
         if events is None:
             events = res.events_dispatched
@@ -181,14 +190,80 @@ def run_cell(workload: str, mechanism: Mechanism, n_processors: int,
         "wall_seconds": round(best, 4),
         "events_per_second": round(events / best),
     }
+    if backend is not None:
+        cell["backend"] = backend
     if best_telemetry is not None:
         cell["shard_telemetry"] = best_telemetry
+    if profile:
+        cell["profile"] = profile_cell(workload, mechanism, n_processors,
+                                       warm_cache=warm_cache,
+                                       backend=backend)
     return cell
+
+
+#: hotspot rows attached per profiled cell — enough to see the flame
+#: tip without bloating the JSON artifact
+PROFILE_TOP = 20
+
+
+def profile_cell(workload: str, mechanism: Mechanism, n_processors: int,
+                 warm_cache=None, backend: str | None = None) -> list[dict]:
+    """One extra cProfile'd run of a cell, reduced to its hotspot table.
+
+    Returns the ``PROFILE_TOP`` functions by *cumulative* time, each as
+    ``{function, ncalls, tottime, cumtime}`` with tottime/cumtime in
+    seconds.  The run is separate from (and never counted toward) the
+    timed repeats: profiling overhead would poison the throughput
+    numbers.  Sharded cells are not profiled — the work happens in
+    worker processes the profiler cannot see.
+    """
+    import cProfile
+    import pstats
+
+    prof = cProfile.Profile()
+    prof.enable()
+    if workload == "barrier":
+        run_barrier_workload(n_processors, mechanism,
+                             episodes=BARRIER_EPISODES,
+                             warmup_episodes=BARRIER_WARMUP,
+                             warm_cache=warm_cache, backend=backend)
+    else:
+        run_lock_workload(n_processors, mechanism,
+                          acquisitions_per_cpu=LOCK_ACQUISITIONS,
+                          warmup_per_cpu=LOCK_WARMUP,
+                          warm_cache=warm_cache, backend=backend)
+    prof.disable()
+    stats = pstats.Stats(prof)
+    stats.sort_stats("cumulative")
+    rows = []
+    for func in stats.fcn_list[:PROFILE_TOP]:  # (file, line, name)
+        cc, nc, tt, ct, _callers = stats.stats[func]
+        filename, lineno, name = func
+        if filename.startswith("~"):
+            label = name  # C builtins print as ~:0(<name>)
+        else:
+            label = f"{Path(filename).name}:{lineno}({name})"
+        rows.append({
+            "function": label,
+            "ncalls": nc,
+            "tottime": round(tt, 4),
+            "cumtime": round(ct, 4),
+        })
+    return rows
 
 
 def cell_key(cell: dict) -> str:
     return (f"{cell['workload']}/{cell['mechanism']}"
             f"@{cell['n_processors']}")
+
+
+def reference_cells(cells: list[dict]) -> list[dict]:
+    """The cells measured on the reference backend (or with no backend
+    selected at all — the same kernel).  Baseline comparisons, the
+    trajectory gate, and the headline aggregates all draw from these:
+    accel cells are evidence for the backend speedup summary, never a
+    way to move the headline numbers."""
+    return [c for c in cells if c.get("backend") in (None, "reference")]
 
 
 def aggregate(cells: list[dict]) -> dict:
@@ -205,6 +280,41 @@ def aggregate(cells: list[dict]) -> dict:
     return out
 
 
+def backend_speedup(cells: list[dict]) -> dict:
+    """Per-cell and geomean accel-vs-reference throughput ratios.
+
+    Pairs cells by (workload, mechanism, P) across the two backends —
+    cycle and event counts are parity-pinned identical, so the ratio is
+    a pure wall-clock comparison of the kernels on the same simulated
+    work (asserted here as a belt-and-braces check).
+    """
+    ref = {cell_key(c): c for c in reference_cells(cells)}
+    per_cell = {}
+    ratios = []
+    for cell in cells:
+        if cell.get("backend") in (None, "reference"):
+            continue
+        mate = ref.get(cell_key(cell))
+        if mate is None:
+            continue
+        if (cell["cycles"], cell["events"]) != \
+                (mate["cycles"], mate["events"]):
+            raise AssertionError(
+                f"{cell_key(cell)}: backend {cell['backend']!r} simulated "
+                f"({cell['cycles']} cycles, {cell['events']} events) but "
+                f"reference simulated ({mate['cycles']}, {mate['events']})"
+                " — backend parity is broken, ratio meaningless")
+        ratio = cell["events_per_second"] / mate["events_per_second"]
+        per_cell[f"{cell_key(cell)}[{cell['backend']}]"] = round(ratio, 2)
+        ratios.append(ratio)
+    if not ratios:
+        return {}
+    geomean = math.exp(sum(map(math.log, ratios)) / len(ratios))
+    return {"per_cell": per_cell,
+            "geomean_speedup": round(geomean, 2),
+            "cells_compared": len(ratios)}
+
+
 def compare(cells: list[dict], baseline_doc: dict) -> dict:
     """Per-cell and aggregate speedups against a baseline capture.
 
@@ -214,11 +324,11 @@ def compare(cells: list[dict], baseline_doc: dict) -> dict:
     delivery dispatches fewer events for identical cycles), so they are
     not compared.
     """
-    base = {cell_key(c): c for c in baseline_doc["cells"]}
+    base = {cell_key(c): c for c in reference_cells(baseline_doc["cells"])}
     per_cell = {}
     ratios = []
     ev_cur = wall_cur = ev_base = wall_base = 0.0
-    for cell in cells:
+    for cell in reference_cells(cells):
         key = cell_key(cell)
         ref = base.get(key)
         if ref is None:
@@ -264,7 +374,7 @@ def gate_trajectory(cells: list[dict], trajectory_doc: dict,
     samples = (trajectory_doc.get("sources", {})
                .get("scale", {}).get("samples", {}))
     ratios = []
-    for cell in cells:
+    for cell in reference_cells(cells):
         ref = samples.get(cell_key(cell))
         if ref:
             ratios.append(cell["events_per_second"] / ref)
@@ -312,6 +422,17 @@ def main(argv=None) -> int:
     parser.add_argument("--barrier-only", action="store_true",
                         help="skip the lock cells (huge machines: lock "
                              "runs serialize P acquisitions)")
+    parser.add_argument("--backend", nargs="+", default=None,
+                        help="event-kernel backend(s) to measure "
+                             "(repro.sim.backends); with several, every "
+                             "cell runs once per backend and the output "
+                             "gains an accel-vs-reference speedup summary."
+                             " Headline aggregates always come from the "
+                             "reference cells")
+    parser.add_argument("--profile", action="store_true",
+                        help="attach a cProfile top-20 cumulative-time "
+                             "hotspot table to every cell (one extra "
+                             "untimed run each; single-process only)")
     parser.add_argument("--out", default="BENCH_scale.json",
                         help="output path, or - for stdout")
     args = parser.parse_args(argv)
@@ -324,18 +445,34 @@ def main(argv=None) -> int:
     warm = (WarmCache is not None) and not args.no_warm \
         and args.shards <= 1
     workloads = ("barrier",) if args.barrier_only else ("barrier", "lock")
+    backends: list = args.backend if args.backend else [None]
+    if args.backend:
+        from repro.sim.backends import resolve_backend_name
+        for b in backends:
+            resolve_backend_name(b)  # fail loudly on a typo
+    if args.profile and args.shards > 1:
+        raise SystemExit("error: --profile is single-process only (the "
+                         "profiler cannot see shard worker processes)")
 
     cells = []
     for p in cpus:
-        warm_cache = WarmCache() if warm else None
-        for mech in mechs:
-            for workload in workloads:
-                cell = run_cell(workload, mech, p, repeat,
-                                warm_cache=warm_cache, shards=args.shards)
-                cells.append(cell)
-                print(f"{cell_key(cell):>24s}  {cell['events']:>9d} ev  "
-                      f"{cell['wall_seconds']:7.3f}s  "
-                      f"{cell['events_per_second']:>8d} ev/s", flush=True)
+        for backend in backends:
+            # one warm pool per (size, backend): warm snapshots embed the
+            # kernel, so cross-backend reuse would defeat the comparison
+            warm_cache = WarmCache() if warm else None
+            for mech in mechs:
+                for workload in workloads:
+                    cell = run_cell(workload, mech, p, repeat,
+                                    warm_cache=warm_cache,
+                                    shards=args.shards, backend=backend,
+                                    profile=args.profile)
+                    cells.append(cell)
+                    tag = f" [{backend}]" if backend else ""
+                    print(f"{cell_key(cell):>24s}{tag:>12s}  "
+                          f"{cell['events']:>9d} ev  "
+                          f"{cell['wall_seconds']:7.3f}s  "
+                          f"{cell['events_per_second']:>8d} ev/s",
+                          flush=True)
 
     payload = {
         "benchmark": "scale",
@@ -351,8 +488,16 @@ def main(argv=None) -> int:
             "python": platform.python_version(),
         },
         "cells": cells,
-        "aggregate_events_per_second": aggregate(cells),
+        # headline throughput comes from the reference cells; an
+        # accel-only capture (no reference ran) falls back to its own
+        "aggregate_events_per_second": aggregate(
+            reference_cells(cells) or cells),
     }
+    if args.backend:
+        payload["backends"] = backends
+    speedup = backend_speedup(cells)
+    if speedup:
+        payload["backend_speedup"] = speedup
     if args.baseline:
         baseline_doc = json.loads(Path(args.baseline).read_text())
         payload["vs_baseline"] = compare(cells, baseline_doc)
@@ -367,6 +512,10 @@ def main(argv=None) -> int:
         vs = payload["vs_baseline"]
         print(f"speedup vs baseline: geomean {vs['geomean_speedup']}x, "
               f"events-weighted {vs['events_weighted_speedup']}x")
+    if speedup:
+        print(f"backend speedup vs reference: geomean "
+              f"{speedup['geomean_speedup']}x over "
+              f"{speedup['cells_compared']} cell(s)")
 
     if args.floor is not None:
         largest = str(max(cpus))

@@ -65,6 +65,12 @@ def main(argv=None) -> int:
                              "run; verify-only — proves metrics capture "
                              "is timing-neutral against the unmetered "
                              "goldens (composes with --shards)")
+    parser.add_argument("--backend", default=None,
+                        help="event-kernel backend (repro.sim.backends) "
+                             "to run on; with --verify, proves the "
+                             "backend reproduces the reference goldens "
+                             "byte-identically (composes with --warm, "
+                             "--shards and --metrics)")
     args = parser.parse_args(argv)
 
     out = Path(args.out) if args.out else \
@@ -78,6 +84,13 @@ def main(argv=None) -> int:
     if args.metrics and args.warm:
         parser.error("--metrics and --warm are mutually exclusive "
                      "(metered runs bypass the warm cache)")
+    if args.backend not in (None, "reference") and not args.verify:
+        parser.error("--backend is verify-only: goldens are captured on "
+                     "the reference backend (the single source of truth "
+                     "every backend must reproduce)")
+    if args.backend is not None:
+        from repro.sim.backends import resolve_backend_name
+        resolve_backend_name(args.backend)  # fail loudly on a typo
 
     warm_cache = None
     if args.warm:
@@ -91,7 +104,7 @@ def main(argv=None) -> int:
     doc = capture_all(n_processors=args.cpus, mechanisms=mechanisms,
                       warm_cache=warm_cache,
                       barrier_only=args.barrier_only, shards=args.shards,
-                      metrics=args.metrics)
+                      metrics=args.metrics, backend=args.backend)
 
     if args.verify:
         golden = json.loads(out.read_text())
@@ -106,6 +119,11 @@ def main(argv=None) -> int:
             f"{args.shards}-shard" if args.shards > 1 else "fresh"
         if args.metrics:
             label = f"metered {label}"
+        if args.backend is not None:
+            from repro.sim.backends import accel_implementation
+            impl = (f" ({accel_implementation()})"
+                    if args.backend == "accel" else "")
+            label = f"{label} {args.backend}-backend{impl}"
         if drift:
             print(f"FAIL: {label} capture drifted from {out}:")
             for line in drift:
