@@ -30,9 +30,14 @@ from repro.check.linearize import (
     BarrierRecord,
     FetchAddEvent,
     LockSpan,
+    QueueLockSpan,
+    RwSpan,
     check_barrier_epochs,
+    check_cna_grant_order,
     check_fetchadd_history,
+    check_mcs_fifo_order,
     check_mutual_exclusion,
+    check_rw_exclusion,
 )
 from repro.check.oracle import MemoryOracle
 from repro.check.sanitizer import CoherenceSanitizer, CoherenceViolation
@@ -45,9 +50,14 @@ __all__ = [
     "FetchAddEvent",
     "LockSpan",
     "MemoryOracle",
+    "QueueLockSpan",
+    "RwSpan",
     "check_barrier_epochs",
+    "check_cna_grant_order",
     "check_fetchadd_history",
+    "check_mcs_fifo_order",
     "check_mutual_exclusion",
+    "check_rw_exclusion",
     "load_artifact",
     "repro_command",
     "run_fuzz_schedule",

@@ -1,26 +1,44 @@
 """Seeded schedule-exploration fuzzing.
 
-One fuzz point = one (workload, mechanism, CPU count, seed, delay bound,
-kind filter) tuple: the workload runs under a
-:class:`~repro.network.faults.DelayInjector` timing universe with the
-:class:`~repro.check.sanitizer.CoherenceSanitizer` armed in ``collect``
-mode, its synchronization history is verified with
+One fuzz point = one (workload, mechanism, CPU count, seed, timing
+universe) tuple: the workload runs under a
+:class:`~repro.network.faults.DelayInjector` timing universe —
+optionally relaxed further by a
+:class:`~repro.network.faults.ReorderInjector` (``reorder_window > 0``),
+which weakens per-(src, dst) FIFO delivery to per-cache-line order —
+with the :class:`~repro.check.sanitizer.CoherenceSanitizer` armed in
+``collect`` mode, its synchronization history is verified with
 :mod:`repro.check.linearize`, and the outcome is a plain picklable dict
 (so points sweep through :class:`~repro.runner.ParallelRunner` and cache
 like any other run kind — registered as kind ``"fuzz"``).
 
+Workloads: ``counter``/``barrier``/``lock`` (the original trio) plus the
+queue locks ``qlock_mcs``/``qlock_cna``/``qlock_rw``, whose grant
+histories go through the queue-order checkers
+(:func:`~repro.check.linearize.check_mcs_fifo_order`,
+:func:`~repro.check.linearize.check_cna_grant_order`,
+:func:`~repro.check.linearize.check_rw_exclusion`).
+
 On failure, :func:`shrink_failure` reduces the schedule to a minimal
-reproducer: binary-search the smallest failing delay bound, then
-delta-debug the message-kind subset.  :func:`repro_command` renders any
-point as a one-line ``repro-experiments fuzz`` invocation, and
+reproducer: binary-search the smallest failing delay bound, then the
+smallest failing reorder window, then delta-debug both message-kind
+subsets — so the artifact names the exact timing universe that matters.
+:func:`repro_command` renders any point as a one-line
+``repro-experiments fuzz`` invocation, and
 :func:`write_artifact`/:func:`load_artifact` round-trip the JSON repro
 artifact CI uploads.
 
 ``inject_bug`` deliberately breaks the protocol (for testing the
-checker, never the default): ``"skip_invalidation"`` acknowledges one
-INVALIDATE without invalidating (leaving a stale cached copy — the
-classic directory-protocol bug class), ``"drop_word_update"`` silently
-drops one AMO put packet.
+checkers, never the default).  Network-level, any workload:
+``"skip_invalidation"`` acknowledges one INVALIDATE without
+invalidating (leaving a stale cached copy — the classic
+directory-protocol bug class); ``"drop_word_update"`` silently drops
+one AMO put packet.  Lock-level, matching qlock workload only:
+``"qlock_skip_wait"`` has one contended waiter barge into its critical
+section without awaiting the grant; ``"cna_skip_flush"`` builds the CNA
+lock with an effectively infinite batch threshold while the checker
+holds it to the declared bound; ``"rw_early_release"`` has one writer
+release the lock on entry yet linger in its recorded critical section.
 """
 
 from __future__ import annotations
@@ -32,30 +50,66 @@ from repro.check.linearize import (
     BarrierRecord,
     FetchAddEvent,
     LockSpan,
+    QueueLockSpan,
+    RwSpan,
     check_barrier_epochs,
+    check_cna_grant_order,
     check_fetchadd_history,
+    check_mcs_fifo_order,
     check_mutual_exclusion,
+    check_rw_exclusion,
 )
 from repro.check.sanitizer import CoherenceSanitizer
 from repro.config.mechanism import Mechanism
 from repro.config.parameters import SystemConfig
 from repro.core.machine import Machine
-from repro.network.faults import DelayInjector
+from repro.network.faults import DelayInjector, ReorderInjector
 from repro.network.message import MessageKind
 from repro.sim.kernel import SimulationError
 from repro.sync.barrier import CentralizedBarrier
-from repro.sync.rmw import fetch_add
+from repro.sync.cna_lock import CnaLock
+from repro.sync.mcs_lock import GO, NIL, WAIT, McsLock
+from repro.sync.rmw import fetch_add, swap
+from repro.sync.rw_lock import RwTicketLock
 from repro.sync.ticket_lock import TicketLock
 
-FUZZ_WORKLOADS = ("counter", "barrier", "lock")
+FUZZ_WORKLOADS = ("counter", "barrier", "lock",
+                  "qlock_mcs", "qlock_cna", "qlock_rw")
 
-INJECTABLE_BUGS = ("skip_invalidation", "drop_word_update")
+#: protocol-level sabotage: valid under every workload
+_NETWORK_BUGS = ("skip_invalidation", "drop_word_update")
+#: lock-level sabotage: valid only under the matching qlock workload(s)
+_WORKLOAD_BUGS: dict[str, tuple[str, ...]] = {
+    "qlock_skip_wait": ("qlock_mcs", "qlock_cna"),
+    "cna_skip_flush": ("qlock_cna",),
+    "rw_early_release": ("qlock_rw",),
+}
+INJECTABLE_BUGS = _NETWORK_BUGS + tuple(_WORKLOAD_BUGS)
+
+
+def bug_compatible(bug: Optional[str], workload: str) -> bool:
+    """True when ``inject_bug=bug`` is valid under ``workload``.
+
+    Network-level bugs corrupt the protocol under any workload;
+    lock-level sabotage needs the matching queue-lock workload (sweep
+    tools use this to filter their grids instead of tripping the
+    :func:`run_fuzz_schedule` ValueError point by point).
+    """
+    return (
+        bug is None
+        or bug in _NETWORK_BUGS
+        or workload in _WORKLOAD_BUGS.get(bug, ())
+    )
 
 ARTIFACT_SCHEMA = 1
 
-#: simulated cycles inside / after the critical section in the lock workload
+#: simulated cycles inside / after the critical section in the lock workloads
 _CS_CYCLES = 50
 _THINK_CYCLES = 120
+
+#: CNA batch bound the fuzz workload builds with and checks against —
+#: small enough that 8-CPU schedules actually exercise flushes
+_FUZZ_BATCH_THRESHOLD = 2
 
 
 def _normalize_mechanism(mechanism: Any) -> Mechanism:
@@ -78,7 +132,7 @@ def _normalize_kinds(kinds: Any) -> Optional[tuple[str, ...]]:
 
 def _arm_bug(machine: Machine, bug: str) -> None:
     """Deliberately sabotage the protocol once (checker self-test)."""
-    if bug not in INJECTABLE_BUGS:
+    if bug not in _NETWORK_BUGS:
         raise ValueError(f"unknown injectable bug {bug!r}; have {INJECTABLE_BUGS}")
     net = machine.net
     original_send = net.send
@@ -117,6 +171,8 @@ def run_fuzz_schedule(
     seed: int = 0,
     max_extra: int = 200,
     kinds: Any = None,
+    reorder_window: int = 0,
+    reorder_kinds: Any = None,
     episodes: int = 2,
     ops_per_cpu: int = 3,
     inject_bug: Optional[str] = None,
@@ -128,13 +184,25 @@ def run_fuzz_schedule(
 
     The outcome's ``"ok"`` is True iff the run completed without a
     simulation error, sanitizer violation, or linearizability violation.
-    ``backend`` selects the event-kernel backend (byte-identical
-    results; exercises the sanitizer stack on an accelerated core).
+    ``reorder_window > 0`` additionally installs a
+    :class:`~repro.network.faults.ReorderInjector`: delivery order is
+    then FIFO only per (src, dst, cache line), with up to
+    ``reorder_window`` cycles of seeded jitter on the kinds in
+    ``reorder_kinds`` (None = all).  ``reorder_window == 0`` leaves the
+    fabric's strict-FIFO path untouched.  ``backend`` selects the
+    event-kernel backend (byte-identical results; exercises the
+    sanitizer stack on an accelerated core).
     """
     mech = _normalize_mechanism(mechanism)
     kind_values = _normalize_kinds(kinds)
+    reorder_values = _normalize_kinds(reorder_kinds)
     if workload not in FUZZ_WORKLOADS:
         raise ValueError(f"unknown fuzz workload {workload!r}; have {FUZZ_WORKLOADS}")
+    if inject_bug is not None and inject_bug in _WORKLOAD_BUGS \
+            and workload not in _WORKLOAD_BUGS[inject_bug]:
+        raise ValueError(
+            f"injectable bug {inject_bug!r} requires workload in "
+            f"{_WORKLOAD_BUGS[inject_bug]}, not {workload!r}")
     machine = Machine(SystemConfig.table1(n_processors,
                                           kernel_backend=backend))
     sanitizer = None
@@ -142,7 +210,12 @@ def run_fuzz_schedule(
         sanitizer = CoherenceSanitizer.attach(machine, mode="collect")
     kind_set = None if kind_values is None else {MessageKind(v) for v in kind_values}
     DelayInjector.install(machine, seed, max_extra_cycles=max_extra, kinds=kind_set)
-    if inject_bug is not None:
+    if reorder_window:
+        reorder_set = None if reorder_values is None \
+            else {MessageKind(v) for v in reorder_values}
+        ReorderInjector.install(machine, seed, window_cycles=reorder_window,
+                                kinds=reorder_set)
+    if inject_bug is not None and inject_bug not in _WORKLOAD_BUGS:
         _arm_bug(machine, inject_bug)
 
     violations: list[str] = []
@@ -152,8 +225,12 @@ def run_fuzz_schedule(
             violations += _run_counter(machine, mech, ops_per_cpu, max_events)
         elif workload == "barrier":
             violations += _run_barrier(machine, mech, episodes, max_events)
-        else:
+        elif workload == "lock":
             violations += _run_lock(machine, mech, ops_per_cpu, max_events)
+        else:
+            violations += _run_qlock(machine, mech,
+                                     workload[len("qlock_"):],
+                                     ops_per_cpu, max_events, inject_bug)
     except (SimulationError, RuntimeError, AssertionError) as err:
         error = f"{type(err).__name__}: {err}"
     if sanitizer is not None:
@@ -169,6 +246,8 @@ def run_fuzz_schedule(
         "seed": seed,
         "max_extra": max_extra,
         "kinds": None if kind_values is None else list(kind_values),
+        "reorder_window": reorder_window,
+        "reorder_kinds": None if reorder_values is None else list(reorder_values),
         "episodes": episodes,
         "ops_per_cpu": ops_per_cpu,
         "inject_bug": inject_bug,
@@ -236,6 +315,159 @@ def _run_lock(machine, mech, ops_per_cpu, max_events) -> list[str]:
     return problems
 
 
+def _arm_skip_wait(lock, occupancy: dict) -> None:
+    """Sabotage: one contended acquire barges into the critical section
+    without awaiting its grant (MCS enqueue protocol otherwise intact).
+    ``occupancy`` is the runner's live critical-section counter: the
+    barge fires only while another CPU is strictly inside its CS, so the
+    recorded spans provably overlap (a barge during a handoff-in-flight
+    would be indistinguishable from the handoff itself)."""
+    state = {"armed": True}
+
+    def acquire(proc):
+        me = proc.cpu_id
+        my_handle = lock._new_handle(me)
+        yield from proc.store(lock._next[me].addr, NIL)
+        pred_handle = yield from swap(proc, lock.mechanism,
+                                      lock.tail.addr, my_handle)
+        if pred_handle != NIL:
+            pred = lock._qnode_of(pred_handle)
+            yield from proc.store(lock._locked[me].addr, WAIT)
+            yield from proc.store(lock._next[pred].addr, my_handle)
+            barged = False
+            if state["armed"]:
+                # lurk until somebody is strictly inside their CS, then
+                # enter on top of them; bail out if our own grant
+                # arrives first (a granted entry is not a barge)
+                while occupancy["n"] == 0:
+                    if lock.machine.peek(lock._locked[me].addr) == GO:
+                        break
+                    yield from proc.delay(2)
+                if occupancy["n"] > 0:
+                    state["armed"] = False
+                    barged = True
+            if not barged:
+                yield proc.spin_until(lock._locked[me].addr,
+                                      lambda v: v == GO)
+        lock._held_by.add(me)
+        lock.acquisitions += 1
+        return my_handle, pred_handle
+
+    lock.acquire = acquire
+
+
+def _arm_rw_early_release(lock, admissions: dict) -> None:
+    """Sabotage: one writer releases the lock on entry, waits for the
+    next ticket holder to be admitted, then lingers in its recorded
+    critical section on top of them (turnstile protocol otherwise intact
+    — the victim behaves like a zero-length writer to everyone else, so
+    the run still terminates).  ``admissions`` is the runner's count of
+    entries; lurking until it advances makes the span overlap
+    deterministic instead of a race against admission latency."""
+    state = {"victim": None}
+    real_acquire = lock.acquire_write
+    real_release = lock.release_write
+
+    def acquire_write(proc):
+        ticket = yield from real_acquire(proc)
+        # fire once a later ticket is already issued: that waiter is
+        # blocked on our turnstile and the early release admits them
+        if state["victim"] is None and \
+                lock.machine.peek(lock.users.addr) > ticket + 1:
+            state["victim"] = proc.cpu_id
+            before = admissions["n"]
+            yield from real_release(proc)
+            t0 = proc.sim.now
+            while admissions["n"] == before and proc.sim.now - t0 < 5000:
+                yield from proc.delay(5)
+        return ticket
+
+    def release_write(proc):
+        if state["victim"] == proc.cpu_id:
+            state["victim"] = -1            # spent; later releases real
+        else:
+            yield from real_release(proc)
+
+    lock.acquire_write = acquire_write
+    lock.release_write = release_write
+
+
+def _run_qlock(machine, mech, lock_type, ops_per_cpu, max_events,
+               bug) -> list[str]:
+    if lock_type == "rw":
+        return _run_rw(machine, mech, ops_per_cpu, max_events, bug)
+    if lock_type == "cna":
+        # cna_skip_flush builds with an effectively infinite threshold;
+        # the checker below still holds the lock to the declared bound
+        built = 2**30 if bug == "cna_skip_flush" else _FUZZ_BATCH_THRESHOLD
+        lock = CnaLock(machine, mech, batch_threshold=built)
+    else:
+        lock = McsLock(machine, mech)
+    occupancy = {"n": 0}
+    if bug == "qlock_skip_wait":
+        _arm_skip_wait(lock, occupancy)
+    spans: list[QueueLockSpan] = []
+
+    def thread(proc):
+        for _ in range(ops_per_cpu):
+            handle, pred = yield from lock.acquire(proc)
+            acquired = proc.sim.now
+            occupancy["n"] += 1
+            yield from proc.delay(_CS_CYCLES)
+            occupancy["n"] -= 1
+            spans.append(QueueLockSpan(
+                cpu=proc.cpu_id, node=machine.node_of_cpu(proc.cpu_id),
+                handle=handle, pred=pred, acquired=acquired,
+                released=proc.sim.now))
+            yield from lock.release(proc)
+            yield from proc.delay(_THINK_CYCLES)
+
+    machine.run_threads(thread, max_events=max_events)
+    if lock_type == "cna":
+        problems = check_cna_grant_order(spans, _FUZZ_BATCH_THRESHOLD)
+    else:
+        problems = check_mcs_fifo_order(spans)
+    expected = machine.n_processors * ops_per_cpu
+    if len(spans) != expected:
+        problems.append(f"{len(spans)} acquisitions recorded, expected {expected}")
+    return problems
+
+
+def _run_rw(machine, mech, ops_per_cpu, max_events, bug) -> list[str]:
+    lock = RwTicketLock(machine, mech)
+    admissions = {"n": 0}
+    if bug == "rw_early_release":
+        _arm_rw_early_release(lock, admissions)
+    spans: list[RwSpan] = []
+
+    def thread(proc):
+        writer = proc.cpu_id % 2 == 0
+        for _ in range(ops_per_cpu):
+            if writer:
+                ticket = yield from lock.acquire_write(proc)
+            else:
+                ticket = yield from lock.acquire_read(proc)
+            admissions["n"] += 1
+            acquired = proc.sim.now
+            yield from proc.delay(_CS_CYCLES)
+            spans.append(RwSpan(cpu=proc.cpu_id,
+                                kind="w" if writer else "r",
+                                ticket=ticket, acquired=acquired,
+                                released=proc.sim.now))
+            if writer:
+                yield from lock.release_write(proc)
+            else:
+                yield from lock.release_read(proc)
+            yield from proc.delay(_THINK_CYCLES)
+
+    machine.run_threads(thread, max_events=max_events)
+    problems = check_rw_exclusion(spans)
+    expected = machine.n_processors * ops_per_cpu
+    if len(spans) != expected:
+        problems.append(f"{len(spans)} acquisitions recorded, expected {expected}")
+    return problems
+
+
 # ----------------------------------------------------------------------
 # shrinking
 # ----------------------------------------------------------------------
@@ -248,6 +480,8 @@ def _point_params(outcome_or_params: dict) -> dict:
         "seed",
         "max_extra",
         "kinds",
+        "reorder_window",
+        "reorder_kinds",
         "episodes",
         "ops_per_cpu",
         "inject_bug",
@@ -264,9 +498,12 @@ def shrink_failure(params: dict, log=None) -> tuple[dict, dict]:
 
     Phase 1 binary-searches the smallest failing ``max_extra`` (0 means
     the failure needs no timing perturbation at all); phase 2
-    delta-debugs the message-kind subset down to the kinds whose delays
-    actually matter.  Returns ``(shrunk_params, shrunk_outcome)``; the
-    returned parameters are re-verified to fail.
+    binary-searches the smallest failing ``reorder_window`` (0 means
+    strict-FIFO delivery already fails); later phases delta-debug the
+    delay and reorder message-kind subsets down to the kinds that
+    actually matter — so the artifact names the exact timing universe
+    that produced the failure.  Returns ``(shrunk_params,
+    shrunk_outcome)``; the returned parameters are re-verified to fail.
     """
     params = _point_params(params)
 
@@ -276,9 +513,10 @@ def shrink_failure(params: dict, log=None) -> tuple[dict, dict]:
 
     if not _fails(params):
         raise ValueError(f"shrink_failure called on a passing point: {params}")
-    zero = dict(params, max_extra=0, kinds=[])
+    zero = dict(params, max_extra=0, kinds=[], reorder_window=0,
+                reorder_kinds=None)
     if _fails(zero):
-        note("fails with no delay injection at all")
+        note("fails with no timing perturbation at all")
         params = zero
     else:
         lo, hi = 1, int(params["max_extra"])
@@ -292,6 +530,24 @@ def shrink_failure(params: dict, log=None) -> tuple[dict, dict]:
         if _fails(candidate):  # guard: failure need not be monotone in bound
             note(f"smallest failing delay bound: {hi}")
             params = candidate
+        window = int(params.get("reorder_window") or 0)
+        if window:
+            strict = dict(params, reorder_window=0, reorder_kinds=None)
+            if _fails(strict):
+                note("reordering unnecessary: fails under strict FIFO")
+                params = strict
+            else:
+                lo, hi = 1, window
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if _fails(dict(params, reorder_window=mid)):
+                        hi = mid
+                    else:
+                        lo = mid + 1
+                candidate = dict(params, reorder_window=hi)
+                if _fails(candidate):
+                    note(f"smallest failing reorder window: {hi}")
+                    params = candidate
         kinds = params.get("kinds") or [k.value for k in MessageKind]
         kinds = list(kinds)
         shrunk = True
@@ -304,6 +560,19 @@ def shrink_failure(params: dict, log=None) -> tuple[dict, dict]:
                     shrunk = True
         note(f"minimal kind set: {kinds}")
         params = dict(params, kinds=sorted(kinds))
+        if params.get("reorder_window"):
+            rkinds = list(params.get("reorder_kinds")
+                          or [k.value for k in MessageKind])
+            shrunk = True
+            while shrunk:
+                shrunk = False
+                for kind in list(rkinds):
+                    trial = [v for v in rkinds if v != kind]
+                    if _fails(dict(params, reorder_kinds=trial)):
+                        rkinds = trial
+                        shrunk = True
+            note(f"minimal reorder kind set: {rkinds}")
+            params = dict(params, reorder_kinds=sorted(rkinds))
     outcome = run_fuzz_schedule(**params)
     if outcome["ok"]:  # pragma: no cover - shrink steps re-verify above
         raise RuntimeError(f"shrunk point no longer fails: {params}")
@@ -330,6 +599,13 @@ def repro_command(params: dict) -> str:
     kinds = params.get("kinds")
     if kinds is not None:
         parts.append(f"--fuzz-kinds {','.join(kinds) if kinds else 'none'}")
+    window = params.get("reorder_window") or 0
+    if window:
+        parts.append(f"--fuzz-reorder {window}")
+        rkinds = params.get("reorder_kinds")
+        if rkinds is not None:
+            parts.append(
+                f"--fuzz-reorder-kinds {','.join(rkinds) if rkinds else 'none'}")
     if params.get("inject_bug"):
         parts.append(f"--inject-bug {params['inject_bug']}")
     return " ".join(parts)

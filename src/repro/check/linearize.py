@@ -49,6 +49,37 @@ class BarrierRecord:
     exited: int
 
 
+@dataclass(frozen=True)
+class QueueLockSpan:
+    """One queue-lock critical section with its enqueue linkage.
+
+    ``handle`` is the acquisition's unique queue-node handle and
+    ``pred`` the handle the enqueueing tail-swap returned (0 = the
+    queue was empty) — together they let the checkers reconstruct the
+    *enqueue* order offline, even though swap replies arrive in
+    arbitrary order.  ``node`` is the CPU's NUMA node (the CNA
+    checker's locality dimension).
+    """
+
+    cpu: int
+    node: int
+    handle: int
+    pred: int
+    acquired: int
+    released: int
+
+
+@dataclass(frozen=True)
+class RwSpan:
+    """One reader-writer critical section (``kind`` is 'r' or 'w')."""
+
+    cpu: int
+    kind: str
+    ticket: int
+    acquired: int
+    released: int
+
+
 # ----------------------------------------------------------------------
 def check_fetchadd_history(
     events: list[FetchAddEvent],
@@ -118,6 +149,161 @@ def check_mutual_exclusion(spans: list[LockSpan]) -> list[str]:
         )
     if len(set(tickets)) != len(tickets):
         problems.append(f"duplicate tickets granted: {tickets}")
+    return problems
+
+
+def _check_queue_exclusion(spans: list[QueueLockSpan]) -> list[str]:
+    """Shared core: hold intervals disjoint, handles unique."""
+    problems: list[str] = []
+    by_time = sorted(spans, key=lambda s: s.acquired)
+    for prev, cur in zip(by_time, by_time[1:]):
+        if cur.acquired < prev.released:
+            problems.append(
+                f"mutual exclusion violated: cpu{cur.cpu} acquired at "
+                f"t={cur.acquired} while cpu{prev.cpu} held the lock until "
+                f"t={prev.released}"
+            )
+    handles = [s.handle for s in spans]
+    if len(set(handles)) != len(handles):
+        problems.append(f"duplicate queue-node handles granted: {sorted(handles)}")
+    return problems
+
+
+def check_mcs_fifo_order(spans: list[QueueLockSpan]) -> list[str]:
+    """Verify an MCS history: mutual exclusion plus strict FIFO grants.
+
+    In grant (acquire-time) order, every span that linked behind a
+    predecessor must have been granted *immediately after* that
+    predecessor — MCS hands the lock down the queue chain, so any other
+    pattern means a waiter was overtaken or the queue was corrupted.
+    """
+    problems = _check_queue_exclusion(spans)
+    by_time = sorted(spans, key=lambda s: s.acquired)
+    for prev, cur in zip(by_time, by_time[1:]):
+        if cur.pred != 0 and cur.pred != prev.handle:
+            problems.append(
+                f"FIFO violated: cpu{cur.cpu} (handle {cur.handle}) enqueued "
+                f"behind handle {cur.pred} but was granted after handle "
+                f"{prev.handle}"
+            )
+    if by_time and by_time[0].pred != 0:
+        problems.append(
+            f"first grant (handle {by_time[0].handle}) claims predecessor "
+            f"{by_time[0].pred} — it cannot have entered an empty queue"
+        )
+    return problems
+
+
+def check_cna_grant_order(spans: list[QueueLockSpan],
+                          batch_threshold: int) -> list[str]:
+    """Verify a CNA history: exclusion plus *bounded NUMA-local* overtaking.
+
+    CNA may grant out of enqueue order, but only in one shape: a grant
+    that overtakes an older waiter must be on the granting holder's own
+    NUMA node (that is the entire point of the secondary queue), and at
+    most ``batch_threshold`` consecutive grants may overtake before the
+    parked waiters are flushed.  Everything else — remote overtaking,
+    unbounded batching — is a fairness bug.
+
+    Unlike MCS, no *total* enqueue order is reconstructible here: the
+    promote path CASes a previously-seen handle back into the tail, so
+    a later enqueuer can record the same ``pred`` as an earlier one and
+    the linkage legitimately forks.  The pred chain still gives a sound
+    happens-before: every handle on a span's pred chain enqueued before
+    it.  A grant *overtakes* iff some chain ancestor is still ungranted
+    — exactly the parked-waiter shape — which is all the locality and
+    fairness checks need.
+    """
+    problems = _check_queue_exclusion(spans)
+    by_handle = {s.handle: s for s in spans}
+    dangling = False
+    for s in spans:
+        if s.pred != 0 and s.pred not in by_handle:
+            dangling = True
+            problems.append(
+                f"cpu{s.cpu}'s span (handle {s.handle}) links behind unknown "
+                f"handle {s.pred} — history incomplete or linkage corrupt"
+            )
+    if dangling:
+        return problems          # ancestor walks below would be partial
+    by_time = sorted(spans, key=lambda s: s.acquired)
+    granted: set[int] = set()
+    run = 0                      # consecutive overtaking grants
+    for i, cur in enumerate(by_time):
+        ungranted_ancestors = 0
+        p = cur.pred
+        walked: set[int] = set()
+        while p != 0 and p not in walked:
+            walked.add(p)
+            if p not in granted:
+                ungranted_ancestors += 1
+            p = by_handle[p].pred
+        if ungranted_ancestors:
+            run += 1
+            granter = by_time[i - 1] if i else None
+            if granter is None:
+                problems.append(
+                    f"first grant (handle {cur.handle}) overtakes "
+                    f"{ungranted_ancestors} earlier enqueuer(s) with no "
+                    f"holder to batch for"
+                )
+            elif granter.node != cur.node:
+                problems.append(
+                    f"non-local overtake: cpu{cur.cpu} (node {cur.node}, "
+                    f"handle {cur.handle}) overtook "
+                    f"{ungranted_ancestors} older waiter(s) but the granting "
+                    f"holder cpu{granter.cpu} is on node {granter.node}"
+                )
+            if run > batch_threshold:
+                problems.append(
+                    f"fairness bound violated: {run} consecutive overtaking "
+                    f"grants (threshold {batch_threshold}) ending with "
+                    f"handle {cur.handle}"
+                )
+        else:
+            run = 0
+        granted.add(cur.handle)
+    return problems
+
+
+def check_rw_exclusion(spans: list[RwSpan]) -> list[str]:
+    """Verify a reader-writer history: writers exclusive, readers
+    shared, grants in ticket order, tickets unique."""
+    problems: list[str] = []
+    # readers are admitted concurrently and may share an acquire cycle;
+    # the ticket tiebreak keeps same-cycle grants from producing a
+    # spurious order violation
+    by_time = sorted(spans, key=lambda s: (s.acquired, s.ticket))
+    active_writer: RwSpan | None = None
+    active_readers: list[RwSpan] = []
+    for cur in by_time:
+        active_readers = [r for r in active_readers if r.released > cur.acquired]
+        if active_writer is not None and active_writer.released <= cur.acquired:
+            active_writer = None
+        if active_writer is not None:
+            problems.append(
+                f"rw exclusion violated: cpu{cur.cpu} ({cur.kind}) acquired "
+                f"at t={cur.acquired} while writer cpu{active_writer.cpu} "
+                f"held until t={active_writer.released}"
+            )
+        elif cur.kind == "w" and active_readers:
+            cpus = [r.cpu for r in active_readers]
+            problems.append(
+                f"rw exclusion violated: writer cpu{cur.cpu} acquired at "
+                f"t={cur.acquired} while readers {cpus} were inside"
+            )
+        if cur.kind == "w":
+            active_writer = cur
+        else:
+            active_readers.append(cur)
+    tickets = [s.ticket for s in by_time]
+    if tickets != sorted(tickets):
+        problems.append(
+            f"ticket order violated: grants in acquisition-time order "
+            f"carried tickets {tickets}"
+        )
+    if len(set(tickets)) != len(tickets):
+        problems.append(f"duplicate tickets granted: {sorted(tickets)}")
     return problems
 
 

@@ -55,6 +55,10 @@ def _run_fuzz(args) -> int:
         if args.fuzz_kinds is not None:
             kinds = [k for k in args.fuzz_kinds.split(",")
                      if k and k != "none"]
+        reorder_kinds = None
+        if args.fuzz_reorder_kinds is not None:
+            reorder_kinds = [k for k in args.fuzz_reorder_kinds.split(",")
+                             if k and k != "none"]
         params = dict(
             n_processors=(args.cpus or [8])[0],
             mechanism=args.mechanism,
@@ -62,6 +66,8 @@ def _run_fuzz(args) -> int:
             seed=args.fuzz_seed,
             max_extra=args.fuzz_max_extra,
             kinds=kinds,
+            reorder_window=args.fuzz_reorder,
+            reorder_kinds=reorder_kinds,
             episodes=args.episodes,
             ops_per_cpu=args.ops_per_cpu,
             inject_bug=args.inject_bug,
@@ -141,22 +147,33 @@ def main(argv=None) -> int:
         "fuzz", "options for the `fuzz` experiment (replay one schedule "
                 "with the coherence sanitizer armed; see docs/checking.md)")
     fz.add_argument("--workload", default="counter",
-                    help="fuzz workload: counter, barrier, or lock")
+                    help="fuzz workload: counter, barrier, lock, "
+                         "qlock_mcs, qlock_cna, or qlock_rw")
     fz.add_argument("--mechanism", default="amo",
                     help="synchronization mechanism name (e.g. amo, llsc)")
     fz.add_argument("--fuzz-seed", type=int, default=0,
-                    help="DelayInjector seed")
+                    help="DelayInjector/ReorderInjector seed")
     fz.add_argument("--fuzz-max-extra", type=int, default=200,
                     metavar="CYCLES",
                     help="upper bound on injected per-message delay")
     fz.add_argument("--fuzz-kinds", metavar="KIND[,KIND...]",
                     help="restrict delay injection to these message kinds "
                          "('none' = no kinds, i.e. injector inert)")
+    fz.add_argument("--fuzz-reorder", type=int, default=0,
+                    metavar="CYCLES",
+                    help="relaxed-ordering universe: weaken per-(src,dst) "
+                         "FIFO delivery to per-cache-line order with up "
+                         "to this many cycles of seeded jitter (0 = "
+                         "strict FIFO, fabric untouched)")
+    fz.add_argument("--fuzz-reorder-kinds", metavar="KIND[,KIND...]",
+                    help="restrict reorder jitter to these message kinds "
+                         "('none' = no kinds)")
     fz.add_argument("--ops-per-cpu", type=int, default=3,
-                    help="counter/lock fuzz operations per CPU")
+                    help="counter/lock/qlock fuzz operations per CPU")
     fz.add_argument("--inject-bug", metavar="NAME",
                     help="deliberately break the protocol (checker "
-                         "self-test): skip_invalidation, drop_word_update")
+                         "self-test): skip_invalidation, drop_word_update, "
+                         "qlock_skip_wait, cna_skip_flush, rw_early_release")
     fz.add_argument("--repro", metavar="PATH",
                     help="replay the shrunk point from a fuzz artifact "
                          "(overrides the other fuzz options)")

@@ -23,11 +23,14 @@ from repro.config.mechanism import Mechanism
 from repro.network.stats import TrafficStats
 from repro.workloads.barrier import run_barrier_workload
 from repro.workloads.locks import run_lock_workload
+from repro.workloads.qlocks import (QLOCK_TYPES, qlock_supported,
+                                    run_qlock_workload)
 
 #: workload shapes fingerprinted per mechanism (kept small: the goal is
 #: protocol coverage, not statistical significance)
 BARRIER_EPISODES = 2
 LOCK_ACQUISITIONS = 2
+QLOCK_ACQUISITIONS = 2
 
 
 def _traffic_dict(traffic: TrafficStats) -> dict:
@@ -116,12 +119,50 @@ def lock_fingerprint(mechanism: Mechanism, n_processors: int,
     }
 
 
+def qlock_fingerprint(mechanism: Mechanism, n_processors: int,
+                      lock_type: str,
+                      acquisitions: int = QLOCK_ACQUISITIONS,
+                      warm_cache=None, shards: int = 1,
+                      metrics: bool = False,
+                      backend: Optional[str] = None) -> dict:
+    """Run one queue-lock configuration and reduce it to a fingerprint.
+
+    ``lock_type`` is one of :data:`repro.workloads.qlocks.QLOCK_TYPES`;
+    unsupported (lock, mechanism) cells are the caller's problem —
+    :func:`capture_all` consults ``qlock_supported`` so e.g. the rw
+    lock is simply absent from the MAO fingerprints rather than refused
+    mid-capture.
+    """
+    if shards > 1:
+        if warm_cache is not None:
+            raise ValueError("warm_cache and shards are mutually exclusive")
+        from repro.shard.session import run_sharded
+        res = run_sharded("qlock", dict(
+            n_processors=n_processors, mechanism=mechanism,
+            lock_type=lock_type, acquisitions_per_cpu=acquisitions,
+            warmup_per_cpu=1, metrics=metrics, backend=backend), shards)
+    else:
+        res = run_qlock_workload(n_processors, mechanism,
+                                 lock_type=lock_type,
+                                 acquisitions_per_cpu=acquisitions,
+                                 warmup_per_cpu=1, warm_cache=warm_cache,
+                                 metrics=metrics, backend=backend)
+    return {
+        "workload": f"qlock_{lock_type}",
+        "mechanism": mechanism.value,
+        "n_processors": n_processors,
+        "total_cycles": res.total_cycles,
+        "events_dispatched": res.events_dispatched,
+        **_traffic_dict(res.traffic),
+    }
+
+
 def capture_all(n_processors: int = 32,
                 mechanisms: Optional[list[Mechanism]] = None,
                 warm_cache=None, barrier_only: bool = False,
                 shards: int = 1, metrics: bool = False,
                 backend: Optional[str] = None) -> dict:
-    """Fingerprint every mechanism (barrier + lock) at one machine size.
+    """Fingerprint every mechanism (barrier + locks) at one machine size.
 
     With a ``warm_cache`` every run goes through snapshot warm-start;
     the document must be byte-identical to a cold capture (verified by
@@ -135,6 +176,12 @@ def capture_all(n_processors: int = 32,
     fingerprints must not move).  ``backend`` runs every fingerprint on
     the named event-kernel backend; the document must stay byte-identical
     to the ``reference`` golden (``events_dispatched`` included).
+
+    Besides barrier and ticket lock, every supported queue lock
+    (``qlock_mcs``/``qlock_cna``/``qlock_rw``) is fingerprinted per
+    mechanism; unsupported cells (rw over MAO) are simply absent, and
+    :func:`diff_documents` derives the workload list from the documents
+    so older goldens without queue locks still verify cleanly.
     """
     mechs = mechanisms or list(Mechanism)
     fingerprints = {}
@@ -149,6 +196,11 @@ def capture_all(n_processors: int = 32,
                                           warm_cache=warm_cache,
                                           shards=shards, metrics=metrics,
                                           backend=backend)
+            for lt in QLOCK_TYPES:
+                if qlock_supported(lt, m):
+                    fp[f"qlock_{lt}"] = qlock_fingerprint(
+                        m, n_processors, lt, warm_cache=warm_cache,
+                        shards=shards, metrics=metrics, backend=backend)
         fingerprints[m.value] = fp
     doc = {
         "n_processors": n_processors,
@@ -158,6 +210,8 @@ def capture_all(n_processors: int = 32,
     }
     if barrier_only:
         doc["barrier_only"] = True
+    else:
+        doc["qlock_acquisitions"] = QLOCK_ACQUISITIONS
     if shards > 1:
         doc["shards"] = shards
     return doc
@@ -180,15 +234,23 @@ def diff_documents(golden: dict, got: dict,
     lines = []
     gf = golden.get("fingerprints", {})
     of = got.get("fingerprints", {})
-    # a barrier-only capture legitimately lacks lock fingerprints; compare
-    # the intersection rather than flagging the locks as missing
-    workloads = ("barrier",) if (golden.get("barrier_only")
-                                 or got.get("barrier_only")) \
-        else ("barrier", "lock")
+    # a barrier-only capture legitimately lacks lock fingerprints, and a
+    # golden predating a workload legitimately lacks its fingerprints —
+    # but a capture missing a workload the golden records *is* drift, so
+    # the workload list comes from each side's recorded keys, not a
+    # hardcoded tuple
+    barrier_only = golden.get("barrier_only") or got.get("barrier_only")
     for mech in sorted(set(gf) | set(of)):
+        g_mech, o_mech = gf.get(mech, {}), of.get(mech, {})
+        if barrier_only:
+            workloads = ("barrier",)
+        elif not g_mech or not o_mech:
+            workloads = sorted(set(g_mech) | set(o_mech)) or ("barrier",)
+        else:
+            workloads = sorted(set(g_mech))
         for workload in workloads:
-            g = gf.get(mech, {}).get(workload)
-            o = of.get(mech, {}).get(workload)
+            g = g_mech.get(workload)
+            o = o_mech.get(workload)
             if g == o:
                 continue
             if g is None or o is None:

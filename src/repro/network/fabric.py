@@ -54,7 +54,10 @@ class Network:
         #: optional DelayInjector (see repro.network.faults); perturbs
         #: delivery times while preserving per-(src,dst) FIFO order
         self.delay_injector = None
-        self._last_delivery: dict[tuple[int, int], int] = {}
+        #: optional ReorderInjector; relaxes the FIFO guarantee itself
+        #: to per-(src,dst,line) with bounded jitter (weak-memory mode)
+        self.reorder_injector = None
+        self._last_delivery: dict[tuple, int] = {}
         #: per-source injection sequence numbers — the ``(src, seq)``
         #: delivery-phase keys (see Simulator._push_delivery) that give
         #: same-cycle arrivals a canonical, shard-independent order
@@ -155,7 +158,7 @@ class Network:
             # fast path: latency-only delivery, no reservations; the
             # scheduling is inlined (one phase push) — this is every
             # packet's path in the paper-default configuration
-            if self.delay_injector is None:
+            if self.delay_injector is None and self.reorder_injector is None:
                 sim = self.sim
                 if base_latency:
                     src = msg.src_node
@@ -203,7 +206,8 @@ class Network:
         """
         config = self.config
         if (config.model_router_contention or config.model_link_contention
-                or self.delay_injector is not None):
+                or self.delay_injector is not None
+                or self.reorder_injector is not None):
             for msg in messages:
                 self.send(msg)
             return
@@ -274,20 +278,35 @@ class Network:
         return t
 
     def _schedule_delivery(self, msg: Message, when: int) -> None:
-        """Schedule delivery at ``when`` (+ any injected fault delay),
-        preserving per-(src,dst) FIFO order — the point-to-point ordering
-        the interconnect hardware guarantees and the protocol assumes."""
+        """Schedule delivery at ``when`` (+ any injected fault delay).
+
+        Ordering floor: per-(src,dst) FIFO — the point-to-point ordering
+        the interconnect hardware guarantees and the protocol assumes —
+        unless a :class:`~repro.network.faults.ReorderInjector` is
+        installed, in which case the floor weakens to per
+        (src, dst, cache line): same-line traffic stays ordered (the
+        per-line coherence state machines require it) while cross-line
+        messages may overtake within the injector's bounded window."""
         if self.shard is not None:
             raise RuntimeError(
                 "sharded execution supports only the latency-only fast "
                 "path; disable contention modelling and fault injection "
                 "or run single-process")
-        if self.delay_injector is not None:
-            when += self.delay_injector.extra_delay(msg)
-            pair = (msg.src_node, msg.dst_node)
-            floor = self._last_delivery.get(pair, -1)
+        delay = self.delay_injector
+        reorder = self.reorder_injector
+        if delay is not None:
+            when += delay.extra_delay(msg)
+        if reorder is not None:
+            when += reorder.extra_delay(msg)
+            key = reorder.order_key(msg)
+        elif delay is not None:
+            key = (msg.src_node, msg.dst_node)
+        else:
+            key = None
+        if key is not None:
+            floor = self._last_delivery.get(key, -1)
             when = max(when, floor + 1)
-            self._last_delivery[pair] = when
+            self._last_delivery[key] = when
         self.sim.schedule_at(when, self._deliver, msg)
 
     def _deliver(self, msg: Message) -> None:

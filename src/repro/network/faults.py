@@ -16,6 +16,18 @@ schedule that hits them.
 Not a message-loss model: the interconnect is reliable (as NUMALink is);
 only active messages have a retransmission story, and that is tested
 separately via short timeouts.
+
+A :class:`ReorderInjector` goes one universe further: it *relaxes the
+per-(src,dst) FIFO guarantee itself* — the weak-memory fabric where
+CNA-class queue-lock bugs live (Paolillo et al.).  Messages between the
+same node pair that target **different cache lines** may overtake each
+other within a bounded window of extra cycles; same-line traffic keeps
+the point-to-point order the coherence protocol's per-line state
+machines require (modern NUMA fabrics guarantee exactly this per-address
+ordering and nothing more).  Like the delay injector it is seeded and
+deterministic, per-kind filterable, off by default, and — because the
+fabric takes the unmodified fast path whenever no injector is attached —
+provably cycle-identical when off.
 """
 
 from __future__ import annotations
@@ -75,4 +87,85 @@ class DelayInjector:
         """Attach an injector to a machine's network."""
         injector = DelayInjector(seed, max_extra_cycles, kinds)
         machine.net.delay_injector = injector
+        return injector
+
+
+class ReorderInjector:
+    """Bounded relaxation of the fabric's per-(src,dst) FIFO guarantee.
+
+    With an injector attached, the fabric orders deliveries per
+    (src, dst, cache line) instead of per (src, dst): messages between
+    the same node pair that touch *different* lines may overtake each
+    other, pushed apart by a seeded jitter of up to ``window_cycles``.
+    Same-line traffic stays strictly ordered (the per-line coherence
+    state machines require it), so the sanitizer's protocol invariants
+    keep holding while algorithm-level ordering assumptions — the kind
+    CNA-class lock bugs hide behind — get falsified.
+
+    Parameters
+    ----------
+    seed:
+        Different seeds give different (but reproducible) interleaving
+        universes.
+    window_cycles:
+        Upper bound on injected jitter (uniform over [0, window]); this
+        bounds how far any message can be pushed past later traffic.
+        Must be >= 1 — "reordering with window 0" is the strict-FIFO
+        universe, expressed by *not installing* an injector so the
+        fabric fast path stays untouched.
+    kinds:
+        Restrict jitter to specific message kinds (None = all).  The
+        per-line FIFO relaxation applies fabric-wide regardless; the
+        filter only controls which messages receive jitter.
+    """
+
+    def __init__(self, seed: int, window_cycles: int,
+                 kinds: Optional[set[MessageKind]] = None,
+                 line_bytes: int = 128) -> None:
+        if window_cycles < 1:
+            raise ValueError(
+                "window_cycles must be >= 1; strict FIFO is expressed by "
+                "not installing a ReorderInjector")
+        self.seed = seed
+        self.window = window_cycles
+        self.kinds = kinds
+        self.line_bytes = line_bytes
+        self.injected_total = 0
+        self.messages_jittered = 0
+        self._seq = 0
+
+    def extra_delay(self, msg: Message) -> int:
+        """Deterministic extra cycles of reorder jitter for this message."""
+        if self.kinds is not None and msg.kind not in self.kinds:
+            return 0
+        # injector-local sequence number for the same reproducibility
+        # reason as DelayInjector; a distinct domain tag keeps the two
+        # streams independent when both injectors are armed
+        self._seq += 1
+        key = f"reorder:{self.seed}:{self._seq}:{msg.kind.value}".encode()
+        digest = hashlib.blake2b(key, digest_size=8).digest()
+        extra = int.from_bytes(digest, "big") % (self.window + 1)
+        if extra:
+            self.messages_jittered += 1
+            self.injected_total += extra
+        return extra
+
+    def order_key(self, msg: Message):
+        """FIFO-floor key: per (src, dst, line) instead of per (src, dst).
+
+        Messages without a target address (None) are conservatively
+        serialized per node pair — active-message handlers may touch
+        arbitrary state, so they keep the strong order.
+        """
+        if msg.addr is None:
+            return (msg.src_node, msg.dst_node, None)
+        return (msg.src_node, msg.dst_node, msg.addr // self.line_bytes)
+
+    @staticmethod
+    def install(machine, seed: int, window_cycles: int,
+                kinds: Optional[set[MessageKind]] = None) -> "ReorderInjector":
+        """Attach a reorder injector to a machine's network."""
+        injector = ReorderInjector(seed, window_cycles, kinds,
+                                   line_bytes=machine.config.line_bytes)
+        machine.net.reorder_injector = injector
         return injector

@@ -148,22 +148,59 @@ class RunSpec:
         return spec
 
     @classmethod
+    def qlock(cls, n_processors: int, mechanism: Mechanism,
+              lock_type: str = "mcs", acquisitions_per_cpu: int = 4,
+              warmup_per_cpu: int = 1, batch_threshold: Optional[int] = None,
+              home_node: int = 0, metrics: bool = False,
+              metrics_interval: int = 0, shards: int = 1,
+              backend: Optional[str] = None) -> "RunSpec":
+        """A :func:`~repro.workloads.qlocks.run_qlock_workload` point.
+
+        ``batch_threshold`` (CNA only) enters the spec — and hence the
+        cache key — only when explicitly set, so MCS/rw sweeps keep
+        threshold-free canonical keys.
+        """
+        params = dict(n_processors=n_processors, mechanism=mechanism,
+                      lock_type=lock_type,
+                      acquisitions_per_cpu=acquisitions_per_cpu,
+                      warmup_per_cpu=warmup_per_cpu, home_node=home_node)
+        if batch_threshold is not None:
+            params["batch_threshold"] = batch_threshold
+        if metrics:
+            params["metrics"] = True
+            if metrics_interval:
+                params["metrics_interval"] = metrics_interval
+        spec = cls.make("qlock", **params)
+        if shards > 1:
+            spec = replace(spec, shards=shards)
+        if backend is not None:
+            spec = replace(spec, backend=backend)
+        return spec
+
+    @classmethod
     def fuzz(cls, n_processors: int, mechanism: Mechanism, workload: str,
              seed: int, max_extra: int, kinds: Optional[tuple] = None,
+             reorder_window: int = 0,
+             reorder_kinds: Optional[tuple] = None,
              episodes: int = 2, ops_per_cpu: int = 3,
              inject_bug: Optional[str] = None,
              backend: Optional[str] = None) -> "RunSpec":
         """A :func:`~repro.check.fuzz.run_fuzz_schedule` point.
 
-        The kind filter enters the spec only when restricted, and the bug
-        injection only when armed, so the common all-kinds clean sweep
-        keeps short canonical keys.
+        The kind filter enters the spec only when restricted, the
+        relaxed-ordering universe only when ``reorder_window > 0``, and
+        the bug injection only when armed, so the common all-kinds
+        strict-FIFO clean sweep keeps short canonical keys.
         """
         params = dict(n_processors=n_processors, mechanism=mechanism,
                       workload=workload, seed=seed, max_extra=max_extra,
                       episodes=episodes, ops_per_cpu=ops_per_cpu)
         if kinds is not None:
             params["kinds"] = tuple(sorted(kinds))
+        if reorder_window:
+            params["reorder_window"] = reorder_window
+            if reorder_kinds is not None:
+                params["reorder_kinds"] = tuple(sorted(reorder_kinds))
         if inject_bug is not None:
             params["inject_bug"] = inject_bug
         spec = cls.make("fuzz", **params)
@@ -262,8 +299,10 @@ def _register_builtin_kinds() -> None:
     from repro.check.fuzz import run_fuzz_schedule
     from repro.workloads.barrier import run_barrier_workload
     from repro.workloads.locks import run_lock_workload
+    from repro.workloads.qlocks import run_qlock_workload
     register_kind("barrier", run_barrier_workload, warmable=True)
     register_kind("lock", run_lock_workload, warmable=True)
+    register_kind("qlock", run_qlock_workload, warmable=True)
     register_kind("fuzz", run_fuzz_schedule)
 
 

@@ -61,8 +61,10 @@ from repro.sim.kernel import SimulationError
 from repro.stats.collector import LatencyStats
 
 #: run kinds whose drivers are SPMD-replicable (pure thread-spawning
-#: drivers with no cross-CPU host-side state besides the merged stats)
-SHARDABLE_KINDS = frozenset({"barrier", "lock"})
+#: drivers with no cross-CPU host-side state besides the merged stats;
+#: the CNA lock keeps its cross-holder secondary-queue state in
+#: simulated memory for exactly this reason)
+SHARDABLE_KINDS = frozenset({"barrier", "lock", "qlock"})
 
 #: driver kwargs that cannot cross a process boundary or require
 #: single-process execution: custom configs may enable contention

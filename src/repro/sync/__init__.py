@@ -14,6 +14,10 @@ source implements all five columns of the paper's tables:
   array-based queueing lock with per-slot cache lines;
 * :class:`~repro.sync.mcs_lock.McsLock` — the MCS list-based queue lock
   (extension: exercises ``amo.swap``/``amo.cas``);
+* :class:`~repro.sync.cna_lock.CnaLock` — compact NUMA-aware queue lock
+  (Dice & Kogan; extension: NUMA-batched grants with a fairness bound);
+* :class:`~repro.sync.rw_lock.RwTicketLock` — fair reader-writer ticket
+  lock (extension; refuses MAO — see its module docstring);
 * :class:`~repro.sync.dissemination.DisseminationBarrier` — log2(P)-round
   point-to-point barrier with no centralized variable (extension);
 * :class:`~repro.sync.sense_barrier.SenseReversingBarrier` — the textbook
@@ -25,6 +29,8 @@ from repro.sync.tree_barrier import CombiningTreeBarrier
 from repro.sync.ticket_lock import TicketLock
 from repro.sync.array_lock import ArrayQueueLock
 from repro.sync.mcs_lock import McsLock
+from repro.sync.cna_lock import CnaLock
+from repro.sync.rw_lock import RwTicketLock, UnsupportedMechanismError
 from repro.sync.dissemination import DisseminationBarrier
 from repro.sync.sense_barrier import SenseReversingBarrier
 from repro.sync.rmw import compare_and_swap, fetch_add, swap
@@ -35,6 +41,9 @@ __all__ = [
     "TicketLock",
     "ArrayQueueLock",
     "McsLock",
+    "CnaLock",
+    "RwTicketLock",
+    "UnsupportedMechanismError",
     "DisseminationBarrier",
     "SenseReversingBarrier",
     "fetch_add",

@@ -15,8 +15,12 @@ of the paper's hardware options — including ``amo.swap`` / ``amo.cas``
 from the "wide range of AMO instructions" the paper says it is
 considering (§3).
 
-Queue-node encoding: CPU ``i``'s node is identified by ``i + 1`` in
-pointer words (0 is nil), so pointers fit the simulator's integer words.
+Queue-node encoding: CPU ``i``'s ``k``-th acquisition is identified by
+``k * (P + 1) + i + 1`` in pointer words (0 is nil), so pointers fit the
+simulator's integer words *and* every acquisition attempt has a unique
+handle — which lets the queue-order linearizability checkers
+(:mod:`repro.check.linearize`) reconstruct the enqueue chain offline
+from recorded predecessor handles.
 """
 
 from __future__ import annotations
@@ -41,16 +45,19 @@ class McsLock:
     """MCS queue lock, parameterized by mechanism."""
 
     _counter = 0
+    _name = "mcs"          # allocation-name prefix; subclasses override
 
     def __init__(self, machine: "Machine", mechanism: Mechanism,
                  home_node: int = 0) -> None:
         self.machine = machine
         self.mechanism = mechanism
         self.home_node = home_node
-        uid = McsLock._counter
-        McsLock._counter += 1
+        cls = type(self)
+        uid = cls._counter
+        cls._counter = uid + 1
+        prefix = f"{self._name}{uid}"
         #: global tail pointer (the only centralized variable)
-        self.tail = machine.alloc(f"mcs{uid}.tail", home_node)
+        self.tail = machine.alloc(f"{prefix}.tail", home_node)
         #: per-CPU queue nodes, homed at the owning CPU's node for local
         #: spinning; one line per word (next / locked in separate lines)
         self._next = []
@@ -58,21 +65,39 @@ class McsLock:
         for cpu in range(machine.n_processors):
             node = machine.node_of_cpu(cpu)
             self._next.append(
-                machine.alloc(f"mcs{uid}.n{cpu}.next", node))
+                machine.alloc(f"{prefix}.n{cpu}.next", node))
             self._locked.append(
-                machine.alloc(f"mcs{uid}.n{cpu}.locked", node))
+                machine.alloc(f"{prefix}.n{cpu}.locked", node))
         self._held_by: set[int] = set()
         self.acquisitions = 0
+        #: handle namespace: cpu lives in the low ``stride`` residue,
+        #: the per-CPU attempt counter in the quotient, 0 stays nil
+        self._stride = machine.n_processors + 1
+        self._attempt = [0] * machine.n_processors
+        self._cur_handle = [NIL] * machine.n_processors
 
     # ------------------------------------------------------------------
     def _qnode_of(self, handle: int) -> int:
         """Pointer-word handle -> cpu id."""
-        return handle - 1
+        return handle % self._stride - 1
+
+    def _new_handle(self, cpu: int) -> int:
+        attempt = self._attempt[cpu]
+        self._attempt[cpu] = attempt + 1
+        handle = attempt * self._stride + cpu + 1
+        self._cur_handle[cpu] = handle
+        return handle
 
     def acquire(self, proc: "Processor"):
-        """Coroutine: enqueue with swap, spin locally until granted."""
+        """Coroutine: enqueue with swap, spin locally until granted.
+
+        Returns ``(my_handle, pred_handle)`` — the unique handle of this
+        acquisition and of the queue predecessor it linked behind (nil
+        when the queue was empty).  Checkers use the pair to rebuild the
+        enqueue chain; ordinary callers may ignore it.
+        """
         me = proc.cpu_id
-        my_handle = me + 1
+        my_handle = self._new_handle(me)
         # reset my node (plain local-homed stores)
         yield from proc.store(self._next[me].addr, NIL)
         pred_handle = yield from swap(proc, self.mechanism,
@@ -87,6 +112,7 @@ class McsLock:
                                        lambda v: v == GO)
         self._held_by.add(me)
         self.acquisitions += 1
+        return my_handle, pred_handle
 
     def release(self, proc: "Processor"):
         """Coroutine: hand off to the successor (or clear the tail)."""
@@ -94,7 +120,7 @@ class McsLock:
         if me not in self._held_by:
             raise RuntimeError(
                 f"cpu{me} released MCS lock it does not hold")
-        my_handle = me + 1
+        my_handle = self._cur_handle[me]
         successor = yield from proc.load(self._next[me].addr)
         if successor == NIL:
             old = yield from compare_and_swap(
@@ -110,6 +136,21 @@ class McsLock:
             proc, self.mechanism, self._locked[succ_cpu].addr, GO,
             delta=-1)
         self._held_by.discard(me)
+
+    # warm-start support: holder set, acquisition count and handle
+    # counters live outside the machine, so snapshot replays must rewind
+    # them too (see repro.workloads.warm).
+    def save_state(self) -> dict:
+        return {"held_by": set(self._held_by),
+                "acquisitions": self.acquisitions,
+                "attempt": list(self._attempt),
+                "cur_handle": list(self._cur_handle)}
+
+    def load_state(self, state: dict) -> None:
+        self._held_by = set(state["held_by"])
+        self.acquisitions = state["acquisitions"]
+        self._attempt = list(state["attempt"])
+        self._cur_handle = list(state["cur_handle"])
 
     def holder(self) -> int | None:
         holders = sorted(self._held_by)

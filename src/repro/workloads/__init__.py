@@ -3,7 +3,10 @@
 * :mod:`repro.workloads.barrier` — repeated barrier episodes over all
   CPUs (Tables 2-3, Figures 5-6);
 * :mod:`repro.workloads.locks` — contended acquire/release streams over
-  ticket and array locks (Table 4, Figure 7).
+  ticket and array locks (Table 4, Figure 7);
+* :mod:`repro.workloads.qlocks` — the modern queue locks (MCS, compact
+  NUMA-aware, reader-writer) with offline grant-history verification
+  (extension; ROADMAP item 3).
 
 Each driver builds a fresh :class:`~repro.core.machine.Machine`, runs an
 unmeasured warm-up pass (cold-miss epoch, as an execution-driven
@@ -13,10 +16,20 @@ cycles and traffic.
 
 from repro.workloads.barrier import BarrierResult, run_barrier_workload
 from repro.workloads.locks import LockResult, run_lock_workload
+from repro.workloads.qlocks import (
+    QLOCK_SUPPORT,
+    QLOCK_TYPES,
+    qlock_supported,
+    run_qlock_workload,
+)
 
 __all__ = [
     "BarrierResult",
     "run_barrier_workload",
     "LockResult",
     "run_lock_workload",
+    "QLOCK_SUPPORT",
+    "QLOCK_TYPES",
+    "qlock_supported",
+    "run_qlock_workload",
 ]

@@ -1,0 +1,250 @@
+"""Queue-lock microbenchmark driver: MCS, CNA, and reader-writer locks.
+
+The modern-lock companion to :mod:`repro.workloads.locks` (ROADMAP item
+3): every CPU performs ``acquisitions_per_cpu`` acquire/critical-
+section/release/think iterations against one shared queue lock, over
+any of the paper's five mechanisms *where the lock's word discipline
+can be built on it* — the support matrix is explicit
+(:data:`QLOCK_SUPPORT`) and unsupported cells refuse loudly with
+:class:`~repro.sync.rw_lock.UnsupportedMechanismError` instead of
+simulating something unbuildable.
+
+Beyond the live mutual-exclusion occupancy assert the ticket/array
+driver has, this driver records the full grant history (queue handles
+and predecessor linkage for MCS/CNA, tickets and reader/writer kinds
+for the rw lock) and verifies it offline against the matching
+linearizability checker (:mod:`repro.check.linearize`) on every
+single-process run — the same checkers the fuzzer drives, so a schedule
+that breaks FIFO order or the CNA fairness bound fails here too, not
+only under fuzzing.  Sharded runs skip the offline check (each worker
+observes only its local CPUs' spans); the fuzz and parity suites cover
+those paths single-process.
+
+Results reuse :class:`~repro.workloads.locks.LockResult`, so sweeps,
+caching, shard merging, and golden fingerprints treat queue locks
+exactly like the paper's locks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.check.linearize import (
+    QueueLockSpan,
+    RwSpan,
+    check_cna_grant_order,
+    check_mcs_fifo_order,
+    check_rw_exclusion,
+)
+from repro.config.mechanism import Mechanism
+from repro.config.parameters import SystemConfig
+from repro.core.machine import Machine
+from repro.obs import CriticalPathAnalyzer, MachineMetrics
+from repro.obs.critical_path import EPISODE_SPAN
+from repro.stats.collector import LatencyStats
+from repro.sync.cna_lock import DEFAULT_BATCH_THRESHOLD, CnaLock
+from repro.sync.mcs_lock import McsLock
+from repro.sync.rw_lock import RwTicketLock, UnsupportedMechanismError
+from repro.trace.recorder import TraceRecorder
+from repro.workloads.locks import (
+    DEFAULT_CS_CYCLES,
+    DEFAULT_THINK_CYCLES,
+    LockResult,
+)
+
+#: queue-lock algorithms this driver runs
+QLOCK_TYPES = ("mcs", "cna", "rw")
+
+#: lock algorithm -> mechanisms it can be built over.  MCS and CNA need
+#: only swap/CAS on the tail plus coherent per-CPU words, which every
+#: mechanism provides.  The rw ticket lock's ``write`` turnstile word
+#: straddles the atomic and coherent-spin domains, which MAO separates
+#: by construction — see :mod:`repro.sync.rw_lock`.
+QLOCK_SUPPORT: dict[str, frozenset] = {
+    "mcs": frozenset(Mechanism),
+    "cna": frozenset(Mechanism),
+    "rw": frozenset(m for m in Mechanism if m is not Mechanism.MAO),
+}
+
+
+def qlock_supported(lock_type: str, mechanism: Mechanism) -> bool:
+    """True when ``lock_type`` can be built over ``mechanism``."""
+    return mechanism in QLOCK_SUPPORT[lock_type]
+
+
+class QlockHistoryViolation(AssertionError):
+    """The recorded grant history failed its linearizability check."""
+
+
+def _check_history(lock_type: str, spans: list, threshold: int) -> None:
+    if lock_type == "mcs":
+        problems = check_mcs_fifo_order(spans)
+    elif lock_type == "cna":
+        problems = check_cna_grant_order(spans, batch_threshold=threshold)
+    else:
+        problems = check_rw_exclusion(spans)
+    if problems:
+        raise QlockHistoryViolation(
+            f"{lock_type} grant history failed verification:\n  "
+            + "\n  ".join(problems))
+
+
+def run_qlock_workload(n_processors: int, mechanism: Mechanism,
+                       lock_type: str = "mcs",
+                       acquisitions_per_cpu: int = 4,
+                       warmup_per_cpu: int = 1,
+                       cs_cycles: int = DEFAULT_CS_CYCLES,
+                       think_cycles: int = DEFAULT_THINK_CYCLES,
+                       batch_threshold: int = DEFAULT_BATCH_THRESHOLD,
+                       config: Optional[SystemConfig] = None,
+                       home_node: int = 0,
+                       metrics: bool = False,
+                       metrics_interval: int = 0,
+                       warm_cache=None,
+                       backend: Optional[str] = None) -> LockResult:
+    """Measure one (mechanism, P, queue-lock algorithm) configuration.
+
+    Mirrors :func:`repro.workloads.locks.run_lock_workload` — same
+    result type, warm-start, metrics, and backend semantics — plus the
+    offline grant-history verification described in the module
+    docstring.  ``batch_threshold`` applies to the CNA lock only (it
+    still enters the warm key for every type; it does not change the
+    MCS/rw machines, merely fragments their warm pool by one value).
+    """
+    if lock_type not in QLOCK_TYPES:
+        raise ValueError(
+            f"unknown queue lock type {lock_type!r}; expected one of "
+            f"{QLOCK_TYPES}")
+    if not qlock_supported(lock_type, mechanism):
+        raise UnsupportedMechanismError(
+            f"queue lock {lock_type!r} cannot be built over "
+            f"{mechanism.value}: see repro.workloads.qlocks.QLOCK_SUPPORT")
+    cfg = config or SystemConfig.table1(n_processors)
+    if cfg.n_processors != n_processors:
+        cfg = cfg.replace(n_processors=n_processors)
+    if backend is not None:
+        cfg = cfg.replace(kernel_backend=backend)
+    warm = warm_cache is not None and not metrics
+    key = ("qlock", cfg, mechanism, lock_type, home_node, warmup_per_cpu,
+           cs_cycles, think_cycles, batch_threshold) if warm else None
+    ctx = warm_cache.lookup(key) if warm else None
+    obs = tracer = None
+    if ctx is not None:
+        machine = ctx.machine
+        lock = ctx.sync
+        machine.restore(ctx.snapshot)
+        lock.load_state(ctx.sync_state)
+    else:
+        machine = warm_cache.pool.acquire(cfg) if warm else Machine(cfg)
+        if metrics:
+            obs = MachineMetrics.attach(machine,
+                                        sample_interval=metrics_interval)
+            tracer = TraceRecorder.attach(machine, capture_messages=False)
+        if lock_type == "mcs":
+            lock = McsLock(machine, mechanism, home_node=home_node)
+        elif lock_type == "cna":
+            lock = CnaLock(machine, mechanism, home_node=home_node,
+                           batch_threshold=batch_threshold)
+        else:
+            lock = RwTicketLock(machine, mechanism, home_node=home_node)
+
+    occupancy = {"n": 0, "w": 0}
+    acquire_latency = LatencyStats(name=f"{lock_type}-acquire")
+    spans: list = []
+
+    def make_queue_thread(count: int, measured: bool):
+        def thread(proc):
+            for _ in range(count):
+                t0 = proc.sim.now
+                handle, pred = yield from lock.acquire(proc)
+                if measured:
+                    acquire_latency.record(proc.sim.now - t0)
+                t_acq = proc.sim.now
+                occupancy["n"] += 1
+                assert occupancy["n"] == 1, "mutual exclusion violated"
+                yield from proc.delay(cs_cycles)
+                occupancy["n"] -= 1
+                if measured:
+                    spans.append(QueueLockSpan(
+                        cpu=proc.cpu_id,
+                        node=machine.node_of_cpu(proc.cpu_id),
+                        handle=handle, pred=pred,
+                        acquired=t_acq, released=proc.sim.now))
+                yield from lock.release(proc)
+                if measured and tracer is not None:
+                    tracer.add_span(f"cpu{proc.cpu_id}", EPISODE_SPAN,
+                                    t0, proc.sim.now)
+                yield from proc.delay(think_cycles)
+        return thread
+
+    def make_rw_thread(count: int, measured: bool):
+        def thread(proc):
+            writer = proc.cpu_id % 2 == 0
+            for _ in range(count):
+                t0 = proc.sim.now
+                if writer:
+                    ticket = yield from lock.acquire_write(proc)
+                else:
+                    ticket = yield from lock.acquire_read(proc)
+                if measured:
+                    acquire_latency.record(proc.sim.now - t0)
+                t_acq = proc.sim.now
+                if writer:
+                    occupancy["w"] += 1
+                    assert occupancy["w"] == 1 and occupancy["n"] == 0, \
+                        "rw exclusion violated"
+                else:
+                    occupancy["n"] += 1
+                    assert occupancy["w"] == 0, "rw exclusion violated"
+                yield from proc.delay(cs_cycles)
+                if writer:
+                    occupancy["w"] -= 1
+                else:
+                    occupancy["n"] -= 1
+                if measured:
+                    spans.append(RwSpan(
+                        cpu=proc.cpu_id, kind="w" if writer else "r",
+                        ticket=ticket, acquired=t_acq,
+                        released=proc.sim.now))
+                if writer:
+                    yield from lock.release_write(proc)
+                else:
+                    yield from lock.release_read(proc)
+                if measured and tracer is not None:
+                    tracer.add_span(f"cpu{proc.cpu_id}", EPISODE_SPAN,
+                                    t0, proc.sim.now)
+                yield from proc.delay(think_cycles)
+        return thread
+
+    make_thread = make_rw_thread if lock_type == "rw" else make_queue_thread
+
+    if ctx is None:
+        if warmup_per_cpu:
+            machine.run_threads(make_thread(warmup_per_cpu, False))
+        if warm:
+            warm_cache.store(key, machine, lock, machine.snapshot(),
+                             lock.save_state())
+    start = machine.last_completion_time
+    before = machine.net.stats.snapshot()
+    if obs is not None and obs.sampler is not None:
+        obs.sampler.start()
+    machine.run_threads(make_thread(acquisitions_per_cpu, True))
+    total = machine.last_completion_time - start
+    traffic = machine.net.stats.delta_since(before)
+    machine.check_coherence_invariants()
+    if machine.net.shard is None:
+        _check_history(lock_type, spans, batch_threshold)
+    snapshot = None
+    if obs is not None:
+        analyzer = CriticalPathAnalyzer(machine)
+        obs.critical_path = analyzer.summarize(analyzer.analyze(tracer))
+        snapshot = obs.snapshot()
+    return LockResult(
+        mechanism=mechanism, lock_type=lock_type,
+        n_processors=n_processors,
+        acquisitions=acquisitions_per_cpu * n_processors,
+        total_cycles=total, traffic=traffic,
+        cs_cycles=cs_cycles, think_cycles=think_cycles,
+        acquire_latency=acquire_latency,
+        events_dispatched=machine.sim.events_dispatched,
+        metrics=snapshot)

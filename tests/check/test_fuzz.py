@@ -144,7 +144,92 @@ def test_runspec_fuzz_optional_params_stay_out_of_key():
     bare = RunSpec.fuzz(8, Mechanism.LLSC, "lock", seed=0, max_extra=10)
     assert "kinds" not in bare.kwargs
     assert "inject_bug" not in bare.kwargs
+    assert "reorder_window" not in bare.kwargs
     restricted = RunSpec.fuzz(8, Mechanism.LLSC, "lock", seed=0, max_extra=10,
                               kinds=("word_update", "get_x"))
     assert restricted.kwargs["kinds"] == ("get_x", "word_update")
     assert bare.canonical() != restricted.canonical()
+    relaxed = RunSpec.fuzz(8, Mechanism.LLSC, "lock", seed=0, max_extra=10,
+                           reorder_window=60, reorder_kinds=("word_update",))
+    assert relaxed.kwargs["reorder_window"] == 60
+    assert relaxed.kwargs["reorder_kinds"] == ("word_update",)
+    assert bare.canonical() != relaxed.canonical()
+
+
+# ----------------------------------------------------------------------
+# queue-lock workloads + the relaxed-ordering universe
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workload", ["qlock_mcs", "qlock_cna", "qlock_rw"])
+@pytest.mark.parametrize("reorder", [0, 40], ids=["fifo", "reorder"])
+def test_clean_qlock_schedules(workload, reorder):
+    out = run_fuzz_schedule(
+        n_processors=8,
+        mechanism="amo",
+        workload=workload,
+        seed=5,
+        max_extra=150,
+        reorder_window=reorder,
+        ops_per_cpu=2,
+    )
+    assert out["ok"], (out["error"], out["violations"])
+    assert out["reorder_window"] == reorder
+
+
+def test_qlock_rw_refuses_mao():
+    with pytest.raises(ValueError, match="rw"):
+        run_fuzz_schedule(mechanism="mao", workload="qlock_rw")
+
+
+def test_reorder_universe_reproduces_exactly():
+    kwargs = dict(n_processors=8, mechanism="llsc", workload="qlock_cna",
+                  seed=2, max_extra=100, reorder_window=50)
+    assert run_fuzz_schedule(**kwargs) == run_fuzz_schedule(**kwargs)
+
+
+def test_workload_bug_requires_matching_workload():
+    with pytest.raises(ValueError, match="requires workload"):
+        run_fuzz_schedule(workload="barrier", inject_bug="qlock_skip_wait")
+    with pytest.raises(ValueError, match="requires workload"):
+        run_fuzz_schedule(workload="qlock_mcs", inject_bug="rw_early_release")
+
+
+def test_qlock_skip_wait_is_caught():
+    out = run_fuzz_schedule(8, "llsc", "qlock_mcs", seed=0, max_extra=150,
+                            inject_bug="qlock_skip_wait")
+    assert not out["ok"]
+    assert any("mutual exclusion" in v or "FIFO" in v
+               for v in out["violations"]), out
+
+
+def test_cna_skip_flush_is_caught():
+    out = run_fuzz_schedule(8, "amo", "qlock_cna", seed=0, max_extra=150,
+                            inject_bug="cna_skip_flush")
+    assert not out["ok"]
+    assert any("fairness bound" in v for v in out["violations"]), out
+
+
+def test_rw_early_release_is_caught():
+    out = run_fuzz_schedule(8, "llsc", "qlock_rw", seed=0, max_extra=150,
+                            inject_bug="rw_early_release")
+    assert not out["ok"]
+    assert any("exclusion violated" in v or "ticket order" in v
+               for v in out["violations"]), out
+
+
+def test_shrink_reports_reorder_universe():
+    # a bug that fails regardless of universe: the shrinker must strip
+    # the reorder universe from the reproducer and say so in the command
+    point = dict(FAILING_POINT, reorder_window=80)
+    shrunk, outcome = shrink_failure(dict(point))
+    assert shrunk["reorder_window"] == 0
+    assert not outcome["ok"]
+    assert "--fuzz-reorder" not in repro_command(shrunk)
+
+
+def test_repro_command_names_reorder_universe():
+    cmd = repro_command(dict(FAILING_POINT, workload="qlock_cna",
+                             reorder_window=64,
+                             reorder_kinds=["word_update"]))
+    assert "--workload qlock_cna" in cmd
+    assert "--fuzz-reorder 64" in cmd
+    assert "--fuzz-reorder-kinds word_update" in cmd

@@ -1,0 +1,206 @@
+"""Unit tests for the queue-lock and reader-writer linearizability
+checkers — synthetic histories with known verdicts."""
+
+from repro.check.linearize import (
+    QueueLockSpan,
+    RwSpan,
+    check_cna_grant_order,
+    check_mcs_fifo_order,
+    check_rw_exclusion,
+)
+
+
+def q(cpu, handle, pred, acq, rel, node=None):
+    return QueueLockSpan(cpu=cpu, node=cpu // 2 if node is None else node,
+                         handle=handle, pred=pred, acquired=acq, released=rel)
+
+
+# ---------------------------------------------------------------------------
+# MCS FIFO
+# ---------------------------------------------------------------------------
+
+def test_mcs_clean_chain():
+    spans = [
+        q(0, 1, 0, 100, 160),     # empty queue
+        q(1, 2, 1, 170, 230),     # behind 1
+        q(2, 3, 2, 240, 300),     # behind 2
+        q(0, 10, 0, 400, 460),    # fresh segment after drain
+        q(3, 4, 10, 470, 530),
+    ]
+    assert check_mcs_fifo_order(spans) == []
+
+
+def test_mcs_empty_history():
+    assert check_mcs_fifo_order([]) == []
+
+
+def test_mcs_overlap_detected():
+    spans = [q(0, 1, 0, 100, 200), q(1, 2, 1, 150, 260)]
+    problems = check_mcs_fifo_order(spans)
+    assert any("mutual exclusion" in p for p in problems)
+
+
+def test_mcs_overtake_detected():
+    # 3 enqueued behind 2, but granted before it
+    spans = [
+        q(0, 1, 0, 100, 160),
+        q(2, 3, 2, 170, 230),     # pred is handle 2, prev grant is handle 1
+        q(1, 2, 1, 240, 300),
+    ]
+    problems = check_mcs_fifo_order(spans)
+    assert any("FIFO violated" in p for p in problems)
+
+
+def test_mcs_duplicate_handles_detected():
+    spans = [q(0, 1, 0, 100, 160), q(1, 1, 0, 200, 260)]
+    problems = check_mcs_fifo_order(spans)
+    assert any("duplicate" in p for p in problems)
+
+
+def test_mcs_first_grant_with_pred_detected():
+    spans = [q(0, 2, 7, 100, 160)]
+    problems = check_mcs_fifo_order(spans)
+    assert any("empty queue" in p for p in problems)
+
+
+# ---------------------------------------------------------------------------
+# CNA bounded NUMA-local overtaking
+# ---------------------------------------------------------------------------
+
+def test_cna_fifo_history_is_clean():
+    spans = [
+        q(0, 1, 0, 100, 160),
+        q(1, 2, 1, 170, 230),
+        q(2, 3, 2, 240, 300),
+    ]
+    assert check_cna_grant_order(spans, batch_threshold=4) == []
+
+
+def test_cna_local_overtake_within_bound_is_clean():
+    # enqueue order: 1 (cpu0/node0), 2 (cpu2/node1), 3 (cpu1/node0)
+    # grants: 1, then 3 (local overtake of 2 — cpu1 shares node 0 with
+    # the holder cpu0), then 2
+    spans = [
+        q(0, 1, 0, 100, 160),
+        q(1, 3, 2, 170, 230),
+        q(2, 2, 1, 240, 300),
+    ]
+    assert check_cna_grant_order(spans, batch_threshold=2) == []
+
+
+def test_cna_remote_overtake_detected():
+    # grants: 1 (cpu0/node0), then 3 (cpu4/node2!) overtaking 2
+    spans = [
+        q(0, 1, 0, 100, 160),
+        q(4, 3, 2, 170, 230),
+        q(2, 2, 1, 240, 300),
+    ]
+    problems = check_cna_grant_order(spans, batch_threshold=2)
+    assert any("non-local overtake" in p for p in problems)
+
+
+def test_cna_unbounded_batching_detected():
+    # node-0 cpus keep overtaking the parked node-1 waiter past the bound
+    spans = [
+        q(0, 1, 0, 100, 110),     # holder, node 0
+        q(1, 3, 2, 120, 130),     # overtake 1 (node 0)
+        q(0, 4, 3, 140, 150),     # overtake 2 (node 0)
+        q(1, 5, 4, 160, 170),     # overtake 3 — past threshold 2
+        q(2, 2, 1, 180, 190),     # the starved node-1 waiter, at last
+    ]
+    problems = check_cna_grant_order(spans, batch_threshold=2)
+    assert any("fairness bound" in p for p in problems)
+    # threshold 3 tolerates exactly this run
+    assert check_cna_grant_order(spans, batch_threshold=3) == []
+
+
+def test_cna_dangling_pred_detected():
+    spans = [q(0, 1, 0, 100, 160), q(1, 2, 77, 170, 230)]
+    problems = check_cna_grant_order(spans, batch_threshold=2)
+    assert any("unknown handle" in p for p in problems)
+
+
+def test_cna_promotion_fork_is_legal():
+    # CNA's promote path CASes an old handle (the secondary tail) back
+    # into the lock tail, so a later enqueuer records the same pred an
+    # earlier one did — pred linkage forks without any fairness bug.
+    # Enqueue: 1 (cpu0), 2 (cpu2, behind 1), 3 (cpu1, behind 2).
+    # Holder 1 grants 3 locally (parks 2); 3's release promotes the
+    # secondary (tail := handle 2) and grants 2; then 4 (cpu3) enqueues
+    # behind the re-inserted handle 2 — forking pred 2 with span 3.
+    spans = [
+        q(0, 1, 0, 100, 160),
+        q(1, 3, 2, 170, 230),     # local overtake of parked 2
+        q(2, 2, 1, 240, 300),     # promoted secondary head
+        q(3, 4, 2, 310, 370),     # pred 2 again: post-promotion enqueue
+    ]
+    assert check_cna_grant_order(spans, batch_threshold=2) == []
+
+
+def test_cna_overtake_of_distant_ancestor_detected():
+    # the ungranted waiter is two pred-links up the chain — the walk
+    # must look past the immediate (already granted) pred
+    spans = [
+        q(0, 1, 0, 100, 110),     # holder, node 0
+        q(1, 3, 2, 120, 130),     # overtakes parked 2 (node 0: legal)
+        q(4, 4, 3, 140, 150),     # pred 3 granted, but ancestor 2 still
+                                  # waits — and cpu4 is node 2: remote
+        q(2, 2, 1, 160, 170),
+    ]
+    problems = check_cna_grant_order(spans, batch_threshold=4)
+    assert any("non-local overtake" in p for p in problems)
+
+
+# ---------------------------------------------------------------------------
+# reader-writer exclusion
+# ---------------------------------------------------------------------------
+
+def rw(cpu, kind, ticket, acq, rel):
+    return RwSpan(cpu=cpu, kind=kind, ticket=ticket, acquired=acq,
+                  released=rel)
+
+
+def test_rw_clean_history():
+    spans = [
+        rw(0, "w", 0, 100, 160),
+        rw(1, "r", 1, 170, 240),
+        rw(2, "r", 2, 175, 230),   # overlapping readers: fine
+        rw(3, "w", 3, 250, 310),
+    ]
+    assert check_rw_exclusion(spans) == []
+
+
+def test_rw_writer_overlaps_reader_detected():
+    spans = [rw(1, "r", 0, 100, 200), rw(0, "w", 1, 150, 260)]
+    problems = check_rw_exclusion(spans)
+    assert any("exclusion violated" in p for p in problems)
+
+
+def test_rw_reader_overlaps_writer_detected():
+    spans = [rw(0, "w", 0, 100, 200), rw(1, "r", 1, 150, 260)]
+    problems = check_rw_exclusion(spans)
+    assert any("exclusion violated" in p for p in problems)
+
+
+def test_rw_two_writers_detected():
+    spans = [rw(0, "w", 0, 100, 200), rw(1, "w", 1, 150, 260)]
+    problems = check_rw_exclusion(spans)
+    assert any("exclusion violated" in p for p in problems)
+
+
+def test_rw_ticket_order_violation_detected():
+    spans = [rw(0, "w", 1, 100, 160), rw(1, "w", 0, 170, 230)]
+    problems = check_rw_exclusion(spans)
+    assert any("ticket order" in p for p in problems)
+
+
+def test_rw_duplicate_tickets_detected():
+    spans = [rw(0, "r", 0, 100, 160), rw(1, "r", 0, 105, 150)]
+    problems = check_rw_exclusion(spans)
+    assert any("duplicate tickets" in p for p in problems)
+
+
+def test_rw_same_cycle_reader_grants_are_clean():
+    spans = [rw(1, "r", 2, 100, 160), rw(0, "r", 1, 100, 150),
+             rw(2, "r", 3, 100, 170)]
+    assert check_rw_exclusion(spans) == []

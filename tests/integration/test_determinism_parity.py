@@ -34,10 +34,12 @@ import pytest
 from repro.config.mechanism import Mechanism
 from repro.config.parameters import SystemConfig
 from repro.core.machine import Machine
-from repro.harness.parity import barrier_fingerprint, lock_fingerprint
+from repro.harness.parity import (barrier_fingerprint, lock_fingerprint,
+                                  qlock_fingerprint)
 from repro.sync.barrier import CentralizedBarrier
 from repro.trace.recorder import TraceRecorder
 from repro.workloads.barrier import run_barrier_workload
+from repro.workloads.qlocks import QLOCK_TYPES, qlock_supported
 from repro.workloads.warm import WarmCache
 
 GOLDEN = json.loads(
@@ -70,6 +72,31 @@ def test_lock_matches_golden(mech):
     assert got == golden, (
         f"{mech.value} lock fingerprint drifted from the seed kernel:\n"
         + _diff(golden, got))
+
+
+QLOCK_CELLS = [(m, lt) for m in MECHS for lt in QLOCK_TYPES
+               if qlock_supported(lt, m)]
+QLOCK_IDS = [f"{m.value}-{lt}" for m, lt in QLOCK_CELLS]
+
+
+@pytest.mark.parametrize("mech,lock_type", QLOCK_CELLS, ids=QLOCK_IDS)
+def test_qlock_matches_golden(mech, lock_type):
+    golden = GOLDEN["fingerprints"][mech.value][f"qlock_{lock_type}"]
+    got = qlock_fingerprint(mech, GOLDEN["n_processors"], lock_type)
+    assert got == golden, (
+        f"{mech.value} qlock_{lock_type} fingerprint drifted:\n"
+        + _diff(golden, got))
+
+
+def test_golden_omits_unsupported_qlock_cells():
+    # rw over MAO is refused by construction — the golden must not
+    # record a fingerprint for it (and must record every supported cell)
+    for m in MECHS:
+        recorded = {k for k in GOLDEN["fingerprints"][m.value]
+                    if k.startswith("qlock_")}
+        expected = {f"qlock_{lt}" for lt in QLOCK_TYPES
+                    if qlock_supported(lt, m)}
+        assert recorded == expected, m.value
 
 
 def _traced_run(mech: Mechanism) -> tuple[dict, list]:
@@ -142,6 +169,23 @@ def test_snapshot_restored_lock_matches_golden(mech, warm_cache):
         + _diff(golden, first))
     assert restored == golden, (
         f"{mech.value} snapshot-restored run drifted from golden:\n"
+        + _diff(golden, restored))
+
+
+@pytest.mark.parametrize("mech,lock_type",
+                         [(Mechanism.AMO, "cna"), (Mechanism.LLSC, "mcs")],
+                         ids=["amo-cna", "llsc-mcs"])
+def test_snapshot_restored_qlock_matches_golden(mech, lock_type, warm_cache):
+    golden = GOLDEN["fingerprints"][mech.value][f"qlock_{lock_type}"]
+    first = qlock_fingerprint(mech, GOLDEN["n_processors"], lock_type,
+                              warm_cache=warm_cache)
+    restored = qlock_fingerprint(mech, GOLDEN["n_processors"], lock_type,
+                                 warm_cache=warm_cache)
+    assert first == golden, (
+        f"{mech.value} qlock_{lock_type} warm-start (miss path) drifted:\n"
+        + _diff(golden, first))
+    assert restored == golden, (
+        f"{mech.value} qlock_{lock_type} snapshot-restored run drifted:\n"
         + _diff(golden, restored))
 
 

@@ -1,0 +1,254 @@
+"""Unit and machine-level tests for the ReorderInjector.
+
+The relaxed-ordering universe weakens the fabric's per-(src,dst) FIFO
+guarantee to per-(src,dst,line).  These tests pin down the contract:
+
+- the jitter stream is seed-deterministic and window-bounded, and kind
+  filtering never perturbs the jitter of the kinds that remain;
+- same-line traffic between a node pair is still delivered in injection
+  order (the coherence state machines' requirement);
+- cross-line traffic between a pair really does get reordered (the
+  universe is not vacuous);
+- functional outcomes (counter exactness, coherence invariants) survive
+  the relaxation;
+- with no injector installed the fabric takes the identical fast path,
+  so runs are cycle-identical to baseline.
+"""
+
+import pytest
+
+from repro.config.mechanism import Mechanism
+from repro.config.parameters import SystemConfig
+from repro.core.machine import Machine
+from repro.network.faults import ReorderInjector
+from repro.network.message import Message, MessageKind
+
+
+def _msg(kind, addr=None):
+    return Message(kind=kind, src_node=0, dst_node=1, addr=addr)
+
+
+KINDS = [MessageKind.GET_S, MessageKind.DATA_X, MessageKind.WORD_UPDATE,
+         MessageKind.INVALIDATE, MessageKind.AMO_REQUEST]
+
+
+def _stream(injector, n=64):
+    return [injector.extra_delay(_msg(KINDS[i % len(KINDS)]))
+            for i in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# injector unit behaviour
+# ---------------------------------------------------------------------------
+
+def test_same_seed_same_jitter():
+    a = _stream(ReorderInjector(seed=42, window_cycles=120))
+    b = _stream(ReorderInjector(seed=42, window_cycles=120))
+    assert a == b
+    assert any(d > 0 for d in a)
+
+
+def test_different_seeds_diverge():
+    a = _stream(ReorderInjector(seed=1, window_cycles=120))
+    b = _stream(ReorderInjector(seed=2, window_cycles=120))
+    assert a != b
+
+
+def test_jitter_bounded_by_window():
+    window = 23
+    delays = _stream(ReorderInjector(seed=9, window_cycles=window), n=256)
+    assert all(0 <= d <= window for d in delays)
+    assert max(delays) > 0
+
+
+def test_stream_independent_of_delay_injector_stream():
+    # same seed as a DelayInjector must not produce the same stream —
+    # the two injectors hash distinct domains so arming both gives
+    # independent perturbations
+    from repro.network.faults import DelayInjector
+    reorder = [ReorderInjector(seed=7, window_cycles=100).extra_delay(
+        _msg(MessageKind.GET_S)) for _ in range(1)]
+    delay = [DelayInjector(seed=7, max_extra_cycles=100).extra_delay(
+        _msg(MessageKind.GET_S)) for _ in range(1)]
+    streams_a = _stream(ReorderInjector(seed=7, window_cycles=100), n=32)
+    streams_b = _stream(DelayInjector(seed=7, max_extra_cycles=100), n=32)
+    assert streams_a != streams_b
+    del reorder, delay
+
+
+def test_kind_filter_blocks_other_kinds():
+    inj = ReorderInjector(seed=3, window_cycles=200,
+                          kinds={MessageKind.WORD_UPDATE})
+    for kind in KINDS:
+        if kind is MessageKind.WORD_UPDATE:
+            continue
+        assert inj.extra_delay(_msg(kind)) == 0
+
+
+def test_kind_filter_preserves_matched_stream():
+    # filtered kinds must not consume sequence numbers (kind-subset
+    # shrinking relies on this, exactly as for DelayInjector)
+    unfiltered = ReorderInjector(seed=5, window_cycles=200,
+                                 kinds={MessageKind.WORD_UPDATE})
+    wanted = [unfiltered.extra_delay(_msg(MessageKind.WORD_UPDATE))
+              for _ in range(32)]
+
+    interleaved = ReorderInjector(seed=5, window_cycles=200,
+                                  kinds={MessageKind.WORD_UPDATE})
+    got = []
+    for _ in range(32):
+        interleaved.extra_delay(_msg(MessageKind.GET_S))
+        got.append(interleaved.extra_delay(_msg(MessageKind.WORD_UPDATE)))
+        interleaved.extra_delay(_msg(MessageKind.INVALIDATE))
+    assert got == wanted
+
+
+def test_zero_window_rejected():
+    # window 0 is the strict-FIFO universe, expressed by not installing
+    with pytest.raises(ValueError):
+        ReorderInjector(seed=0, window_cycles=0)
+    with pytest.raises(ValueError):
+        ReorderInjector(seed=0, window_cycles=-4)
+
+
+def test_order_key_normalizes_to_lines():
+    inj = ReorderInjector(seed=0, window_cycles=1, line_bytes=128)
+    same_line_a = inj.order_key(_msg(MessageKind.GET_S, addr=256))
+    same_line_b = inj.order_key(_msg(MessageKind.DATA_X, addr=300))
+    other_line = inj.order_key(_msg(MessageKind.GET_S, addr=512))
+    assert same_line_a == same_line_b
+    assert same_line_a != other_line
+
+
+def test_order_key_serializes_addressless_messages():
+    inj = ReorderInjector(seed=0, window_cycles=1, line_bytes=128)
+    a = inj.order_key(_msg(MessageKind.AM_REQUEST))
+    b = inj.order_key(_msg(MessageKind.AM_REPLY))
+    assert a == b  # no address => conservative per-pair serialization
+
+
+# ---------------------------------------------------------------------------
+# fabric-level ordering semantics
+# ---------------------------------------------------------------------------
+
+def _traced_machine(n_cpus, seed, window, kinds=None):
+    """Machine with a reorder injector plus injection/delivery traces."""
+    machine = Machine(SystemConfig.table1(n_cpus))
+    injector = ReorderInjector.install(machine, seed, window, kinds)
+    net = machine.net
+    line_bytes = machine.config.line_bytes
+
+    injections, deliveries = [], []
+
+    orig_schedule = net._schedule_delivery
+
+    def traced_schedule(msg, when):
+        line = None if msg.addr is None else msg.addr // line_bytes
+        injections.append((msg.src_node, msg.dst_node, line, msg.msg_id))
+        orig_schedule(msg, when)
+
+    orig_deliver = net._deliver
+
+    def traced_deliver(msg):
+        line = None if msg.addr is None else msg.addr // line_bytes
+        deliveries.append((msg.src_node, msg.dst_node, line, msg.msg_id))
+        orig_deliver(msg)
+
+    net._schedule_delivery = traced_schedule
+    net._deliver = traced_deliver
+    return machine, injector, injections, deliveries
+
+
+def _contended_counter(machine, mech, words=4, iters=3):
+    cfg = machine.config
+    vars_ = [machine.alloc(f"ctr{i}", home_node=0) for i in range(words)]
+    # spread targets across lines so cross-line same-pair traffic exists
+    assert len({v.addr // cfg.line_bytes for v in vars_}) > 1
+
+    def thread(proc):
+        from repro.sync.rmw import fetch_add
+        for i in range(iters):
+            var = vars_[(proc.cpu_id + i) % words]
+            yield from fetch_add(proc, mech, var.addr, 1)
+
+    machine.run_threads(thread, max_events=6_000_000)
+    return vars_
+
+
+def test_same_line_fifo_preserved_and_cross_line_reordered():
+    machine, injector, injections, deliveries = _traced_machine(
+        8, seed=1234, window=400)
+    vars_ = _contended_counter(machine, Mechanism.ATOMIC)
+
+    assert injector.messages_jittered > 0
+    # every message injected through the slow path was delivered
+    assert sorted(m for *_k, m in injections) == \
+        sorted(m for *_k, m in deliveries)
+
+    # per-(src,dst,line) delivery order == injection order
+    def per_key_order(events):
+        order = {}
+        for src, dst, line, mid in events:
+            order.setdefault((src, dst, line), []).append(mid)
+        return order
+
+    inj_order = per_key_order(injections)
+    del_order = per_key_order(deliveries)
+    assert inj_order == del_order
+
+    # ...but per-(src,dst) order (ignoring the line) was actually
+    # relaxed somewhere: the universe must not be vacuous
+    def per_pair_order(events):
+        order = {}
+        for src, dst, _line, mid in events:
+            order.setdefault((src, dst), []).append(mid)
+        return order
+
+    assert per_pair_order(injections) != per_pair_order(deliveries)
+
+    # functional outcome untouched by the relaxation
+    total = sum(machine.peek(v.addr) for v in vars_)
+    assert total == 8 * 3
+    machine.check_coherence_invariants()
+
+
+@pytest.mark.parametrize("mech", [Mechanism.AMO, Mechanism.LLSC,
+                                  Mechanism.ACTMSG])
+def test_counter_exact_under_reordering(mech):
+    for seed in (0, 7, 99):
+        machine = Machine(SystemConfig.table1(8))
+        ReorderInjector.install(machine, seed, window_cycles=300)
+        vars_ = _contended_counter(machine, mech)
+        assert sum(machine.peek(v.addr) for v in vars_) == 8 * 3
+        machine.check_coherence_invariants()
+
+
+def test_install_is_deterministic():
+    def run(seed):
+        machine = Machine(SystemConfig.table1(8))
+        ReorderInjector.install(machine, seed, window_cycles=250)
+        _contended_counter(machine, Mechanism.ATOMIC)
+        return machine.last_completion_time
+
+    assert run(13) == run(13)
+
+
+def test_not_installed_is_cycle_identical_to_baseline():
+    # installing-and-removing nothing: a machine that never had an
+    # injector must behave exactly like one constructed fresh — i.e.
+    # the attribute default keeps the fast path; this guards against
+    # the reorder hook accidentally taxing the default configuration
+    def run():
+        machine = Machine(SystemConfig.table1(8))
+        assert machine.net.reorder_injector is None
+        _contended_counter(machine, Mechanism.ATOMIC)
+        return machine.last_completion_time, \
+            machine.net.stats.total_messages
+
+    assert run() == run()
+
+
+def test_install_uses_machine_line_size():
+    machine = Machine(SystemConfig.table1(4))
+    inj = ReorderInjector.install(machine, seed=0, window_cycles=10)
+    assert inj.line_bytes == machine.config.line_bytes

@@ -18,6 +18,7 @@ from repro.runner.spec import RunSpec, execute_spec
 from repro.shard.session import ShardSessionError, run_sharded
 from repro.workloads.barrier import run_barrier_workload
 from repro.workloads.locks import run_lock_workload
+from repro.workloads.qlocks import run_qlock_workload
 
 BARRIER_KW = dict(n_processors=32, episodes=2, warmup_episodes=1)
 LOCK_KW = dict(n_processors=32, acquisitions_per_cpu=2, warmup_per_cpu=1)
@@ -61,6 +62,25 @@ def test_sharded_lock_matches_single_process(shards):
     kwargs = dict(LOCK_KW, mechanism=Mechanism.AMO)
     ref = run_lock_workload(**kwargs)
     got = run_sharded("lock", kwargs, shards=shards)
+    assert got.total_cycles == ref.total_cycles
+    _assert_traffic_equal(got.traffic, ref.traffic)
+    assert got.acquisitions == ref.acquisitions
+    assert sorted(got.acquire_latency._samples) == \
+        sorted(ref.acquire_latency._samples)
+
+
+@pytest.mark.parametrize("lock_type,mechanism",
+                         [("mcs", Mechanism.AMO), ("cna", Mechanism.LLSC),
+                          ("rw", Mechanism.AMO)],
+                         ids=["mcs-amo", "cna-llsc", "rw-amo"])
+def test_sharded_qlock_matches_single_process(lock_type, mechanism):
+    """Queue locks split per-CPU queue-node words across shards while
+    the tail word's home serves every shard; the offline grant-history
+    check is skipped sharded (spans are shard-local) so parity on
+    cycles, traffic, and latencies is the contract here."""
+    kwargs = dict(LOCK_KW, mechanism=mechanism, lock_type=lock_type)
+    ref = run_qlock_workload(**kwargs)
+    got = run_sharded("qlock", kwargs, shards=2)
     assert got.total_cycles == ref.total_cycles
     _assert_traffic_equal(got.traffic, ref.traffic)
     assert got.acquisitions == ref.acquisitions

@@ -380,6 +380,24 @@ def test_workload_results_identical_across_backends(backend):
         (ref.cycles_per_episode, ref.events_dispatched)
 
 
+@pytest.mark.parametrize("lock_type,mech", [("mcs", "amo"), ("cna", "llsc"),
+                                            ("rw", "atomic")],
+                         ids=["mcs-amo", "cna-llsc", "rw-atomic"])
+def test_qlock_results_identical_across_backends(backend, lock_type, mech):
+    """Queue-lock workloads (spin_until wake-ups, CAS retry loops, CNA
+    secondary-queue scans) on every backend vs reference, including the
+    offline grant-history verification which runs in both."""
+    from repro.config.mechanism import Mechanism
+    from repro.workloads.qlocks import run_qlock_workload
+
+    kw = dict(lock_type=lock_type, acquisitions_per_cpu=2, warmup_per_cpu=1)
+    res = run_qlock_workload(16, Mechanism(mech), backend=backend, **kw)
+    ref = run_qlock_workload(16, Mechanism(mech), backend="reference", **kw)
+    assert (res.total_cycles, res.events_dispatched) == \
+        (ref.total_cycles, ref.events_dispatched)
+    assert res.traffic.messages == ref.traffic.messages
+
+
 # ---------------------------------------------------------------------------
 # accel selection machinery
 # ---------------------------------------------------------------------------
@@ -458,3 +476,18 @@ def test_fuzz_smoke_accel(seed):
                             seed=seed, ops_per_cpu=2, backend="reference")
     assert (accel["cycles"], accel["events_dispatched"]) == \
         (ref["cycles"], ref["events_dispatched"])
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_fuzz_smoke_accel_qlock_reorder(seed):
+    """Queue-lock fuzz points in the relaxed-ordering universe on the
+    accel core: the ReorderInjector's jittered delivery keys must land
+    identically on both backends."""
+    from repro.check.fuzz import run_fuzz_schedule
+
+    kw = dict(n_processors=8, workload="qlock_cna", seed=seed,
+              ops_per_cpu=2, max_extra=120, reorder_window=40)
+    accel = run_fuzz_schedule(backend="accel", **kw)
+    assert accel["ok"], accel
+    ref = run_fuzz_schedule(backend="reference", **kw)
+    assert accel == ref
