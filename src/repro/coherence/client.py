@@ -136,10 +136,24 @@ class CacheController:
         l2_line = self.l2.lookup(addr)
         if l2_line is not None:
             self.l2.hits += 1
-            self._fill_l1(addr, l2_line.read_word(addr))
-            return l2_line.read_word(addr)
+            value = l2_line.read_word(addr)
+            self._fill_l1(addr, value)
+            return value
         self.l2.misses += 1
-        line = yield from self._fetch(addr, exclusive=False)
+        value = yield from self._load_miss(addr)
+        return value
+
+    def _load_miss(self, addr: int):
+        """Coroutine: the both-levels-missed tail of :meth:`load`.
+
+        Split out so the compiled backend's load port can run the L1/L2
+        hit levels in C and delegate only this cold path to Python.
+        """
+        # Bare yield (not ``yield from``): the kernel drives the fetch
+        # through its flattened subcall stack, so the many resumes of a
+        # miss transaction cost one frame each instead of walking this
+        # delegation chain (see Simulator.spawn).
+        line = yield self._fetch(addr, exclusive=False)
         value = line.read_word(addr)
         if self.l2.probe(addr) is not None:
             # Fill L1 only from resident lines (a poisoned fetch returns
@@ -154,7 +168,7 @@ class CacheController:
         fetched = False
         if l2_line is None or l2_line.state is not LineState.EXCLUSIVE:
             self.l2.record_miss()
-            l2_line = yield from self._fetch(addr, exclusive=True)
+            l2_line = yield self._fetch(addr, exclusive=True)
             fetched = True
         else:
             self.l2.record_hit()
@@ -176,7 +190,7 @@ class CacheController:
     # ------------------------------------------------------------------
     def load_linked(self, addr: int):
         """Coroutine: LL — load and arm the reservation."""
-        value = yield from self.load(addr)
+        value = yield self.load(addr)
         self._reservation = line_base(addr)
         return value
 
@@ -200,7 +214,7 @@ class CacheController:
             self.sc_failures += 1
             return False
         if l2_line.state is not LineState.EXCLUSIVE:
-            l2_line = yield from self._fetch(addr, exclusive=True)
+            l2_line = yield self._fetch(addr, exclusive=True)
             if self._reservation != line:
                 self._release_rmw_lock(line)
                 self.sc_failures += 1
@@ -238,8 +252,8 @@ class CacheController:
         base = self.config.processor.llsc_retry_penalty_cycles
         attempt = 0
         while True:
-            old = yield from self.load_linked(addr)
-            ok = yield from self.store_conditional(addr, fn(old))
+            old = yield self.load_linked(addr)
+            ok = yield self.store_conditional(addr, fn(old))
             if ok:
                 return old
             ceiling = min(base << min(attempt, 8),
@@ -262,7 +276,7 @@ class CacheController:
         l2_line = self.l2.lookup(addr)
         if l2_line is None or l2_line.state is not LineState.EXCLUSIVE:
             self.l2.record_miss()
-            l2_line = yield from self._fetch(addr, exclusive=True)
+            l2_line = yield self._fetch(addr, exclusive=True)
         else:
             self.l2.record_hit()
             # hold the line through the ALU window (the hardware keeps
@@ -378,7 +392,7 @@ class CacheController:
         try:
             sig = Signal()
             kind = MessageKind.GET_X if exclusive else MessageKind.GET_S
-            yield from self.hub.egress_send(Message(
+            yield self.hub.egress_send(Message(
                 kind=kind, src_node=self.node, dst_node=home_of(addr),
                 addr=addr, reply_to=sig, requester=self.cpu_id))
             reply = yield sig.wait()

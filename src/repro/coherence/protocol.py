@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING
 from repro.coherence.directory import Directory, DirState
 from repro.mem.address import line_base, word_base
 from repro.network.message import Message, MessageKind
-from repro.sim.backends.wave import wave_expander
+from repro.sim.backends.wave import wave_builder, wave_expander
 from repro.sim.primitives import Signal, Timeout
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -57,7 +57,7 @@ class HomeEngine:
                  "writebacks_served", "invalidations_sent",
                  "interventions_sent", "word_updates_pushed", "_t_dir",
                  "_name_get_s", "_name_get_x", "_name_wb", "_name_readfill",
-                 "_expand_wave")
+                 "_expand_wave", "_build_wave")
 
     def __init__(self, hub: "Hub") -> None:
         self.hub = hub
@@ -87,6 +87,9 @@ class HomeEngine:
         # reference bit-peel everywhere else (identical order either way)
         self._expand_wave = wave_expander(self.config.kernel_backend,
                                           self.config.n_processors)
+        # wave construction: the whole message batch is allocated in C
+        # on the accel backend (same slots, ids, and order either way)
+        self._build_wave = wave_builder(self.config.kernel_backend)
 
     # ------------------------------------------------------------------
     # dispatch
@@ -122,48 +125,58 @@ class HomeEngine:
     # GET_S — read miss
     # ------------------------------------------------------------------
     def _serve_get_s(self, msg: Message):
+        # Split so the compiled backend's GET_S port can run the clean
+        # path in C and delegate only the 3-hop tail to Python.
         self.get_s_served += 1
-        line = line_base(msg.addr)
-        ent = self.directory.entry(line)
+        ent = self.directory.entry(line_base(msg.addr))
         yield ent.busy.acquire()
         try:
             yield self._t_dir
-            requester = msg.requester
-            if ent.state is DirState.EXCLUSIVE and ent.owner != requester:
-                # 3-hop: downgrade the owner; data flows owner->requester,
-                # sharing writeback flows owner->home.
-                words = yield from self._intervene(
-                    owner=ent.owner, requester_msg=msg, downgrade=True)
-                self.backing.write_line(line, words)
-                ent.sharer_mask = (1 << ent.owner) | (1 << requester)
-                ent.owner = None
-                ent.state = DirState.SHARED
+            if ent.state is DirState.EXCLUSIVE:
+                yield from self._get_s_owned(msg, ent)
             else:
-                if ent.state is DirState.EXCLUSIVE:
-                    # owner re-fetching after silent drop is impossible in
-                    # this model (clean evictions notify); treat as error.
-                    raise RuntimeError(f"owner {requester} re-requested {ent!r}")
-                # Clean read: memory supplies the data.  The directory
-                # slot is held only for the lookup/state update; the DRAM
-                # access and reply injection proceed after release, so a
-                # read *storm* serializes at (directory + channel
-                # occupancy), not at full access latency — Origin-style
-                # pipelined reads.  Racing invalidations/updates against
-                # the in-flight reply are handled by the requester's MSHR
-                # logic (see CacheController._fetch).
-                #
-                # Note: if the AMU caches a newer value for a word in this
-                # line, the reply is deliberately *stale* — the paper's
-                # release-consistency semantics (§3.2): AMU values become
-                # visible at the put (test match / eviction), not before.
-                words = self.backing.read_line(line, self.config.line_bytes)
-                ent.sharer_mask |= 1 << requester
-                ent.state = DirState.SHARED
-                ent.version += 1
-                self.sim.spawn(self._finish_clean_read(msg, words),
-                               name=self._name_readfill)
+                self._get_s_clean(msg, ent)
         finally:
             ent.busy.release()
+
+    def _get_s_owned(self, msg: Message, ent):
+        """Coroutine: the GET_S tail when a cache holds the line exclusive.
+
+        3-hop: downgrade the owner; data flows owner->requester, sharing
+        writeback flows owner->home.
+        """
+        requester = msg.requester
+        if ent.owner == requester:
+            # owner re-fetching after silent drop is impossible in
+            # this model (clean evictions notify); treat as error.
+            raise RuntimeError(f"owner {requester} re-requested {ent!r}")
+        words = yield from self._intervene(
+            owner=ent.owner, requester_msg=msg, downgrade=True)
+        self.backing.write_line(ent.line_addr, words)
+        ent.sharer_mask = (1 << ent.owner) | (1 << requester)
+        ent.owner = None
+        ent.state = DirState.SHARED
+
+    def _get_s_clean(self, msg: Message, ent) -> None:
+        """Clean read: memory supplies the data.  The directory slot is
+        held only for the lookup/state update; the DRAM access and reply
+        injection proceed after release, so a read *storm* serializes at
+        (directory + channel occupancy), not at full access latency —
+        Origin-style pipelined reads.  Racing invalidations/updates
+        against the in-flight reply are handled by the requester's MSHR
+        logic (see CacheController._fetch).
+
+        Note: if the AMU caches a newer value for a word in this line,
+        the reply is deliberately *stale* — the paper's
+        release-consistency semantics (§3.2): AMU values become visible
+        at the put (test match / eviction), not before.
+        """
+        words = self.backing.read_line(ent.line_addr, self.config.line_bytes)
+        ent.sharer_mask |= 1 << msg.requester
+        ent.state = DirState.SHARED
+        ent.version += 1
+        self.sim.spawn(self._finish_clean_read(msg, words),
+                       name=self._name_readfill)
 
     def _finish_clean_read(self, msg: Message, words):
         """Coroutine: the pipelined tail of a clean GET_S (DRAM + reply)."""
@@ -193,7 +206,7 @@ class HomeEngine:
                 # data went owner->requester directly; nothing more to send
             elif ent.state is DirState.EXCLUSIVE:
                 # already the owner (racing duplicate); just re-acknowledge
-                yield from self._reply_data_x(msg, ent)
+                yield self._reply_data_x(msg, ent)
             else:
                 if ent.amu_sharer:
                     yield from self.hub.amu.flush_line(line)
@@ -203,28 +216,27 @@ class HomeEngine:
                     fanout = inv_mask.bit_count()
                     self._count_invalidations(fanout)
                     latch = AckLatch(fanout)
-                    wave = [Message(
-                        kind=MessageKind.INVALIDATE,
-                        src_node=self.node, dst_node=node,
-                        addr=msg.addr, dst_cpu=cpu, payload=latch)
-                        for cpu, node in self._expand_wave(
-                            inv_mask, self.config.cpus_per_node)]
+                    wave = self._build_wave(
+                        MessageKind.INVALIDATE, self.node, msg.addr, None,
+                        latch, self._expand_wave(
+                            inv_mask, self.config.cpus_per_node))
                     yield self.hub.egress_wave(wave).wait()
                     yield latch.signal.wait()
-                yield from self._reply_data_x(msg, ent)
+                # bare yield: kernel-flattened subcall (one frame/resume)
+                yield self._reply_data_x(msg, ent)
         finally:
             ent.busy.release()
 
     def _reply_data_x(self, msg: Message, ent) -> object:
         line = ent.line_addr
-        yield from self.dram.access_line()
+        yield self.dram.access_line()
         words = self.backing.read_line(line, self.config.line_bytes)
         ent.sharer_mask = 0
         ent.owner = msg.requester
         ent.state = DirState.EXCLUSIVE
         ent.amu_sharer = False
         ent.version += 1
-        yield from self.hub.egress_send(Message(
+        yield self.hub.egress_send(Message(
             kind=MessageKind.DATA_X, src_node=self.node,
             dst_node=msg.src_node, addr=msg.addr, payload=words,
             reply_to=msg.reply_to, requester=msg.requester))
@@ -376,12 +388,10 @@ class HomeEngine:
                     if obs is not None:
                         obs.update_fanout.observe(fanout)
                     word = word_base(addr)
-                    updates = [Message(
-                        kind=MessageKind.WORD_UPDATE, src_node=self.node,
-                        dst_node=node, addr=word, value=value,
-                        dst_cpu=cpu)
-                        for cpu, node in self._expand_wave(
-                            ent.sharer_mask, self.config.cpus_per_node)]
+                    updates = self._build_wave(
+                        MessageKind.WORD_UPDATE, self.node, word, value,
+                        None, self._expand_wave(
+                            ent.sharer_mask, self.config.cpus_per_node))
                     if self.config.network.multicast_updates:
                         # hardware multicast (footnote 2): the routers
                         # replicate the packet — one injection slot
@@ -394,12 +404,10 @@ class HomeEngine:
                 fanout = ent.sharer_mask.bit_count()
                 self._count_invalidations(fanout)
                 latch = AckLatch(fanout)
-                wave = [Message(
-                    kind=MessageKind.INVALIDATE, src_node=self.node,
-                    dst_node=node, addr=addr, dst_cpu=cpu,
-                    payload=latch)
-                    for cpu, node in self._expand_wave(
-                        ent.sharer_mask, self.config.cpus_per_node)]
+                wave = self._build_wave(
+                    MessageKind.INVALIDATE, self.node, addr, None, latch,
+                    self._expand_wave(
+                        ent.sharer_mask, self.config.cpus_per_node))
                 yield self.hub.egress_wave(wave).wait()
                 yield latch.signal.wait()
                 ent.sharer_mask = 0

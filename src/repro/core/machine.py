@@ -35,6 +35,7 @@ from repro.mem.dram import Dram
 from repro.network.fabric import Network
 from repro.network.message import Message, MessageKind
 from repro.sim.backends import create_simulator
+from repro.sim.backends.model import model_classes
 from repro.sim.primitives import Resource, Signal, Timeout, all_of
 
 
@@ -123,6 +124,18 @@ class _EgressWave:
 class Hub:
     """One node's hub chip (Figure 2): MC, directory, NI, AMU, AM endpoint."""
 
+    #: egress-wave class; the accel backend substitutes a subclass whose
+    #: per-packet callbacks are compiled (repro.sim.backends.model)
+    _wave_cls = _EgressWave
+
+    #: cache-controller class override; None means the reference
+    #: CacheController (set on the accel hub subclass so Processor picks
+    #: up the compiled-coroutine controller without an import cycle)
+    _controller_cls = None
+
+    #: home-engine class override; None means the reference HomeEngine
+    _home_cls = None
+
     __slots__ = ("machine", "node", "sim", "config", "net", "backing",
                  "dram", "_egress", "home_engine", "amu", "actmsg",
                  "controllers", "_t_egress_update", "_t_egress_ctrl",
@@ -137,7 +150,7 @@ class Hub:
         self.backing = machine.backing
         self.dram = Dram(self.sim, node, self.config.dram)
         self._egress = Resource(name=f"egress[{node}]")
-        self.home_engine = HomeEngine(self)
+        self.home_engine = (self._home_cls or HomeEngine)(self)
         self.amu = ActiveMemoryUnit(self)
         self.actmsg = ActiveMessageEndpoint(self)
         self.net.attach(node, self.receive)
@@ -208,7 +221,7 @@ class Hub:
         else:
             occ = self._t_egress_ctrl.delay
         done = Signal(name=f"egress-wave[{self.node}]")
-        _EgressWave(self, messages, occ, done).start()
+        self._wave_cls(self, messages, occ, done).start()
         return done
 
     # ------------------------------------------------------------------
@@ -253,9 +266,10 @@ class Machine:
         self.config = config or SystemConfig()
         self.sim = create_simulator(self.config.kernel_backend)
         self.backing = BackingStore()
-        self.net = Network(self.sim, self.config.n_nodes, self.config.network)
+        net_cls, hub_cls = model_classes(self.config.kernel_backend)
+        self.net = net_cls(self.sim, self.config.n_nodes, self.config.network)
         self.address_space = AddressSpace(self.config.n_nodes)
-        self.hubs = [Hub(self, node) for node in range(self.config.n_nodes)]
+        self.hubs = [hub_cls(self, node) for node in range(self.config.n_nodes)]
         self.cpus: list[Processor] = []
         #: simulated time when the last thread of the most recent
         #: :meth:`run_threads` finished (excludes stale timer events)

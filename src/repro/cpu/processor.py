@@ -40,7 +40,8 @@ class Processor:
         self.sim = hub.sim
         self.config = hub.config
         self.machine: "Machine" = hub.machine
-        self.controller = CacheController(cpu_id, hub)
+        ctrl_cls = hub._controller_cls or CacheController
+        self.controller = ctrl_cls(cpu_id, hub)
         self.mao_port = MaoPort(cpu_id, hub)
         self._am_seq = 0
         self.amo_ops = 0
@@ -58,43 +59,47 @@ class Processor:
     # ------------------------------------------------------------------
     # coherent memory operations
     # ------------------------------------------------------------------
+    # Controller coroutines are bare-yielded (not ``yield from``) to
+    # the kernel's flattened subcall stack: each resume of a multi-hop
+    # transaction costs one frame instead of walking this delegation
+    # chain (see Simulator.spawn and Processor.spin_until).
     @traced_op
     def load(self, addr: int):
         """Coroutine: coherent load; returns the word value."""
         yield self._t_overhead
-        value = yield from self.controller.load(addr)
+        value = yield self.controller.load(addr)
         return value
 
     @traced_op
     def store(self, addr: int, value: int):
         """Coroutine: coherent store."""
         yield self._t_overhead
-        yield from self.controller.store(addr, value)
+        yield self.controller.store(addr, value)
 
     @traced_op
     def load_linked(self, addr: int):
         yield self._t_overhead
-        value = yield from self.controller.load_linked(addr)
+        value = yield self.controller.load_linked(addr)
         return value
 
     @traced_op
     def store_conditional(self, addr: int, value: int):
         yield self._t_overhead
-        ok = yield from self.controller.store_conditional(addr, value)
+        ok = yield self.controller.store_conditional(addr, value)
         return ok
 
     @traced_op
     def llsc_rmw(self, addr: int, fn: Callable[[int], int]):
         """Coroutine: LL/SC retry loop; returns the pre-RMW value."""
         yield self._t_overhead
-        old = yield from self.controller.ll_sc_rmw(addr, fn)
+        old = yield self.controller.ll_sc_rmw(addr, fn)
         return old
 
     @traced_op
     def atomic_rmw(self, addr: int, fn: Callable[[int], int]):
         """Coroutine: processor-side atomic instruction; returns old value."""
         yield self._t_overhead
-        old = yield from self.controller.atomic_rmw(addr, fn)
+        old = yield self.controller.atomic_rmw(addr, fn)
         return old
 
     @traced_op
@@ -131,7 +136,7 @@ class Processor:
         yield self._t_overhead
         self.amo_ops += 1
         sig = Signal()
-        yield from self.hub.egress_send(Message(
+        yield self.hub.egress_send(Message(
             kind=MessageKind.AMO_REQUEST, src_node=self.node,
             dst_node=home_of(addr), addr=addr,
             payload=AmoCommand(op=op, operand=operand, test=test, push=push),
@@ -162,19 +167,19 @@ class Processor:
     def mao_rmw(self, addr: int, op: str = "fetchadd", operand: Any = 1):
         """Coroutine: uncached memory-side atomic; returns old value."""
         yield self._t_overhead
-        old = yield from self.mao_port.rmw(addr, op, operand)
+        old = yield self.mao_port.rmw(addr, op, operand)
         return old
 
     @traced_op
     def uncached_read(self, addr: int):
         yield self._t_overhead
-        value = yield from self.controller.uncached_read(addr)
+        value = yield self.controller.uncached_read(addr)
         return value
 
     @traced_op
     def uncached_write(self, addr: int, value: int):
         yield self._t_overhead
-        yield from self.controller.uncached_write(addr, value)
+        yield self.controller.uncached_write(addr, value)
 
     # ------------------------------------------------------------------
     # active messages

@@ -93,8 +93,8 @@ def main(argv=None) -> int:
                     "synchronization paper (IPDPS 2004).")
     parser.add_argument("experiment",
                         choices=["table2", "fig5", "table3", "fig6",
-                                 "table4", "fig7", "fig1", "amo-model",
-                                 "amo-tree", "fuzz", "all"])
+                                 "table4", "fig7", "qlock", "fig1",
+                                 "amo-model", "amo-tree", "fuzz", "all"])
     parser.add_argument("--cpus", type=int, nargs="+",
                         help="processor counts to evaluate")
     parser.add_argument("--episodes", type=int, default=3,
@@ -244,6 +244,17 @@ def main(argv=None) -> int:
                                       else QUICK_FIG7_CPUS))
                          if p in cpus]
             results.append(ex.experiment_fig7(locks, cpu_counts=fig7_cpus))
+    if want in ("qlock", "all"):
+        cpus = _sizes(args, TABLE4_CPUS, QUICK_LOCK_CPUS)
+        print(f"# running queue-lock suite on CPUs={cpus} ...",
+              file=sys.stderr)
+        qlocks = ex.run_qlock_suite(cpus,
+                                    acquisitions_per_cpu=args.acquisitions,
+                                    runner=runner, metrics=args.metrics,
+                                    metrics_interval=args.metrics_interval,
+                                    shards=args.shards,
+                                    backend=args.backend)
+        results.append(ex.experiment_qlock(qlocks))
     if want == "amo-tree":
         cpus = _sizes(args, (16, 32, 64, 128, 256), (16, 32, 64))
         print(f"# running AMO tree-crossover search on CPUs={cpus} ...",

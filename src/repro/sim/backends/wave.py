@@ -41,8 +41,10 @@ except ImportError:  # pragma: no cover - exercised only without numpy
 __all__ = [
     "VECTOR_MIN_CPUS",
     "VECTOR_MIN_FANOUT",
+    "build_wave_py",
     "expand_wave_np",
     "expand_wave_py",
+    "wave_builder",
     "wave_expander",
 ]
 
@@ -77,6 +79,39 @@ def expand_wave_np(mask: int, cpus_per_node: int) -> List[Tuple[int, int]]:
     cpus = _np.flatnonzero(bits)
     nodes = cpus // cpus_per_node
     return list(zip(cpus.tolist(), nodes.tolist()))
+
+
+def build_wave_py(kind, src_node, addr, value, payload, pairs):
+    """The reference wave construction: one :class:`Message` per
+    ``(cpu, node)`` pair, sharing the kind/addr/value/payload of the
+    whole wave.  Message ids are drawn from the global counter in pair
+    order, exactly like the inline list comprehensions this replaces."""
+    from repro.network.message import Message
+
+    return [Message(kind=kind, src_node=src_node, dst_node=node, addr=addr,
+                    value=value, payload=payload, dst_cpu=cpu)
+            for cpu, node in pairs]
+
+
+def wave_builder(backend: Optional[str]):
+    """Select the wave *construction* for one machine.
+
+    The home engine builds an N-target wave's message list in one call;
+    on the accel backend with an armed compiled core the whole batch is
+    allocated in C (``_accel_core.build_wave`` — same slots, same id
+    counter, same order), turning a 1024-way invalidation wave's
+    message construction into a single C loop.  Everything else gets
+    the pure-Python builder.
+    """
+    from repro.sim.backends import resolve_backend_name
+
+    if resolve_backend_name(backend) == "accel":
+        from repro.sim.backends.model import model_core
+
+        core = model_core()
+        if core is not None:
+            return core.build_wave
+    return build_wave_py
 
 
 def wave_expander(backend: Optional[str], n_processors: int) -> WaveExpander:

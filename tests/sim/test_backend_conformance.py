@@ -459,6 +459,186 @@ def test_accel_require_compiled_refuses_fallback():
 
 
 # ---------------------------------------------------------------------------
+# ported-handler message-trace equality (model-layer port)
+# ---------------------------------------------------------------------------
+#
+# The accel backend compiles whole protocol handlers (egress waves, the
+# cache-client load/spin/invalidate chain, the GET_S clean-read path and
+# its DATA_S read-fill).  Golden parity pins aggregate counts; these
+# tests pin the *full message trace* — every packet's kind, endpoints,
+# address, requester, size, and send cycle — for one scenario per ported
+# handler, reference vs accel.
+
+def _scenario_get_s_clean(machine):
+    """Clean-read GET_S fan: every CPU misses on an unowned line
+    (compiled CORO_GETS + CORO_RF read-fill on accel)."""
+    var = machine.alloc("v", home_node=1)
+    machine.poke(var.addr, 1234)
+
+    def thread(proc):
+        return (yield from proc.load(var.addr))
+
+    machine.run_threads(thread, max_events=2_000_000)
+
+
+def _scenario_get_s_owned(machine):
+    """3-hop GET_S: reads of a dirty remote line go through the
+    intervention tail (`_get_s_owned` stays Python on both backends)."""
+    var = machine.alloc("v", home_node=0)
+
+    def writer(proc):
+        yield from proc.store(var.addr, 99)
+
+    machine.run_threads(writer, cpus=[3], max_events=2_000_000)
+
+    def reader(proc):
+        return (yield from proc.load(var.addr))
+
+    machine.run_threads(reader, cpus=[0, 1, 2], max_events=2_000_000)
+
+
+def _scenario_get_x_release_wave(machine):
+    """Upgrade of a widely shared line: one GET_X triggers a full
+    invalidation wave (compiled per-packet wave callbacks on accel) and
+    the INV_ACK collection."""
+    var = machine.alloc("v", home_node=1)
+
+    def reader(proc):
+        return (yield from proc.load(var.addr))
+
+    machine.run_threads(reader, max_events=2_000_000)
+
+    def writer(proc):
+        yield from proc.store(var.addr, 5)
+
+    machine.run_threads(writer, cpus=[0], max_events=2_000_000)
+
+
+def _scenario_writeback(machine):
+    """Dirty-line conflict evictions: WRITEBACK/WRITEBACK_ACK traffic
+    (the tiny L2 below forces them) plus re-reads of evicted lines."""
+    hot = machine.alloc("hot", home_node=1)
+    fillers = [machine.alloc(f"f{i}", home_node=1) for i in range(8)]
+
+    # single writer: a concurrent second store would demote the dirty
+    # line via intervention and the eviction would be silent
+    def thread(proc):
+        yield from proc.store(hot.addr, 4242)
+        for f in fillers:
+            yield from proc.load(f.addr)
+        return (yield from proc.load(hot.addr))
+
+    machine.run_threads(thread, cpus=[0], max_events=2_000_000)
+
+
+def _scenario_word_update(machine):
+    """AMO with the put mechanism: the home AMU pushes WORD_UPDATEs into
+    sharer caches (compiled word-update delivery chain on accel)."""
+    var = machine.alloc("ctr", home_node=1)
+
+    def reader(proc):
+        return (yield from proc.load(var.addr))
+
+    machine.run_threads(reader, max_events=2_000_000)
+
+    def bumper(proc):
+        old = yield from proc.amo("fetchadd", var.addr, 1, push=True)
+        return old
+
+    machine.run_threads(bumper, cpus=[0], max_events=2_000_000)
+
+    machine.run_threads(reader, max_events=2_000_000)
+
+
+def _tiny_l2():
+    from repro.config.parameters import CacheConfig
+    return dict(l2=CacheConfig(size_bytes=4 * 128, ways=2, line_bytes=128,
+                               latency_cycles=10))
+
+
+_TRACE_SCENARIOS = {
+    "get_s_clean": (_scenario_get_s_clean, {}, {"GET_S", "DATA_S"}),
+    "get_s_owned": (_scenario_get_s_owned, {},
+                    {"GET_X", "INTERVENTION", "INTERVENTION_REPLY"}),
+    "get_x_release_wave": (_scenario_get_x_release_wave, {},
+                           {"INVALIDATE", "INV_ACK"}),
+    "writeback": (_scenario_writeback, _tiny_l2,
+                  {"WRITEBACK", "WRITEBACK_ACK"}),
+    "word_update": (_scenario_word_update, {},
+                    {"AMO_REQUEST", "WORD_UPDATE"}),
+}
+
+
+def _message_trace(backend, scenario_name):
+    from repro.config.parameters import SystemConfig
+    from repro.core.machine import Machine
+
+    scenario, overrides, _ = _TRACE_SCENARIOS[scenario_name]
+    if callable(overrides):
+        overrides = overrides()
+    machine = Machine(SystemConfig.table1(
+        8, kernel_backend=backend, **overrides))
+    trace = []
+
+    def hook(msg, dst):
+        trace.append((machine.sim.now, msg.kind.name, msg.src_node, dst,
+                      msg.addr, msg.requester, msg.size_bytes))
+
+    machine.net.subscribe_send(hook)
+    scenario(machine)
+    machine.check_coherence_invariants()
+    return trace, machine.sim.now, machine.sim.events_dispatched
+
+
+@pytest.mark.parametrize("scenario", sorted(_TRACE_SCENARIOS))
+def test_ported_handler_message_traces_match_reference(backend, scenario):
+    got = _message_trace(backend, scenario)
+    want = _message_trace("reference", scenario)
+    expected_kinds = _TRACE_SCENARIOS[scenario][2]
+    seen = {entry[1] for entry in got[0]}
+    assert expected_kinds <= seen, (
+        f"scenario {scenario} did not exercise {expected_kinds - seen}")
+    assert got == want
+
+
+def test_accel_handlers_return_compiled_coroutines():
+    """When the compiled model paths are armed, the ported entry points
+    return ModelCoro state machines, not Python generators — the
+    is-the-port-actually-active check the trace equality above relies
+    on."""
+    from repro.config.parameters import SystemConfig
+    from repro.core.machine import Machine
+    from repro.network.message import Message, MessageKind
+    from repro.sim.backends.model import model_core
+
+    core = model_core()
+    if core is None:
+        pytest.skip("compiled model paths not armed")
+    from repro.sim.backends._accel_core import ModelCoro
+
+    machine = Machine(SystemConfig.table1(4, kernel_backend="accel"))
+    hub = machine.hubs[0]
+    assert type(hub).__name__ == "AccelHub"
+    assert type(hub.home_engine).__name__ == "AccelHomeEngine"
+    assert type(machine.cpus[0].controller).__name__ == "AccelCacheController"
+
+    var = machine.alloc("v", home_node=0)
+    get_s = Message(MessageKind.GET_S, 1, 0, addr=var.addr, requester=1)
+    coros = [
+        hub.home_engine._serve_get_s(get_s),
+        hub.egress_send(Message(MessageKind.GET_S, 0, 1, addr=var.addr,
+                                requester=0)),
+        machine.cpus[0].controller.load(var.addr),
+    ]
+    try:
+        for coro in coros:
+            assert isinstance(coro, ModelCoro), coro
+    finally:
+        for coro in coros:
+            coro.close()
+
+
+# ---------------------------------------------------------------------------
 # fuzz smoke on the accel core
 # ---------------------------------------------------------------------------
 

@@ -78,8 +78,12 @@ def extract_scale(doc: dict) -> dict:
     --backend``).  The ``reference``-backend cells are the headline
     samples — the trajectory's cross-PR trend must not jump when a
     faster backend is captured alongside — while other backends land
-    under ``backends`` with their own geomean, next to the capture's
-    ``backend_speedup`` summary."""
+    under ``backends`` with their own geomean and ``gated: true``:
+    ``bench_scale.py --gate-trajectory`` gates each backend's cells
+    against its own trend, so a model-port regression that only slows
+    the accel backend fails CI even though the headline (reference)
+    trend is untouched.  Backend samples still stay out of the overall
+    geomean."""
     cells = doc.get("cells", [])
 
     def key(c: dict) -> str:
@@ -100,7 +104,8 @@ def extract_scale(doc: dict) -> dict:
     if by_backend:
         out["backends"] = {
             b: {"samples": s,
-                "geomean_events_per_second": _geomean(list(s.values()))}
+                "geomean_events_per_second": _geomean(list(s.values())),
+                "gated": True}
             for b, s in sorted(by_backend.items())
         }
     if doc.get("backend_speedup"):

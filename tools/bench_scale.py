@@ -65,6 +65,7 @@ from pathlib import Path
 from repro.config.mechanism import Mechanism
 from repro.workloads.barrier import run_barrier_workload
 from repro.workloads.locks import run_lock_workload
+from repro.workloads.qlocks import qlock_supported, run_qlock_workload
 
 try:  # the warm-start cache arrived with the snapshot/restore work
     from repro.workloads.warm import WarmCache
@@ -80,6 +81,14 @@ BARRIER_EPISODES = 2
 BARRIER_WARMUP = 1
 LOCK_ACQUISITIONS = 1
 LOCK_WARMUP = 1
+QLOCK_ACQUISITIONS = 1
+QLOCK_WARMUP = 1
+
+#: queue-lock cells stop at the paper's largest machine: every extra
+#: acquisition serializes P critical sections, so the 512/1024 rungs
+#: would dominate the ladder's wall clock for no extra signal
+QLOCK_MAX_CPUS = 256
+QLOCK_WORKLOADS = ("qlock_mcs", "qlock_cna", "qlock_rw")
 
 
 def parse_cpus(values: list[str]) -> list[int]:
@@ -144,6 +153,13 @@ def run_cell(workload: str, mechanism: Mechanism, n_processors: int,
                     episodes=BARRIER_EPISODES,
                     warmup_episodes=BARRIER_WARMUP, backend=backend),
                     shards, telemetry=telemetry)
+            elif workload.startswith("qlock_"):
+                res = run_sharded("qlock", dict(
+                    n_processors=n_processors, mechanism=mechanism,
+                    lock_type=workload[len("qlock_"):],
+                    acquisitions_per_cpu=QLOCK_ACQUISITIONS,
+                    warmup_per_cpu=QLOCK_WARMUP, backend=backend),
+                    shards, telemetry=telemetry)
             else:
                 res = run_sharded("lock", dict(
                     n_processors=n_processors, mechanism=mechanism,
@@ -156,6 +172,13 @@ def run_cell(workload: str, mechanism: Mechanism, n_processors: int,
                                        warmup_episodes=BARRIER_WARMUP,
                                        warm_cache=warm_cache,
                                        backend=backend)
+        elif workload.startswith("qlock_"):
+            res = run_qlock_workload(n_processors, mechanism,
+                                     lock_type=workload[len("qlock_"):],
+                                     acquisitions_per_cpu=QLOCK_ACQUISITIONS,
+                                     warmup_per_cpu=QLOCK_WARMUP,
+                                     warm_cache=warm_cache,
+                                     backend=backend)
         else:
             res = run_lock_workload(n_processors, mechanism,
                                     acquisitions_per_cpu=LOCK_ACQUISITIONS,
@@ -205,17 +228,47 @@ def run_cell(workload: str, mechanism: Mechanism, n_processors: int,
 #: tip without bloating the JSON artifact
 PROFILE_TOP = 20
 
+#: subsystem attribution map: the first path fragment that matches wins.
+#: "kernel" is the event loop + primitives (what the accel backend's C
+#: core replaces), "coherence" the protocol engines, "fabric" the
+#: interconnect, "model" everything else inside repro (CPUs, sync
+#: algorithms, workload drivers, caches); frames outside repro (stdlib,
+#: profiler) land in "other".
+SUBSYSTEMS = (
+    ("kernel", ("repro/sim/",)),
+    ("coherence", ("repro/coherence/", "repro/cache/")),
+    ("fabric", ("repro/network/",)),
+    ("model", ("repro/",)),
+)
+
+
+def _subsystem_of(filename: str) -> str:
+    path = filename.replace("\\", "/")
+    for name, fragments in SUBSYSTEMS:
+        if any(frag in path for frag in fragments):
+            return name
+    return "other"
+
 
 def profile_cell(workload: str, mechanism: Mechanism, n_processors: int,
-                 warm_cache=None, backend: str | None = None) -> list[dict]:
-    """One extra cProfile'd run of a cell, reduced to its hotspot table.
+                 warm_cache=None, backend: str | None = None) -> dict:
+    """One extra cProfile'd run of a cell, reduced to its hotspot table
+    and a per-subsystem wall-time attribution.
 
-    Returns the ``PROFILE_TOP`` functions by *cumulative* time, each as
+    Returns ``{"hotspots": [...], "subsystems": {...}}``.  ``hotspots``
+    is the ``PROFILE_TOP`` functions by *cumulative* time, each as
     ``{function, ncalls, tottime, cumtime}`` with tottime/cumtime in
-    seconds.  The run is separate from (and never counted toward) the
-    timed repeats: profiling overhead would poison the throughput
-    numbers.  Sharded cells are not profiled — the work happens in
-    worker processes the profiler cannot see.
+    seconds.  ``subsystems`` sums every frame's *own* time (tottime,
+    so the buckets are disjoint and add up to the run) into kernel /
+    coherence / fabric / model / other buckets plus each bucket's
+    fraction — the number that says where the next port should go.
+    Note the compiled accel core's C frames are invisible to cProfile,
+    so under the accel backend "kernel" reads near zero by construction:
+    the residual Python time *is* the model-port opportunity.  The run
+    is separate from (and never counted toward) the timed repeats:
+    profiling overhead would poison the throughput numbers.  Sharded
+    cells are not profiled — the work happens in worker processes the
+    profiler cannot see.
     """
     import cProfile
     import pstats
@@ -227,6 +280,12 @@ def profile_cell(workload: str, mechanism: Mechanism, n_processors: int,
                              episodes=BARRIER_EPISODES,
                              warmup_episodes=BARRIER_WARMUP,
                              warm_cache=warm_cache, backend=backend)
+    elif workload.startswith("qlock_"):
+        run_qlock_workload(n_processors, mechanism,
+                           lock_type=workload[len("qlock_"):],
+                           acquisitions_per_cpu=QLOCK_ACQUISITIONS,
+                           warmup_per_cpu=QLOCK_WARMUP,
+                           warm_cache=warm_cache, backend=backend)
     else:
         run_lock_workload(n_processors, mechanism,
                           acquisitions_per_cpu=LOCK_ACQUISITIONS,
@@ -249,7 +308,20 @@ def profile_cell(workload: str, mechanism: Mechanism, n_processors: int,
             "tottime": round(tt, 4),
             "cumtime": round(ct, 4),
         })
-    return rows
+    buckets: dict[str, float] = {}
+    for (filename, _lineno, _name), (_cc, _nc, tt, _ct, _callers) \
+            in stats.stats.items():
+        sub = "other" if filename.startswith("~") \
+            else _subsystem_of(filename)
+        buckets[sub] = buckets.get(sub, 0.0) + tt
+    total = sum(buckets.values()) or 1.0
+    subsystems = {
+        name: {"tottime": round(secs, 4),
+               "fraction": round(secs / total, 4)}
+        for name, secs in sorted(buckets.items(),
+                                 key=lambda kv: -kv[1])
+    }
+    return {"hotspots": rows, "subsystems": subsystems}
 
 
 def cell_key(cell: dict) -> str:
@@ -366,27 +438,42 @@ def gate_trajectory(cells: list[dict], trajectory_doc: dict,
     """Relative perf gate against the committed trajectory capture.
 
     Compares the geometric mean of per-cell throughput ratios (this run
-    / the trajectory's ``sources.scale.samples`` entry) and fails when
-    it regresses by more than ``max_regression_pct`` percent.  Cells
-    with no trajectory sample are skipped — the gate follows whatever
-    ladder the trajectory last recorded.
+    / the trajectory's committed sample) and fails when any trend
+    regresses by more than ``max_regression_pct`` percent.  Reference
+    cells gate against ``sources.scale.samples``; cells measured on
+    another backend gate against that backend's own trend under
+    ``sources.scale.backends.<name>.samples`` — so a model-port
+    regression that only slows the accel backend still fails, instead
+    of hiding behind an unchanged reference trend.  Cells with no
+    trajectory sample are skipped — the gate follows whatever ladder
+    the trajectory last recorded.
     """
-    samples = (trajectory_doc.get("sources", {})
-               .get("scale", {}).get("samples", {}))
-    ratios = []
-    for cell in reference_cells(cells):
-        ref = samples.get(cell_key(cell))
+    scale = trajectory_doc.get("sources", {}).get("scale", {})
+    trends = {"reference": scale.get("samples", {})}
+    for b, entry in (scale.get("backends") or {}).items():
+        trends[b] = entry.get("samples", {})
+    ratios: dict[str, list[float]] = {}
+    for cell in cells:
+        b = cell.get("backend") or "reference"
+        ref = trends.get(b, {}).get(cell_key(cell))
         if ref:
-            ratios.append(cell["events_per_second"] / ref)
+            ratios.setdefault(b, []).append(
+                cell["events_per_second"] / ref)
     if not ratios:
         return True, ("trajectory gate skipped: no overlapping cells "
                       "in the trajectory's scale samples")
-    geomean = math.exp(sum(map(math.log, ratios)) / len(ratios))
     threshold = 1.0 - max_regression_pct / 100.0
-    detail = (f"geomean {geomean:.2f}x vs trajectory over {len(ratios)} "
-              f"cell(s), threshold {threshold:.2f}x "
-              f"(-{max_regression_pct:.0f}%)")
-    return geomean >= threshold, detail
+    ok = True
+    parts = []
+    for b, rs in sorted(ratios.items()):
+        geomean = math.exp(sum(map(math.log, rs)) / len(rs))
+        parts.append(f"{b}: geomean {geomean:.2f}x over {len(rs)} "
+                     f"cell(s)")
+        if geomean < threshold:
+            ok = False
+    detail = ("; ".join(parts)
+              + f"; threshold {threshold:.2f}x (-{max_regression_pct:.0f}%)")
+    return ok, detail
 
 
 def main(argv=None) -> int:
@@ -422,6 +509,11 @@ def main(argv=None) -> int:
     parser.add_argument("--barrier-only", action="store_true",
                         help="skip the lock cells (huge machines: lock "
                              "runs serialize P acquisitions)")
+    parser.add_argument("--no-qlocks", action="store_true",
+                        help="skip the queue-lock (MCS/CNA/rw) cells; "
+                             f"they run at sizes <= {QLOCK_MAX_CPUS} "
+                             "(the paper's largest machine) and skip "
+                             "unsupported mechanism/lock combinations")
     parser.add_argument("--backend", nargs="+", default=None,
                         help="event-kernel backend(s) to measure "
                              "(repro.sim.backends); with several, every "
@@ -445,6 +537,8 @@ def main(argv=None) -> int:
     warm = (WarmCache is not None) and not args.no_warm \
         and args.shards <= 1
     workloads = ("barrier",) if args.barrier_only else ("barrier", "lock")
+    if not args.barrier_only and not args.no_qlocks:
+        workloads += QLOCK_WORKLOADS
     backends: list = args.backend if args.backend else [None]
     if args.backend:
         from repro.sim.backends import resolve_backend_name
@@ -462,6 +556,10 @@ def main(argv=None) -> int:
             warm_cache = WarmCache() if warm else None
             for mech in mechs:
                 for workload in workloads:
+                    if workload.startswith("qlock_") and (
+                            p > QLOCK_MAX_CPUS or not qlock_supported(
+                                workload[len("qlock_"):], mech)):
+                        continue
                     cell = run_cell(workload, mech, p, repeat,
                                     warm_cache=warm_cache,
                                     shards=args.shards, backend=backend,
